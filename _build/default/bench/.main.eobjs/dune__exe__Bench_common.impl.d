@@ -1,0 +1,1 @@
+bench/bench_common.ml: Bpq_core Bpq_graph Bpq_matcher Bpq_pattern Bpq_util Bpq_workload Digraph Ebchk Exec Hashtbl List Pattern Plan Printf Qgen Sys

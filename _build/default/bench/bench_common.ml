@@ -1,0 +1,125 @@
+(* Shared machinery for the benchmark harness.
+
+   Environment knobs:
+     BENCH_SCALE   float, default 0.4 — dataset scale factor for the
+                   full-size experiments (the paper's scale factor 1.0);
+     BENCH_FAST    set to 1 to shrink everything for a smoke run;
+     BENCH_TIMEOUT per-run cut-off in seconds for the conventional
+                   algorithms (default 15.0), mirroring the paper's
+                   40000s cut-off. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_core
+module W = Bpq_workload.Workload
+module Timer = Bpq_util.Timer
+module Table = Bpq_util.Table
+module Stats = Bpq_util.Stats
+module Prng = Bpq_util.Prng
+
+let fast = Sys.getenv_opt "BENCH_FAST" = Some "1"
+
+let base_scale =
+  match Sys.getenv_opt "BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.4)
+  | None -> if fast then 0.05 else 0.4
+
+let timeout =
+  match Sys.getenv_opt "BENCH_TIMEOUT" with
+  | Some s -> (try float_of_string s with _ -> 15.0)
+  | None -> if fast then 3.0 else 15.0
+
+let queries_per_dataset = if fast then 20 else 100
+let eval_queries = if fast then 4 else 8
+
+let match_cap = 200_000
+(* Conventional algorithms stop counting matches here; bounded plans never
+   come close on these workloads. *)
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+(* Timed run with the bench cut-off; [None] means "did not finish". *)
+let timed f =
+  let deadline = Timer.deadline_after timeout in
+  match Timer.time (fun () -> f deadline) with
+  | result, elapsed -> (Some result, elapsed)
+  | exception Timer.Timeout -> (None, -1.0)
+
+(* Dataset constructors, by name, at a given scale. *)
+let dataset name scale =
+  match name with
+  | "IMDbG" -> W.imdb ~scale ()
+  | "DBpediaG" -> W.dbpedia ~scale ()
+  | "WebBG" -> W.web ~scale ()
+  | _ -> invalid_arg "unknown dataset"
+
+let dataset_names = [ "IMDbG"; "DBpediaG"; "WebBG" ]
+
+(* The fixed workload for a dataset: deterministic in the dataset name, so
+   every experiment section sees the same queries. *)
+let workload_for ds n =
+  let rng = Prng.create (Hashtbl.hash ds.W.name + 2015) in
+  Qgen.workload rng ds.W.graph n
+
+let bounded_queries semantics ds queries =
+  List.filter (fun q -> Ebchk.check semantics q ds.W.constrs) queries
+
+(* Dataset + workload, with the schema aligned to the workload (vacuous
+   bound-0 constraints for structurally impossible query edges — see
+   Workload.align); memoised because several sections share them. *)
+let prepared_cache : (string * float, W.dataset * Pattern.t list) Hashtbl.t =
+  Hashtbl.create 8
+
+let prepared name scale =
+  match Hashtbl.find_opt prepared_cache (name, scale) with
+  | Some entry -> entry
+  | None ->
+    let ds = dataset name scale in
+    let queries = workload_for ds queries_per_dataset in
+    let entry = (W.align ds queries, queries) in
+    Hashtbl.replace prepared_cache (name, scale) entry;
+    entry
+
+(* Evaluation wrappers returning (answer size, accessed items). *)
+
+let run_bvf2 ds plan deadline =
+  let r = Exec.run ds.W.schema plan in
+  let n =
+    Bpq_matcher.Vf2.count_matches ~deadline ~limit:match_cap ~candidates:r.candidates_gq
+      r.gq plan.Plan.pattern
+  in
+  (n, Exec.accessed r.stats)
+
+let run_bsim ds plan deadline =
+  let r = Exec.run ds.W.schema plan in
+  let sim =
+    Bpq_matcher.Gsim.run ~deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+  in
+  (Bpq_matcher.Gsim.relation_size sim, Exec.accessed r.stats)
+
+(* The conventional baseline is label-blind, like the C++ Boost VF2 the
+   paper benchmarks against. *)
+let run_vf2 ds q deadline =
+  ( Bpq_matcher.Vf2.count_matches ~deadline ~blind:true ~limit:match_cap ds.W.graph q,
+    Digraph.size ds.W.graph )
+
+let run_opt_vf2 ds q deadline =
+  (Bpq_matcher.Opt_match.opt_vf2_count ~deadline ~limit:match_cap ds.W.schema q, 0)
+
+let run_gsim ds q deadline =
+  (Bpq_matcher.Gsim.relation_size (Bpq_matcher.Gsim.run ~deadline ds.W.graph q), 0)
+
+let run_opt_gsim ds q deadline =
+  (Bpq_matcher.Gsim.relation_size (Bpq_matcher.Opt_match.opt_gsim ~deadline ds.W.schema q), 0)
+
+(* Average wall-clock over a query list for one algorithm; "n/a" when any
+   run hits the cut-off (the paper reports non-completion the same way). *)
+let avg_time runs =
+  let finished = List.filter (fun t -> t >= 0.0) runs in
+  if List.length finished < List.length runs || finished = [] then None
+  else Some (Stats.mean finished)
+
+let cell_avg = function None -> "n/a" | Some t -> Table.cell_time t

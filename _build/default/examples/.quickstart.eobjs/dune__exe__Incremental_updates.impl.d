@@ -1,0 +1,1 @@
+examples/incremental_updates.ml: Actualized Array Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_util Bpq_workload Digraph Incremental Label List Printf Schema Value

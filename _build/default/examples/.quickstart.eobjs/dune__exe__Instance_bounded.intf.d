@@ -1,0 +1,1 @@
+examples/instance_bounded.mli:

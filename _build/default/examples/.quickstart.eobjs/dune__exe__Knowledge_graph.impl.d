@@ -1,0 +1,1 @@
+examples/knowledge_graph.ml: Actualized Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_pattern Bpq_util Bpq_workload Constr Digraph Ebchk Exec Instance Label List Printf Qplan

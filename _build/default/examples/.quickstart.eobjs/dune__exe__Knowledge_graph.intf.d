@@ -1,0 +1,1 @@
+examples/knowledge_graph.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Actualized Array Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_pattern Bpq_util Bpq_workload Constr Digraph Ebchk Exec List Plan Printf Qplan Schema

@@ -1,0 +1,1 @@
+lib/access/constr.ml: Bpq_graph Label List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/access/constr.mli: Bpq_graph Label

@@ -1,0 +1,1 @@
+lib/access/constr_io.ml: Bpq_graph Buffer Constr Fun Label List Printf String

@@ -1,0 +1,1 @@
+lib/access/constr_io.mli: Bpq_graph Constr Label

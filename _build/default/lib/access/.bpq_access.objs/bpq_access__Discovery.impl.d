@@ -1,0 +1,1 @@
+lib/access/discovery.ml: Array Bpq_graph Constr Digraph Hashtbl Label List Option

@@ -1,0 +1,1 @@
+lib/access/discovery.mli: Bpq_graph Constr Digraph Label

@@ -1,0 +1,1 @@
+lib/access/index.ml: Array Bpq_graph Bpq_util Constr Digraph Hashtbl List Option Seq

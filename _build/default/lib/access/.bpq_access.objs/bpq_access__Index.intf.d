@@ -1,0 +1,1 @@
+lib/access/index.mli: Bpq_graph Constr Digraph

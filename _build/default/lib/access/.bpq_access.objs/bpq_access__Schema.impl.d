@@ -1,0 +1,1 @@
+lib/access/schema.ml: Bpq_graph Constr Digraph Hashtbl Index List

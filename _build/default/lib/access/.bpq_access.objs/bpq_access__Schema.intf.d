@@ -1,0 +1,1 @@
+lib/access/schema.mli: Bpq_graph Constr Digraph Index Label

@@ -1,0 +1,20 @@
+open Bpq_graph
+
+type t = { source : Label.t list; target : Label.t; bound : int }
+
+let make ~source ~target ~bound =
+  if bound < 0 then invalid_arg "Constr.make: negative bound";
+  { source = List.sort_uniq compare source; target; bound }
+
+let arity c = List.length c.source
+let is_type1 c = c.source = []
+let is_type2 c = arity c = 1
+let length c = arity c + 2
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string tbl c =
+  Printf.sprintf "{%s} -> (%s, %d)"
+    (String.concat ", " (List.map (Label.name tbl) c.source))
+    (Label.name tbl c.target) c.bound

@@ -1,0 +1,38 @@
+(** Access constraints [S → (l, N)] (paper §II).
+
+    A graph satisfies the constraint when every S-labeled node set [V_S]
+    has at most [N] common neighbours labeled [l], and an index exists that
+    retrieves those neighbours in O(N) time.  The cardinality side lives
+    here; the index side is {!Index}.
+
+    Two special shapes get names throughout the paper:
+    - type (1), [|S| = 0]: a global bound on the number of [l]-labeled
+      nodes;
+    - type (2), [|S| = 1]: a per-node bound on [l]-labeled neighbours. *)
+
+open Bpq_graph
+
+type t = private {
+  source : Label.t list;  (** Sorted, distinct; [\[\]] for type (1). *)
+  target : Label.t;
+  bound : int;
+}
+
+val make : source:Label.t list -> target:Label.t -> bound:int -> t
+(** Sorts and deduplicates [source].
+    @raise Invalid_argument if [bound < 0]. *)
+
+val arity : t -> int
+(** [|S|]. *)
+
+val is_type1 : t -> bool
+val is_type2 : t -> bool
+
+val length : t -> int
+(** [|S| + 2], the summand of the paper's total-length measure [|A|]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : Label.table -> t -> string
+(** E.g. ["{award, year} -> (movie, 4)"] or ["{} -> (country, 196)"]. *)

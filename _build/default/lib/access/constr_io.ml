@@ -1,0 +1,73 @@
+open Bpq_graph
+
+(* Split a line on the first "->", returning (before, after). *)
+let split_arrow line =
+  let n = String.length line in
+  let rec find i =
+    if i + 1 >= n then None
+    else if line.[i] = '-' && line.[i + 1] = '>' then
+      Some (String.sub line 0 i, String.sub line (i + 2) (n - i - 2))
+    else find (i + 1)
+  in
+  find 0
+
+let parse_line tbl raw =
+  let line = String.trim raw in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let src, rest =
+      match split_arrow line with
+      | Some pair -> pair
+      | None -> failwith (Printf.sprintf "malformed constraint %S (expected 'src -> target N')" line)
+    in
+    let target, bound =
+      match List.filter (( <> ) "") (String.split_on_char ' ' (String.trim rest)) with
+      | [ t; n ] ->
+        (match int_of_string_opt n with
+         | Some b -> (t, b)
+         | None -> failwith (Printf.sprintf "malformed bound in %S" line))
+      | _ -> failwith (Printf.sprintf "malformed constraint %S" line)
+    in
+    let source =
+      match String.trim src with
+      | "-" | "" -> []
+      | s -> List.map (fun l -> Label.intern tbl (String.trim l)) (String.split_on_char ',' s)
+    in
+    Some (Constr.make ~source ~target:(Label.intern tbl target) ~bound)
+  end
+
+let parse_string tbl s =
+  List.filteri (fun _ _ -> true) (String.split_on_char '\n' s)
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (line_no, line) ->
+         try parse_line tbl line
+         with Failure msg -> failwith (Printf.sprintf "line %d: %s" line_no msg))
+
+let load tbl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_string buf (input_line ic);
+           Buffer.add_char buf '\n'
+         done
+       with End_of_file -> ());
+      parse_string tbl (Buffer.contents buf))
+
+let to_line tbl (c : Constr.t) =
+  let src =
+    match c.source with
+    | [] -> "-"
+    | ls -> String.concat "," (List.map (Label.name tbl) ls)
+  in
+  Printf.sprintf "%s -> %s %d" src (Label.name tbl c.target) c.bound
+
+let output oc tbl constrs =
+  List.iter (fun c -> Printf.fprintf oc "%s\n" (to_line tbl c)) constrs
+
+let save tbl constrs path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc tbl constrs)

@@ -1,0 +1,29 @@
+(** Textual (de)serialisation of access constraints.
+
+    One constraint per line:
+    {v
+    # comment
+    year,award -> movie 4
+    movie -> actor 30
+    - -> country 196
+    v}
+    The source side is a comma-separated label list, or ["-"] for the
+    empty source of a type-(1) constraint.  Labels may not contain commas,
+    spaces or the arrow. *)
+
+open Bpq_graph
+
+val parse_line : Label.table -> string -> Constr.t option
+(** [None] for blank lines and comments.
+    @raise Failure on malformed input. *)
+
+val parse_string : Label.table -> string -> Constr.t list
+(** @raise Failure with a line-numbered message. *)
+
+val load : Label.table -> string -> Constr.t list
+
+val to_line : Label.table -> Constr.t -> string
+(** Inverse of {!parse_line} (modulo whitespace). *)
+
+val save : Label.table -> Constr.t list -> string -> unit
+val output : out_channel -> Label.table -> Constr.t list -> unit

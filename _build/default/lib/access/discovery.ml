@@ -1,0 +1,204 @@
+open Bpq_graph
+
+let type1 ?(max_bound = 4096) g =
+  List.filter_map
+    (fun l ->
+      let n = Digraph.count_label g l in
+      if n > 0 && n <= max_bound then
+        Some (Constr.make ~source:[] ~target:l ~bound:n)
+      else None)
+    (Label.all (Digraph.label_table g))
+
+(* Distinct neighbours of [v] bucketed by label, as association pairs. *)
+let neighbour_label_groups g v =
+  let groups : (Label.t, int list) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun w ->
+      let l = Digraph.label g w in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt groups l) in
+      Hashtbl.replace groups l (w :: prev))
+    (Digraph.neighbours g v);
+  groups
+
+let degree_bounds ?(max_bound = 64) g =
+  let maxima : (Label.t * Label.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Digraph.iter_nodes g (fun v ->
+      let l = Digraph.label g v in
+      Hashtbl.iter
+        (fun l' members ->
+          let count = List.length members in
+          let key = (l, l') in
+          let prev = Option.value ~default:0 (Hashtbl.find_opt maxima key) in
+          if count > prev then Hashtbl.replace maxima key count)
+        (neighbour_label_groups g v));
+  Hashtbl.fold
+    (fun (l, l') n acc ->
+      if n <= max_bound then Constr.make ~source:[ l ] ~target:l' ~bound:n :: acc
+      else acc)
+    maxima []
+
+let pair_constraints ?(max_bound = 64) ?(source_count_cap = 2048)
+    ?(max_source_labels = 40) ?(key_budget = 3_000_000) g =
+  (* One side of every source pair is drawn from a fixed set of "anchor"
+     labels: the [max_source_labels] rarest labels under
+     [source_count_cap].  The other side may be any label — this is what
+     finds constraints like the paper's (actress, year) → (feature film,
+     104), whose actress side is population-sized.  The per-node
+     enumeration is then bounded by |anchors| * degree instead of
+     degree², and the anchor pre-selection never affects soundness: any
+     emitted triple is counted over all nodes, and triples whose counting
+     would exceed the per-node product cap or the global key budget are
+     dropped (poisoned) rather than under-counted. *)
+  let anchors =
+    Label.all (Digraph.label_table g)
+    |> List.filter_map (fun l ->
+           let n = Digraph.count_label g l in
+           if n > 0 && n <= source_count_cap then Some (n, l) else None)
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < max_source_labels)
+    |> List.map snd
+  in
+  let anchor_set = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace anchor_set l ()) anchors;
+  let is_anchor l = Hashtbl.mem anchor_set l in
+  (* counts: ((l1, l2, target_label), (a, b)) -> #common neighbours seen. *)
+  let counts : (Label.t * Label.t * Label.t, (int * int, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let poisoned : (Label.t * Label.t * Label.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  let per_node_cap = 10_000 in
+  let total_keys = ref 0 in
+  Digraph.iter_nodes g (fun w ->
+      let lw = Digraph.label g w in
+      let groups =
+        List.sort compare
+          (Hashtbl.fold (fun l members acc -> (l, members) :: acc)
+             (neighbour_label_groups g w) [])
+      in
+      List.iter
+        (fun (la, ga) ->
+          if is_anchor la then
+            List.iter
+              (fun (lb, gb) ->
+                (* Anchor pairs are handled once ((la < lb) branch);
+                   anchor-with-large pairs always from the anchor side. *)
+                if la < lb || ((not (is_anchor lb)) && la <> lb) then begin
+                  let triple =
+                    if la < lb then (la, lb, lw) else (lb, la, lw)
+                  in
+                  if Hashtbl.mem poisoned triple then ()
+                  else if List.length ga * List.length gb > per_node_cap then
+                    Hashtbl.replace poisoned triple ()
+                  else begin
+                    let table =
+                      match Hashtbl.find_opt counts triple with
+                      | Some tb -> tb
+                      | None ->
+                        let tb = Hashtbl.create 16 in
+                        Hashtbl.replace counts triple tb;
+                        tb
+                    in
+                    let overflow = ref false in
+                    List.iter
+                      (fun a ->
+                        List.iter
+                          (fun b ->
+                            let key = if la < lb then (a, b) else (b, a) in
+                            match Hashtbl.find_opt table key with
+                            | Some prev -> Hashtbl.replace table key (prev + 1)
+                            | None ->
+                              if !total_keys >= key_budget then overflow := true
+                              else begin
+                                incr total_keys;
+                                Hashtbl.replace table key 1
+                              end)
+                          gb)
+                      ga;
+                    if !overflow then Hashtbl.replace poisoned triple ()
+                  end
+                end)
+              groups)
+        groups);
+  Hashtbl.fold
+    (fun ((la, lb, lw) as triple) table acc ->
+      if Hashtbl.mem poisoned triple then acc
+      else begin
+        let n = Hashtbl.fold (fun _ c m -> max m c) table 0 in
+        if n >= 1 && n <= max_bound then
+          Constr.make ~source:[ la; lb ] ~target:lw ~bound:n :: acc
+        else acc
+      end)
+    counts []
+
+let absent_pair_bounds g ~pairs =
+  let norm (a, b) = if a <= b then (a, b) else (b, a) in
+  let wanted = List.sort_uniq compare (List.map norm pairs) in
+  if wanted = [] then []
+  else begin
+    let adjacent = Hashtbl.create 256 in
+    Digraph.iter_edges g (fun s t ->
+        Hashtbl.replace adjacent (norm (Digraph.label g s, Digraph.label g t)) ());
+    List.concat_map
+      (fun ((l, l') as pair) ->
+        if Hashtbl.mem adjacent pair then []
+        else if l = l' then [ Constr.make ~source:[ l ] ~target:l' ~bound:0 ]
+        else
+          [ Constr.make ~source:[ l ] ~target:l' ~bound:0;
+            Constr.make ~source:[ l' ] ~target:l ~bound:0 ])
+      wanted
+  end
+
+let discover ?(max_bound = 64) ?type1_bound ?(max_constraints = 320) ?(max_type1 = 2048) g =
+  (* Type-(1) constraints are only useful on genuinely small classes
+     (countries, years, ...): a global bound close to a population-sized
+     label would make plans fetch a large fraction of the graph. *)
+  let type1_bound = Option.value ~default:(max_bound * 4) type1_bound in
+  let all =
+    type1 ~max_bound:type1_bound g
+    @ degree_bounds ~max_bound g
+    @ pair_constraints ~max_bound g
+  in
+  (* Keep only the tightest bound per (source, target). *)
+  let best : (Label.t list * Label.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Constr.t) ->
+      let key = (c.source, c.target) in
+      match Hashtbl.find_opt best key with
+      | Some b when b <= c.bound -> ()
+      | Some _ | None -> Hashtbl.replace best key c.bound)
+    all;
+  (* Cap the schema size: label-rich graphs would otherwise yield one
+     constraint per label pair (tens of thousands), and index building
+     scales with the schema.  Type-(1) constraints get their own generous
+     cap ([max_type1]) — they seed every cover and their "indexes" are
+     just per-label node lists, essentially free.  [max_constraints]
+     governs the expensive kinds: type-(2) carries deduction and edge
+     coverage, pairs add precision; within a kind the tightest bounds
+     win. *)
+  let ranked =
+    Hashtbl.fold
+      (fun (source, target) bound acc -> Constr.make ~source ~target ~bound :: acc)
+      best []
+    |> List.sort (fun (a : Constr.t) (b : Constr.t) ->
+           compare (a.bound, a.source, a.target) (b.bound, b.source, b.target))
+  in
+  let quota_of_kind c =
+    if Constr.is_type1 c then max_type1
+    else if Constr.is_type2 c then max_constraints * 17 / 20
+    else max_constraints * 3 / 20
+  in
+  let taken = Hashtbl.create 4 in
+  let keep c =
+    let kind = min (Constr.arity c) 2 in
+    let n = Option.value ~default:0 (Hashtbl.find_opt taken kind) in
+    if n < quota_of_kind c then begin
+      Hashtbl.replace taken kind (n + 1);
+      true
+    end
+    else false
+  in
+  List.filter keep ranked
+  |> List.sort (fun (a : Constr.t) (b : Constr.t) ->
+         match compare (Constr.arity a) (Constr.arity b) with
+         | 0 -> compare (a.bound, a.source, a.target) (b.bound, b.source, b.target)
+         | c -> c)

@@ -1,0 +1,71 @@
+(** Discovering access constraints from data (paper §II, "Discovering
+    access constraints").
+
+    The paper lists four practical sources, all implemented here:
+    + global label counts — type-(1) constraints [∅ → (l, N)];
+    + degree bounds per label pair — type-(2) constraints [l → (l', N)];
+    + functional dependencies — the [N = 1] special case of the above
+      (e.g. [movie → (year, 1)], [person → (country, 1)]), which simply
+      falls out of the degree-bound scan;
+    + grouped aggregates over label pairs — general constraints
+      [{l₁, l₂} → (l, N)].
+
+    Every returned constraint carries its {e realised} bound, so the source
+    graph satisfies it by construction.  [max_bound] prunes constraints too
+    loose to be useful (a bound close to [|G|] defeats the purpose). *)
+
+open Bpq_graph
+
+val type1 : ?max_bound:int -> Digraph.t -> Constr.t list
+(** One [∅ → (l, count(l))] per label with [0 < count(l) <= max_bound]
+    (default 4096). *)
+
+val degree_bounds : ?max_bound:int -> Digraph.t -> Constr.t list
+(** For every label pair [(l, l')] with at least one adjacency, the
+    constraint [l → (l', N)] where [N] is the maximum number of distinct
+    [l']-labeled neighbours over all [l]-labeled nodes; kept when
+    [N <= max_bound] (default 64). *)
+
+val pair_constraints :
+  ?max_bound:int ->
+  ?source_count_cap:int ->
+  ?max_source_labels:int ->
+  ?key_budget:int ->
+  Digraph.t ->
+  Constr.t list
+(** General constraints [{l₁, l₂} → (l, N)] where at least one source
+    label is an {e anchor}: one of the [max_source_labels] (default 40)
+    rarest labels of cardinality at most [source_count_cap] (default
+    2048).  The other source label is unrestricted, which finds bounds
+    like the paper's [(actress, year) → (feature film, 104)].  Per-node
+    enumeration is capped, and the table of concrete key pairs is capped
+    globally at [key_budget] (default 3M); triples that would exceed
+    either cap are dropped entirely, never under-counted, so every
+    emitted bound holds on the graph.  [max_bound] defaults to 64. *)
+
+val absent_pair_bounds :
+  Digraph.t -> pairs:(Label.t * Label.t) list -> Constr.t list
+(** For each requested unordered label pair with {e no} adjacency in the
+    graph, the vacuously-satisfied constraints [l → (l', 0)] and
+    [l' → (l, 0)].  A query edge between such labels is then covered — its
+    bounded evaluation proves the answer empty without fetching anything.
+    This is how a schema is aligned with a concrete query load (the
+    paper's setup extracts the constraints relevant to the tested
+    queries); the implementation scans the edge set once. *)
+
+val discover :
+  ?max_bound:int ->
+  ?type1_bound:int ->
+  ?max_constraints:int ->
+  ?max_type1:int ->
+  Digraph.t ->
+  Constr.t list
+(** Union of the three scans, deduplicated (tightest bound per
+    (source, target)).  Type-(1) constraints are kept only for labels of
+    cardinality at most [type1_bound] (default [4 * max_bound]) — global
+    bounds on population-sized labels would defeat bounded evaluation —
+    and capped in number at [max_type1] (default 2048; their indexes are
+    just per-label node lists).  The costlier type-(2)/pair constraints
+    share [max_constraints] (default 320, the ballpark the paper extracts
+    per dataset) with per-kind quotas favouring tight bounds.  Result
+    ordered by increasing arity then bound. *)

@@ -1,0 +1,171 @@
+open Bpq_graph
+module Vec = Bpq_util.Vec
+
+type t = {
+  constr : Constr.t;
+  buckets : (int list, Vec.t) Hashtbl.t;
+}
+
+let constr t = t.constr
+
+(* All S-labeled sets drawn from the distinct neighbours of [w], as sorted
+   key lists.  Because the labels in S are distinct, picking one neighbour
+   per label always yields distinct nodes. *)
+let contributions g (c : Constr.t) w =
+  let groups =
+    List.map
+      (fun s ->
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter (fun v -> Digraph.label g v = s)
+                (Array.to_seq (Digraph.neighbours g w)))))
+      c.source
+  in
+  if List.exists (fun grp -> grp = []) groups then []
+  else begin
+    let rec product acc = function
+      | [] -> [ List.sort compare acc ]
+      | grp :: rest ->
+        List.concat_map (fun v -> product (v :: acc) rest) grp
+    in
+    product [] groups
+  end
+
+let bucket_for t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some vec -> vec
+  | None ->
+    let vec = Vec.create ~capacity:2 () in
+    Hashtbl.replace t.buckets key vec;
+    vec
+
+let add_contributions t g w =
+  List.iter (fun key -> Vec.push (bucket_for t key) w) (contributions g t.constr w)
+
+let remove_contributions t g w =
+  let remove_from key =
+    match Hashtbl.find_opt t.buckets key with
+    | None -> ()
+    | Some vec ->
+      (* Swap-remove the first occurrence; buckets are small (<= N). *)
+      let len = Vec.length vec in
+      let rec find i = if i >= len then -1 else if Vec.get vec i = w then i else find (i + 1) in
+      let i = find 0 in
+      if i >= 0 then begin
+        Vec.set vec i (Vec.get vec (len - 1));
+        ignore (Vec.pop vec)
+      end;
+      if Vec.is_empty vec then Hashtbl.remove t.buckets key
+  in
+  List.iter remove_from (contributions g t.constr w)
+
+let build g (c : Constr.t) =
+  let t = { constr = c; buckets = Hashtbl.create 256 } in
+  if Constr.is_type1 c then begin
+    let vec = Vec.of_array (Digraph.nodes_with_label g c.target) in
+    if not (Vec.is_empty vec) then Hashtbl.replace t.buckets [] vec
+  end
+  else Digraph.iter_label g c.target (fun w -> add_contributions t g w);
+  t
+
+let build_many g constrs =
+  (* Group the type-(2) constraints by target label; everything else is
+     built individually. *)
+  let type2_by_target : (Bpq_graph.Label.t, (Bpq_graph.Label.t * t) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let shells =
+    List.map
+      (fun (c : Constr.t) ->
+        match c.source with
+        | [ s ] ->
+          let shell = { constr = c; buckets = Hashtbl.create 256 } in
+          let group =
+            match Hashtbl.find_opt type2_by_target c.target with
+            | Some g -> g
+            | None ->
+              let g = ref [] in
+              Hashtbl.replace type2_by_target c.target g;
+              g
+          in
+          group := (s, shell) :: !group;
+          (c, shell)
+        | [] | _ :: _ :: _ -> (c, build g c))
+      constrs
+  in
+  Hashtbl.iter
+    (fun target group ->
+      let by_source : (Bpq_graph.Label.t, t list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (s, shell) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_source s) in
+          Hashtbl.replace by_source s (shell :: prev))
+        !group;
+      Digraph.iter_label g target (fun w ->
+          Array.iter
+            (fun v ->
+              match Hashtbl.find_opt by_source (Digraph.label g v) with
+              | None -> ()
+              | Some shells ->
+                List.iter (fun shell -> Vec.push (bucket_for shell [ v ]) w) shells)
+            (Digraph.neighbours g w)))
+    type2_by_target;
+  shells
+
+let lookup t vs =
+  match Hashtbl.find_opt t.buckets (List.sort compare vs) with
+  | Some vec -> Vec.to_array vec
+  | None -> [||]
+
+let lookup_count t vs =
+  match Hashtbl.find_opt t.buckets (List.sort compare vs) with
+  | Some vec -> Vec.length vec
+  | None -> 0
+
+let max_bucket t =
+  Hashtbl.fold (fun _ vec acc -> max acc (Vec.length vec)) t.buckets 0
+
+let satisfied t = max_bucket t <= t.constr.bound
+let n_keys t = Hashtbl.length t.buckets
+
+let size t =
+  Hashtbl.fold (fun _ vec acc -> acc + 1 + Vec.length vec) t.buckets 0
+
+let copy t =
+  let buckets = Hashtbl.create (Hashtbl.length t.buckets) in
+  Hashtbl.iter (fun key vec -> Hashtbl.replace buckets key (Vec.of_array (Vec.to_array vec))) t.buckets;
+  { constr = t.constr; buckets }
+
+let apply_delta t ~old_graph ~new_graph (delta : Digraph.delta) =
+  let target = t.constr.target in
+  let n_old = Digraph.n_nodes old_graph in
+  (* Contributions of a target-labeled node depend only on its own
+     neighbourhood, so only target-labeled endpoints of changed edges (and
+     fresh target-labeled nodes) need repair. *)
+  let affected = Hashtbl.create 16 in
+  let note v = if Digraph.label new_graph v = target then Hashtbl.replace affected v () in
+  List.iter
+    (fun (s, d) ->
+      note s;
+      note d)
+    delta.added_edges;
+  List.iter
+    (fun (s, d) ->
+      note s;
+      note d)
+    delta.removed_edges;
+  List.iteri
+    (fun i (l, _) -> if l = target then Hashtbl.replace affected (n_old + i) ())
+    delta.added_nodes;
+  if Constr.is_type1 t.constr then
+    Hashtbl.iter
+      (fun v () -> if v >= n_old then Vec.push (bucket_for t []) v)
+      affected
+  else
+    Hashtbl.iter
+      (fun v () ->
+        if v < n_old then remove_contributions t old_graph v;
+        add_contributions t new_graph v)
+      affected
+
+let iter t f = Hashtbl.iter (fun key vec -> f key (Vec.to_array vec)) t.buckets

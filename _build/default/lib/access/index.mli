@@ -1,0 +1,61 @@
+(** The index component of an access constraint.
+
+    For a constraint [S → (l, N)] over a graph [G], the index maps each
+    S-labeled node set [V_S] (keyed by its sorted node identifiers) to the
+    array of common neighbours of [V_S] that carry label [l].  Lookups are
+    O(answer); this realises the paper's requirement that the [l]-neighbours
+    of any S-labeled set be retrievable in O(N) time, independent of [|G|].
+
+    For a type-(1) constraint ([S = ∅]) the single key [\[\]] maps to all
+    [l]-labeled nodes.
+
+    Indexes are mutable so they can be maintained incrementally under graph
+    deltas (paper §II, "Maintaining access constraints"): only target-labeled
+    endpoints of changed edges need their contributions recomputed. *)
+
+open Bpq_graph
+
+type t
+
+val build : Digraph.t -> Constr.t -> t
+
+val build_many : Digraph.t -> Constr.t list -> (Constr.t * t) list
+(** Builds one index per constraint, like {!build}, but shares graph scans
+    between type-(2) constraints with the same target label: one pass over
+    the target label's nodes serves all of them, so a schema with hundreds
+    of degree-bound constraints costs O(|E|) per distinct target label
+    rather than per constraint.  Order of the result matches the input. *)
+
+val constr : t -> Constr.t
+
+val lookup : t -> int list -> int array
+(** [lookup idx vs] returns the common [l]-labeled neighbours of the node
+    set [vs] (order of [vs] irrelevant; it is sorted internally).  Returns
+    [[||]] when no such set was indexed.  The caller is responsible for
+    [vs] being S-labeled; an arbitrary key simply finds nothing. *)
+
+val lookup_count : t -> int list -> int
+
+val max_bucket : t -> int
+(** The realised maximum cardinality over all S-labeled sets — the smallest
+    [N] for which [G] satisfies the cardinality part. *)
+
+val satisfied : t -> bool
+(** [max_bucket t <= bound]. *)
+
+val n_keys : t -> int
+
+val size : t -> int
+(** Keys plus total payload entries — the [|index|] measure reported by the
+    paper's Fig. 5(d/h/l). *)
+
+val copy : t -> t
+
+val apply_delta :
+  t -> old_graph:Digraph.t -> new_graph:Digraph.t -> Digraph.delta -> unit
+(** Incrementally repair the index in place.  Cost is proportional to the
+    changed nodes' neighbourhood products, never to [|G|].  [new_graph] must
+    be [Digraph.apply_delta old_graph delta]. *)
+
+val iter : t -> (int list -> int array -> unit) -> unit
+(** Iterate over all (key, bucket) pairs — used by satisfaction reports. *)

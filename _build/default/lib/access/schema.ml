@@ -1,0 +1,77 @@
+open Bpq_graph
+
+type t = {
+  graph : Digraph.t;
+  entries : (Constr.t * Index.t) list;  (* in build order *)
+  by_constr : (Constr.t, Index.t) Hashtbl.t;  (* O(1) index_of *)
+}
+
+let make graph entries =
+  let by_constr = Hashtbl.create (max 16 (List.length entries)) in
+  List.iter (fun (c, idx) -> Hashtbl.replace by_constr c idx) entries;
+  { graph; entries; by_constr }
+
+(* Deduplicate while preserving the caller's order, which [restrict]
+   exposes. *)
+let dedup constrs =
+  List.rev
+    (List.fold_left
+       (fun acc c -> if List.exists (Constr.equal c) acc then acc else c :: acc)
+       [] constrs)
+
+let build graph constrs = make graph (Index.build_many graph (dedup constrs))
+
+let graph t = t.graph
+let constraints t = List.map fst t.entries
+let cardinality t = List.length t.entries
+let total_length t = List.fold_left (fun acc (c, _) -> acc + Constr.length c) 0 t.entries
+
+let index_of t c =
+  match Hashtbl.find_opt t.by_constr c with
+  | Some idx -> idx
+  | None -> raise Not_found
+
+let mem t c = Hashtbl.mem t.by_constr c
+
+let for_target t l =
+  List.filter_map (fun ((c : Constr.t), _) -> if c.target = l then Some c else None) t.entries
+
+let type1_for t l =
+  List.fold_left
+    (fun best ((c : Constr.t), _) ->
+      if Constr.is_type1 c && c.target = l then
+        match best with
+        | Some (b : Constr.t) when b.bound <= c.bound -> best
+        | _ -> Some c
+      else best)
+    None t.entries
+
+let violations t =
+  List.filter_map
+    (fun ((c : Constr.t), idx) ->
+      let realised = Index.max_bucket idx in
+      if realised > c.bound then Some (c, realised) else None)
+    t.entries
+
+let satisfied t = violations t = []
+
+let total_index_size t =
+  List.fold_left (fun acc (_, idx) -> acc + Index.size idx) 0 t.entries
+
+let restrict t k = make t.graph (List.filteri (fun i _ -> i < k) t.entries)
+
+let extend t constrs =
+  let fresh = List.filter (fun c -> not (mem t c)) (dedup constrs) in
+  make t.graph (t.entries @ Index.build_many t.graph fresh)
+
+let apply_delta t delta =
+  let new_graph = Digraph.apply_delta t.graph delta in
+  let entries =
+    List.map
+      (fun (c, idx) ->
+        let idx = Index.copy idx in
+        Index.apply_delta idx ~old_graph:t.graph ~new_graph delta;
+        (c, idx))
+      t.entries
+  in
+  make new_graph entries

@@ -1,0 +1,58 @@
+(** Access schemas: a set of access constraints with their indexes, built
+    over one data graph (paper §II).
+
+    The static analyses (EBChk, QPlan, ...) consult only the constraint
+    list; the plan executor additionally consults the indexes.  Keeping both
+    in one value guarantees a plan is only ever run with the indexes of the
+    schema it was generated under. *)
+
+open Bpq_graph
+
+type t
+
+val build : Digraph.t -> Constr.t list -> t
+(** Builds one index per constraint (duplicates collapsed). *)
+
+val graph : t -> Digraph.t
+val constraints : t -> Constr.t list
+
+val cardinality : t -> int
+(** [‖A‖], the number of constraints. *)
+
+val total_length : t -> int
+(** [|A|], the total length of the constraints. *)
+
+val index_of : t -> Constr.t -> Index.t
+(** @raise Not_found if the constraint is not part of the schema. *)
+
+val mem : t -> Constr.t -> bool
+
+val for_target : t -> Label.t -> Constr.t list
+(** Constraints whose target label is [l]. *)
+
+val type1_for : t -> Label.t -> Constr.t option
+(** The tightest type-(1) constraint on label [l], if any. *)
+
+val satisfied : t -> bool
+(** Does the underlying graph satisfy every cardinality constraint?  (The
+    retrieval side holds by construction of the indexes.) *)
+
+val violations : t -> (Constr.t * int) list
+(** Constraints whose realised maximum exceeds their bound, with that
+    realised maximum. *)
+
+val total_index_size : t -> int
+(** Sum of {!Index.size} over all indexes. *)
+
+val restrict : t -> int -> t
+(** [restrict t k] keeps the first [k] constraints (in the order given to
+    {!build}) — the Fig. 5(c/g/k) sweep over [‖A‖] without rebuilding
+    indexes. *)
+
+val extend : t -> Constr.t list -> t
+(** Builds indexes for the new constraints against the same graph and
+    appends them; existing indexes are shared, not copied. *)
+
+val apply_delta : t -> Digraph.delta -> t
+(** New schema over the updated graph; every index is copied and repaired
+    incrementally via {!Index.apply_delta}. *)

@@ -1,0 +1,1 @@
+lib/core/actualized.ml: Bpq_access Bpq_graph Bpq_pattern Constr Fun Label List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/core/bounded_eval.ml: Array Bpq_access Bpq_matcher Exec Gsim List Plan Qplan Schema Vf2

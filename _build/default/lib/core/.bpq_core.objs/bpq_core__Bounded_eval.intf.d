@@ -1,0 +1,1 @@
+lib/core/bounded_eval.mli: Actualized Bpq_access Bpq_pattern Bpq_util Exec Pattern Plan Schema Timer

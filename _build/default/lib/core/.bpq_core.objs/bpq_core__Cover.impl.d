@@ -1,0 +1,1 @@
+lib/core/cover.ml: Actualized Array Bpq_access Bpq_graph Bpq_pattern Constr Fun List Pattern Queue

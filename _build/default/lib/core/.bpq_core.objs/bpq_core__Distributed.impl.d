@@ -1,0 +1,1 @@
+lib/core/distributed.ml: Array Bpq_access Exec Float Hashtbl Schema

@@ -1,0 +1,1 @@
+lib/core/distributed.mli: Bpq_access Exec Plan Schema

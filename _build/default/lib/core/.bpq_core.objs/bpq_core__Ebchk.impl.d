@@ -1,0 +1,1 @@
+lib/core/ebchk.ml: Bpq_graph Bpq_pattern Cover List Pattern Printf String

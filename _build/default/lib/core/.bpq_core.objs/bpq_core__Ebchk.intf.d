@@ -1,0 +1,1 @@
+lib/core/ebchk.mli: Actualized Bpq_access Bpq_pattern Constr Pattern

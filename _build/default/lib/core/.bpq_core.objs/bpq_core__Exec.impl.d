@@ -1,0 +1,1 @@
+lib/core/exec.ml: Array Bpq_access Bpq_graph Bpq_pattern Constr Digraph Hashtbl Index List Pattern Plan Predicate Schema Seq Value

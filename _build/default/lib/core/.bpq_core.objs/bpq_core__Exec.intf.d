@@ -1,0 +1,1 @@
+lib/core/exec.mli: Bpq_access Bpq_graph Constr Digraph Plan Schema

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Bpq_access Bpq_graph Bpq_pattern Bpq_util Constr Digraph Exec Label List Pattern Plan Printf Schema String

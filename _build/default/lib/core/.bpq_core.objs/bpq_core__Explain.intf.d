@@ -1,0 +1,1 @@
+lib/core/explain.mli: Bpq_access Exec Plan Schema

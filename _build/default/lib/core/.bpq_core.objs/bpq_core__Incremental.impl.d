@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Actualized Bounded_eval Bpq_access Bpq_graph Bpq_pattern Digraph List Pattern Plan Schema

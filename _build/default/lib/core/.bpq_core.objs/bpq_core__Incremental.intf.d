@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Actualized Bpq_access Bpq_graph Bpq_pattern Digraph Pattern Schema

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Bpq_access Bpq_pattern Constr Cover Discovery Ebchk Hashtbl List Pattern

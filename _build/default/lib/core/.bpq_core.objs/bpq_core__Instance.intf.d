@@ -1,0 +1,1 @@
+lib/core/instance.mli: Actualized Bpq_access Bpq_graph Bpq_pattern Constr Digraph Label Pattern

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Actualized Array Bpq_access Bpq_graph Bpq_pattern Buffer Constr Label List Pattern Printf String

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Actualized Bpq_access Bpq_graph Bpq_pattern Constr Label Pattern

@@ -1,0 +1,1 @@
+lib/core/qplan.ml: Actualized Array Bpq_access Bpq_graph Bpq_pattern Constr Cover Fun List Option Pattern Plan Predicate Value

@@ -1,0 +1,1 @@
+lib/core/qplan.mli: Actualized Bpq_access Bpq_pattern Constr Pattern Plan

@@ -1,0 +1,53 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type semantics = Subgraph | Simulation
+
+type t = {
+  constr : Constr.t;
+  target : int;
+  vbar : int list;
+  groups : (Label.t * int list) list;
+}
+
+let eligible_neighbours semantics q u =
+  match semantics with
+  | Subgraph -> Pattern.neighbours q u
+  | Simulation -> List.sort_uniq compare (Pattern.children q u)
+
+let actualize semantics q (c : Constr.t) u =
+  let pool = eligible_neighbours semantics q u in
+  let groups =
+    List.map (fun s -> (s, List.filter (fun v -> Pattern.label q v = s) pool)) c.source
+  in
+  if List.exists (fun (_, members) -> members = []) groups then None
+  else
+    Some
+      { constr = c;
+        target = u;
+        vbar = List.sort_uniq compare (List.concat_map snd groups);
+        groups }
+
+let build semantics q constrs =
+  (* Fast path for fat schemas: a constraint can only actualize when its
+     target and every source label occur in the pattern. *)
+  let labels = Pattern.labels_used q in
+  let relevant (c : Constr.t) =
+    List.mem c.target labels && List.for_all (fun s -> List.mem s labels) c.source
+  in
+  List.concat_map
+    (fun (c : Constr.t) ->
+      if Constr.is_type1 c || not (relevant c) then []
+      else
+        List.filter_map
+          (fun u ->
+            if Pattern.label q u = c.target then actualize semantics q c u else None)
+          (List.init (Pattern.n_nodes q) Fun.id))
+    constrs
+
+let to_string q t =
+  Printf.sprintf "{%s} |-> (u%d, %d)"
+    (String.concat ", " (List.map (fun v -> Printf.sprintf "u%d" v) t.vbar))
+    t.target t.constr.bound
+  |> fun s -> s ^ " via " ^ Constr.to_string (Pattern.label_table q) t.constr

@@ -1,0 +1,40 @@
+(** Actualized constraints Γ of an access schema on a pattern (paper §III
+    and §VI).
+
+    For a constraint [S → (l, N)] and a pattern node [u] labeled [l], the
+    actualized constraint [V̄ᵤˢ ↦ (u, N)] records in [V̄ᵤˢ] the neighbours
+    of [u] whose label belongs to [S] — the pattern nodes whose candidate
+    matches can key the index when fetching candidates for [u].  It exists
+    only when every label of [S] is represented (condition (a) of the
+    paper's definition).
+
+    The two pattern semantics actualize differently:
+    - {e subgraph} queries take all neighbours of [u] (data locality lets a
+      match of [u] be retrieved from matches of any neighbour);
+    - {e simulation} queries take only the {e children} of [u] (§VI): the
+      non-localized semantics only bounds a node through its successors. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type semantics = Subgraph | Simulation
+
+type t = {
+  constr : Constr.t;
+  target : int;  (** The pattern node [u]. *)
+  vbar : int list;  (** [V̄ᵤˢ], sorted. *)
+  groups : (Label.t * int list) list;
+      (** [vbar] grouped by label, one entry per label of [S], in the label
+          order of [constr.source]. *)
+}
+
+val build : semantics -> Pattern.t -> Constr.t list -> t list
+(** All actualized constraints of the schema's non-type-(1) constraints on
+    the pattern. *)
+
+val eligible_neighbours : semantics -> Pattern.t -> int -> int list
+(** The neighbour pool that [V̄ᵤˢ] is drawn from: all neighbours for
+    {!Subgraph}, children for {!Simulation}. *)
+
+val to_string : Pattern.t -> t -> string

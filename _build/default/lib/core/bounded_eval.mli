@@ -1,0 +1,38 @@
+(** Bounded query evaluation — the paper's [bVF2] and [bSim].
+
+    Given an effectively bounded query and its plan, evaluation is:
+    execute the plan (bounded fetches building [G_Q]), then run the
+    conventional matcher on [G_Q] restricted to the fetched candidate sets.
+    Answers are reported in the original graph's node identifiers, and by
+    construction [Q(G_Q) = Q(G)] (validated extensively by the property
+    tests). *)
+
+open Bpq_util
+open Bpq_access
+open Bpq_pattern
+
+val plan_for : Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
+(** Convenience: {!Ebchk.check} + {!Qplan.generate} against the schema's
+    constraint list. *)
+
+(** {1 Subgraph queries (bVF2)} *)
+
+val bvf2_matches :
+  ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> int array list
+(** All isomorphism matches, each as a pattern-indexed array of original
+    node ids. *)
+
+val bvf2_count :
+  ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> int
+
+val bvf2_with_stats :
+  ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array list * Exec.stats
+
+(** {1 Simulation queries (bSim)} *)
+
+val bsim : ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array array
+(** The maximum match relation as per-pattern-node sorted arrays of
+    original node ids; all-empty when no simulation exists. *)
+
+val bsim_with_stats :
+  ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array array * Exec.stats

@@ -1,0 +1,100 @@
+open Bpq_pattern
+open Bpq_access
+
+type phi = {
+  actual : Actualized.t;
+  mutable missing : Bpq_graph.Label.t list;
+      (* ct[φ]: source labels with no covered representative in vbar yet *)
+}
+
+type t = {
+  pattern : Pattern.t;
+  covered : bool array;
+  phis : phi list;
+}
+
+let compute semantics q constrs =
+  let nq = Pattern.n_nodes q in
+  let covered = Array.make nq false in
+  let phis =
+    List.map
+      (fun (a : Actualized.t) -> { actual = a; missing = a.constr.source })
+      (Actualized.build semantics q constrs)
+  in
+  (* L[v]: the actualized constraints that v's coverage can advance. *)
+  let watchers = Array.make nq [] in
+  List.iter
+    (fun phi ->
+      List.iter (fun v -> watchers.(v) <- phi :: watchers.(v)) phi.actual.vbar)
+    phis;
+  let worklist = Queue.create () in
+  let cover u =
+    if not covered.(u) then begin
+      covered.(u) <- true;
+      Queue.add u worklist
+    end
+  in
+  (* Bound-0 constraints saturate unconditionally: whatever the witnesses
+     for the source side turn out to be, the target has zero candidate
+     matches — no coverage of the sources is needed to conclude that.
+     (Sound for both semantics: a match/simulation partner of the target
+     would be a common neighbour of a concrete S-labeled set, of which the
+     constraint allows none.) *)
+  List.iter
+    (fun phi ->
+      if phi.actual.constr.bound = 0 then begin
+        phi.missing <- [];
+        cover phi.actual.target
+      end)
+    phis;
+  (* Seed with type-(1)-covered labels (line 3 of EBChk). *)
+  let type1_labels =
+    List.filter_map
+      (fun (c : Constr.t) -> if Constr.is_type1 c then Some c.target else None)
+      constrs
+  in
+  for u = 0 to nq - 1 do
+    if List.mem (Pattern.label q u) type1_labels then cover u
+  done;
+  while not (Queue.is_empty worklist) do
+    let v = Queue.pop worklist in
+    let lv = Pattern.label q v in
+    List.iter
+      (fun phi ->
+        if List.mem lv phi.missing then begin
+          phi.missing <- List.filter (fun s -> s <> lv) phi.missing;
+          if phi.missing = [] then cover phi.actual.target
+        end)
+      watchers.(v)
+  done;
+  { pattern = q; covered; phis }
+
+let node_covered t u = t.covered.(u)
+
+let saturated t =
+  List.filter_map (fun phi -> if phi.missing = [] then Some phi.actual else None) t.phis
+
+(* (u1, u2) is covered when some saturated actualized constraint has one
+   endpoint as target and the other in its source side (and that other
+   endpoint is itself covered). *)
+let edge_covered t (u1, u2) =
+  let matches phi (target, other) =
+    phi.missing = []
+    && phi.actual.target = target
+    && t.covered.(other)
+    && List.mem other phi.actual.vbar
+  in
+  List.exists (fun phi -> matches phi (u2, u1) || matches phi (u1, u2)) t.phis
+
+let covered_nodes t =
+  List.filter (node_covered t) (List.init (Pattern.n_nodes t.pattern) Fun.id)
+
+let uncovered_nodes t =
+  List.filter (fun u -> not (node_covered t u)) (List.init (Pattern.n_nodes t.pattern) Fun.id)
+
+let uncovered_edges t =
+  List.filter (fun e -> not (edge_covered t e)) (Pattern.edges t.pattern)
+
+let all_nodes_covered t = Array.for_all Fun.id t.covered
+let all_edges_covered t = uncovered_edges t = []
+let total t = all_nodes_covered t && all_edges_covered t

@@ -1,0 +1,43 @@
+(** Node and edge covers — the characterisation of effective boundedness
+    (paper Theorems 1 and 7).
+
+    [VCov(Q, A)] is the least set of pattern nodes closed under:
+    (a) nodes whose label has a type-(1) constraint, and (b) targets of
+    actualized constraints whose source labels are all represented by
+    covered nodes in [V̄ᵤˢ].  An edge is covered when one endpoint can be
+    verified through an actualized constraint of the other whose source
+    side is fully covered.  The simulation covers [sVCov]/[sECov] are the
+    same computation over simulation-actualized constraints (children
+    only), which makes them subsets of their subgraph counterparts.
+
+    A query is effectively bounded iff both covers are total (Theorem 1 for
+    subgraph queries, Theorem 7 for simulation queries). *)
+
+open Bpq_pattern
+open Bpq_access
+
+type t
+
+val compute : Actualized.semantics -> Pattern.t -> Constr.t list -> t
+(** The worklist fixpoint of algorithm EBChk (paper Fig. 3), in
+    O(|A||E_Q| + ‖A‖|V_Q|²). *)
+
+val node_covered : t -> int -> bool
+val edge_covered : t -> int * int -> bool
+
+val covered_nodes : t -> int list
+(** Ascending. *)
+
+val uncovered_nodes : t -> int list
+val uncovered_edges : t -> (int * int) list
+
+val all_nodes_covered : t -> bool
+val all_edges_covered : t -> bool
+
+val total : t -> bool
+(** Both covers are total — the query is effectively bounded. *)
+
+val saturated : t -> Actualized.t list
+(** The actualized constraints whose source labels are fully covered
+    ([ct\[φ\] = ∅] in the paper's notation) — exactly those usable by plan
+    generation. *)

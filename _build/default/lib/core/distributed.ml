@@ -1,0 +1,54 @@
+open Bpq_access
+
+type stats = {
+  shards : int;
+  lookups_per_shard : int array;
+  items_per_shard : int array;
+  probes_per_shard : int array;
+}
+
+let balance s =
+  let total = Array.fold_left ( + ) 0 s.items_per_shard in
+  if total = 0 then Float.nan
+  else
+    let mean = float_of_int total /. float_of_int s.shards in
+    float_of_int (Array.fold_left max 0 s.items_per_shard) /. mean
+
+type t = { shards : int; schema : Schema.t }
+
+let create ~shards schema =
+  if shards <= 0 then invalid_arg "Distributed.create: shards must be positive";
+  { shards; schema }
+
+(* Index entries are owned by the shard hashing their (constraint, key)
+   pair; edge probes by the shard owning the source node.  Deterministic,
+   like consistent hashing with fixed placement. *)
+let shard_of_key t c key = Hashtbl.hash (c, key) mod t.shards
+let shard_of_node t v = v mod t.shards
+
+let run t plan =
+  let base = Exec.source_of_schema t.schema in
+  let lookups = Array.make t.shards 0
+  and items = Array.make t.shards 0
+  and probes = Array.make t.shards 0 in
+  let source =
+    { base with
+      Exec.lookup =
+        (fun c key ->
+          let shard = shard_of_key t c key in
+          lookups.(shard) <- lookups.(shard) + 1;
+          let hits = base.Exec.lookup c key in
+          items.(shard) <- items.(shard) + Array.length hits;
+          hits);
+      probe_edge =
+        (fun src dst ->
+          let shard = shard_of_node t src in
+          probes.(shard) <- probes.(shard) + 1;
+          base.Exec.probe_edge src dst) }
+  in
+  let result = Exec.run_with source plan in
+  ( result,
+    { shards = t.shards;
+      lookups_per_shard = lookups;
+      items_per_shard = items;
+      probes_per_shard = probes } )

@@ -1,0 +1,39 @@
+(** Distributed bounded evaluation (simulated).
+
+    The paper's related-work section notes that its methods "can be
+    readily adapted to distributed settings": a plan only interacts with
+    the data through index lookups and edge probes, each addressed by a
+    key — exactly the access pattern of a sharded key/value store.  This
+    module simulates that deployment: the schema's index entries are
+    hash-partitioned over [shards] workers, edge probes route to the
+    shard owning the source node, and the executor (unchanged —
+    {!Exec.run_with}) issues its accesses against the sharded store while
+    per-shard traffic is recorded.
+
+    Because every fetch is bounded by the access constraints, the total
+    traffic — and hence the load on any one shard — is independent of
+    [|G|], which is what makes the adaptation "ready". *)
+
+open Bpq_access
+
+type stats = {
+  shards : int;
+  lookups_per_shard : int array;  (** Index lookups served by each shard. *)
+  items_per_shard : int array;  (** Data items shipped by each shard. *)
+  probes_per_shard : int array;  (** Edge probes served by each shard. *)
+}
+
+val balance : stats -> float
+(** Max-over-mean of per-shard shipped items (1.0 = perfectly even);
+    [nan] when nothing was shipped. *)
+
+type t
+
+val create : shards:int -> Schema.t -> t
+(** Partition the schema's indexes and edge ownership over [shards]
+    simulated workers.  The underlying storage is shared in-process; only
+    the routing and accounting are simulated. *)
+
+val run : t -> Plan.t -> Exec.result * stats
+(** Execute a plan against the sharded store.  The {!Exec.result} is
+    identical to single-node execution (pinned by the test suite). *)

@@ -1,0 +1,30 @@
+open Bpq_pattern
+
+let check semantics q constrs = Cover.total (Cover.compute semantics q constrs)
+
+type diagnosis = {
+  bounded : bool;
+  uncovered_nodes : int list;
+  uncovered_edges : (int * int) list;
+}
+
+let diagnose semantics q constrs =
+  let cover = Cover.compute semantics q constrs in
+  let uncovered_nodes = Cover.uncovered_nodes cover in
+  let uncovered_edges = Cover.uncovered_edges cover in
+  { bounded = uncovered_nodes = [] && uncovered_edges = [];
+    uncovered_nodes;
+    uncovered_edges }
+
+let report q d =
+  if d.bounded then "effectively bounded"
+  else
+    let tbl = Pattern.label_table q in
+    let node u = Printf.sprintf "u%d:%s" u (Bpq_graph.Label.name tbl (Pattern.label q u)) in
+    let nodes = String.concat ", " (List.map node d.uncovered_nodes) in
+    let edges =
+      String.concat ", "
+        (List.map (fun (s, t) -> Printf.sprintf "(%s -> %s)" (node s) (node t)) d.uncovered_edges)
+    in
+    Printf.sprintf "not effectively bounded; uncovered nodes: [%s]; uncovered edges: [%s]"
+      nodes edges

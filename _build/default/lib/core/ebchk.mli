@@ -1,0 +1,27 @@
+(** Deciding effective boundedness — EBnd(Q, A) (paper §III.B for subgraph
+    queries, §VI.B for simulation queries).
+
+    The decision is the totality check of {!Cover}: the query is
+    effectively bounded under the schema iff every pattern node and every
+    pattern edge is covered (Theorems 1 and 7).  The whole check runs in
+    O(|A||E_Q| + ‖A‖|V_Q|²) — polynomial in the query and schema, never
+    touching a data graph (Theorems 2 and 8). *)
+
+open Bpq_pattern
+open Bpq_access
+
+val check : Actualized.semantics -> Pattern.t -> Constr.t list -> bool
+(** [check sem q a]: is [q] effectively bounded under [a]? *)
+
+type diagnosis = {
+  bounded : bool;
+  uncovered_nodes : int list;
+  uncovered_edges : (int * int) list;
+}
+
+val diagnose : Actualized.semantics -> Pattern.t -> Constr.t list -> diagnosis
+(** Like {!check} but reports which nodes/edges block boundedness — used by
+    the instance-boundedness extension search and the CLI. *)
+
+val report : Pattern.t -> diagnosis -> string
+(** Human-readable rendering of a diagnosis. *)

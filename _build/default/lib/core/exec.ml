@@ -1,0 +1,171 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type stats = {
+  fetch_lookups : int;
+  fetched : int;
+  edge_lookups : int;
+  edge_candidates : int;
+  edges_added : int;
+}
+
+let accessed s = s.fetched + s.edge_candidates
+
+type op_trace = {
+  op : [ `Fetch of int | `Edge of int * int ];
+  estimate : int;
+  realized : int;
+}
+
+type result = {
+  gq : Digraph.t;
+  from_gq : int array;
+  candidates_gq : int array array;
+  candidates_g : int array array;
+  stats : stats;
+  trace : op_trace list;
+}
+
+(* Enumerate the cartesian product of the anchors' candidate arrays,
+   yielding each tuple as a key list (one concrete node per source label). *)
+let iter_tuples (cmat : int array array) anchors yield =
+  let arrays = List.map (fun (_, u) -> cmat.(u)) anchors in
+  let rec go acc = function
+    | [] -> yield (List.rev acc)
+    | arr :: rest -> Array.iter (fun v -> go (v :: acc) rest) arr
+  in
+  if List.for_all (fun arr -> Array.length arr > 0) arrays then go [] arrays
+
+type source = {
+  lookup : Constr.t -> int list -> int array;
+  probe_edge : int -> int -> bool;
+  node_label : int -> Bpq_graph.Label.t;
+  node_value : int -> Value.t;
+  table : Bpq_graph.Label.table;
+}
+
+let source_of_schema schema =
+  let g = Schema.graph schema in
+  { lookup = (fun c key -> Index.lookup (Schema.index_of schema c) key);
+    probe_edge = Digraph.has_edge g;
+    node_label = Digraph.label g;
+    node_value = Digraph.value g;
+    table = Digraph.label_table g }
+
+let run_with (src : source) (plan : Plan.t) =
+  let q = plan.pattern in
+  let nq = Pattern.n_nodes q in
+  let cmat = Array.make nq [||] in
+  let fetched_yet = Array.make nq false in
+  let fetch_lookups = ref 0 and fetched = ref 0 in
+  let trace = ref [] in
+  List.iter
+    (fun (f : Plan.fetch) ->
+      let pred = Pattern.pred q f.unode in
+      let found = Hashtbl.create 64 in
+      let collect key =
+        incr fetch_lookups;
+        let hits = src.lookup f.constr key in
+        fetched := !fetched + Array.length hits;
+        Array.iter
+          (fun w ->
+            if Predicate.eval pred (src.node_value w) then Hashtbl.replace found w ())
+          hits
+      in
+      if f.anchors = [] then collect []
+      else iter_tuples cmat f.anchors collect;
+      let result =
+        if fetched_yet.(f.unode) then
+          (* Later fetches reduce the set: both are supersets of the true
+             matches, so the intersection still is. *)
+          Array.of_seq
+            (Seq.filter (Hashtbl.mem found) (Array.to_seq cmat.(f.unode)))
+        else
+          Array.of_seq (Seq.map fst (Hashtbl.to_seq found))
+      in
+      Array.sort compare result;
+      cmat.(f.unode) <- result;
+      fetched_yet.(f.unode) <- true;
+      trace := { op = `Fetch f.unode; estimate = f.est; realized = Array.length result } :: !trace)
+    plan.fetches;
+  (* Edge verification.  A node may be candidate for several pattern nodes;
+     G_Q has one node per distinct graph node. *)
+  let membership =
+    Array.map
+      (fun arr ->
+        let set = Hashtbl.create (max 16 (Array.length arr)) in
+        Array.iter (fun v -> Hashtbl.replace set v ()) arr;
+        set)
+      cmat
+  in
+  let edge_lookups = ref 0 and edge_candidates = ref 0 in
+  let gq_edges = Hashtbl.create 256 in
+  List.iter
+    (fun (ec : Plan.edge_check) ->
+      let u1, u2 = ec.edge in
+      let added_before = Hashtbl.length gq_edges in
+      let other = if ec.target_side = u1 then u2 else u1 in
+      let other_label = Pattern.label q other in
+      (* Position of [other]'s component within each tuple. *)
+      let other_slot =
+        let rec find i = function
+          | [] -> assert false
+          | (label, anchor) :: rest ->
+            if anchor = other && label = other_label then i else find (i + 1) rest
+        in
+        find 0 ec.anchors
+      in
+      iter_tuples cmat ec.anchors (fun key ->
+          incr edge_lookups;
+          let hits = src.lookup ec.via key in
+          let v_other = List.nth key other_slot in
+          Array.iter
+            (fun w ->
+              if Hashtbl.mem membership.(ec.target_side) w then begin
+                incr edge_candidates;
+                let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
+                if src.probe_edge e_src e_dst then Hashtbl.replace gq_edges (e_src, e_dst) ()
+              end)
+            hits);
+      trace :=
+        { op = `Edge ec.edge;
+          estimate = ec.est;
+          realized = Hashtbl.length gq_edges - added_before }
+        :: !trace)
+    plan.edge_checks;
+  (* Assemble G_Q. *)
+  let to_gq = Hashtbl.create 256 in
+  let order = ref [] and count = ref 0 in
+  Array.iter
+    (Array.iter (fun v ->
+         if not (Hashtbl.mem to_gq v) then begin
+           Hashtbl.replace to_gq v !count;
+           order := v :: !order;
+           incr count
+         end))
+    cmat;
+  let from_gq = Array.of_list (List.rev !order) in
+  let b = Digraph.Builder.create ~node_hint:!count src.table in
+  Array.iter
+    (fun v -> ignore (Digraph.Builder.add_node b (src.node_label v) (src.node_value v)))
+    from_gq;
+  Hashtbl.iter
+    (fun (e_src, e_dst) () ->
+      Digraph.Builder.add_edge b (Hashtbl.find to_gq e_src) (Hashtbl.find to_gq e_dst))
+    gq_edges;
+  let gq = Digraph.Builder.freeze b in
+  let candidates_gq = Array.map (Array.map (Hashtbl.find to_gq)) cmat in
+  { gq;
+    from_gq;
+    candidates_gq;
+    candidates_g = cmat;
+    stats =
+      { fetch_lookups = !fetch_lookups;
+        fetched = !fetched;
+        edge_lookups = !edge_lookups;
+        edge_candidates = !edge_candidates;
+        edges_added = Hashtbl.length gq_edges };
+    trace = List.rev !trace }
+
+let run schema plan = run_with (source_of_schema schema) plan

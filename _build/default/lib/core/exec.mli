@@ -1,0 +1,74 @@
+(** Plan execution: fetching the bounded subgraph [G_Q] (paper §IV,
+    "Building G_Q").
+
+    The executor runs a plan's fetch operations in order against the
+    schema's indexes, materialising candidate sets [cmat(u)]; repeated
+    fetches of the same pattern node intersect (each fetch yields a
+    superset of the true matches, so intersection is sound and at least as
+    tight as the paper's replace-by-last).  Edge directives then verify
+    candidate pairs per pattern edge: each index hit certifies adjacency in
+    [G], and a final O(1) probe fixes the direction.  Everything the
+    executor touches flows through index lookups whose result sizes are
+    bounded by the constraints — total work is bounded by the plan's static
+    estimates, independent of [|G|]. *)
+
+open Bpq_graph
+open Bpq_access
+
+type stats = {
+  fetch_lookups : int;  (** Index lookups performed by fetch operations. *)
+  fetched : int;  (** Total nodes returned by those lookups. *)
+  edge_lookups : int;  (** Index lookups performed by edge directives. *)
+  edge_candidates : int;  (** Candidate pairs examined (index hits). *)
+  edges_added : int;  (** Directed edges certified into [G_Q]. *)
+}
+
+val accessed : stats -> int
+(** Total data items accessed — the [|accessed_Q|] measure of the paper's
+    Fig. 5(d/h/l). *)
+
+type op_trace = {
+  op : [ `Fetch of int | `Edge of int * int ];
+      (** The pattern node fetched, or the pattern edge verified. *)
+  estimate : int;  (** The plan's static worst case for this operation. *)
+  realized : int;
+      (** What actually happened: resulting [|cmat|] for a fetch, directed
+          edges certified for a directive. *)
+}
+
+type result = {
+  gq : Digraph.t;  (** The bounded subgraph, with fresh dense node ids. *)
+  from_gq : int array;  (** [G_Q] node id → original node id. *)
+  candidates_gq : int array array;
+      (** Per pattern node, its candidate matches as [G_Q] ids. *)
+  candidates_g : int array array;  (** Same, as original ids. *)
+  stats : stats;
+  trace : op_trace list;
+      (** Per-operation estimate-vs-realized, in execution order — the raw
+          material of {!Explain}. *)
+}
+
+val run : Schema.t -> Plan.t -> result
+(** @raise Not_found if the plan references a constraint outside the
+    schema (plans must be executed under the schema they were generated
+    for). *)
+
+(** {1 Abstract data sources}
+
+    The executor only ever touches the data through index lookups, edge
+    probes and node attribute reads; {!run_with} makes that interface
+    explicit so alternative backends (e.g. the sharded store of
+    {!Distributed}) can serve the same plans. *)
+
+type source = {
+  lookup : Constr.t -> int list -> int array;
+      (** The index lookup of the named constraint. *)
+  probe_edge : int -> int -> bool;  (** Directed-edge membership. *)
+  node_label : int -> Bpq_graph.Label.t;
+  node_value : int -> Bpq_graph.Value.t;
+  table : Bpq_graph.Label.table;
+}
+
+val source_of_schema : Schema.t -> source
+
+val run_with : source -> Plan.t -> result

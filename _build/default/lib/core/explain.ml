@@ -1,0 +1,69 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+module Table = Bpq_util.Table
+
+let node_name q u = Printf.sprintf "u%d:%s" u (Label.name (Pattern.label_table q) (Pattern.label q u))
+
+let anchors_str anchors =
+  if anchors = [] then "-"
+  else String.concat "," (List.map (fun (_, v) -> Printf.sprintf "u%d" v) anchors)
+
+let describe (plan : Plan.t) =
+  let q = plan.pattern in
+  let tbl = Pattern.label_table q in
+  let table = Table.create [ "op"; "target"; "keyed by"; "via"; "worst case" ] in
+  List.iteri
+    (fun i (f : Plan.fetch) ->
+      Table.add_row table
+        [ Printf.sprintf "ft%d" (i + 1);
+          node_name q f.unode;
+          anchors_str f.anchors;
+          Constr.to_string tbl f.constr;
+          string_of_int f.est ])
+    plan.fetches;
+  List.iter
+    (fun (ec : Plan.edge_check) ->
+      let s, d = ec.edge in
+      Table.add_row table
+        [ "check";
+          Printf.sprintf "u%d->u%d" s d;
+          anchors_str ec.anchors;
+          Constr.to_string tbl ec.via;
+          string_of_int ec.est ])
+    plan.edge_checks;
+  Printf.sprintf "%s\ntotals: <=%d candidate nodes, <=%d candidate edges\n"
+    (Table.render table) (Plan.node_bound plan) (Plan.edge_bound plan)
+
+type analysis = { report : string; result : Exec.result }
+
+let analyze schema (plan : Plan.t) =
+  let result = Exec.run schema plan in
+  let q = plan.pattern in
+  let table = Table.create [ "op"; "worst case"; "realised"; "used" ] in
+  List.iter
+    (fun (tr : Exec.op_trace) ->
+      let label, realized_label =
+        match tr.op with
+        | `Fetch u -> (Printf.sprintf "fetch %s" (node_name q u), "candidates")
+        | `Edge (s, d) -> (Printf.sprintf "check u%d->u%d" s d, "edges")
+      in
+      Table.add_row table
+        [ label;
+          string_of_int tr.estimate;
+          string_of_int tr.realized;
+          Printf.sprintf "%.0f%% %s"
+            (if tr.estimate = 0 then 0.0
+             else 100.0 *. float_of_int tr.realized /. float_of_int tr.estimate)
+            realized_label ])
+    result.trace;
+  let g = Schema.graph schema in
+  let report =
+    Printf.sprintf
+      "%s\nG_Q: %d nodes, %d edges; accessed %d data items = %.4f%% of |G| (%d)\n"
+      (Table.render table) (Digraph.n_nodes result.gq) (Digraph.n_edges result.gq)
+      (Exec.accessed result.stats)
+      (100.0 *. float_of_int (Exec.accessed result.stats) /. float_of_int (Digraph.size g))
+      (Digraph.size g)
+  in
+  { report; result }

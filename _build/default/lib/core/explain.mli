@@ -1,0 +1,24 @@
+(** Human-readable plan reports: EXPLAIN and EXPLAIN-ANALYZE for bounded
+    query plans.
+
+    {!describe} renders the static plan — the fetch operations, the edge
+    directives, the covering constraints and the worst-case arithmetic (the
+    form of the paper's Example 1 walkthrough).  {!analyze} additionally
+    executes the plan against a schema and reports, per operation, the
+    realised cardinality next to its static bound, together with the total
+    data accessed relative to [|G|]. *)
+
+open Bpq_access
+
+val describe : Plan.t -> string
+(** Static report; never touches a graph. *)
+
+type analysis = {
+  report : string;  (** The rendered EXPLAIN-ANALYZE table. *)
+  result : Exec.result;  (** The execution behind it, for further use. *)
+}
+
+val analyze : Schema.t -> Plan.t -> analysis
+(** Executes the plan and renders estimate-vs-realised per operation.  The
+    realised numbers are always within the estimates (a property the test
+    suite pins down). *)

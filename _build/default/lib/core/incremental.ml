@@ -1,0 +1,65 @@
+open Bpq_graph
+open Bpq_access
+open Bpq_pattern
+
+type answer = Matches of int array list | Relation of int array array
+
+type t = {
+  semantics : Actualized.semantics;
+  schema : Schema.t;
+  plan : Plan.t;
+  answer : answer;
+  skipped : bool;
+}
+
+let evaluate semantics schema plan =
+  match semantics with
+  | Actualized.Subgraph -> Matches (Bounded_eval.bvf2_matches schema plan)
+  | Actualized.Simulation -> Relation (Bounded_eval.bsim schema plan)
+
+let create semantics schema q =
+  match Bounded_eval.plan_for semantics schema q with
+  | None -> None
+  | Some plan ->
+    Some
+      { semantics; schema; plan; answer = evaluate semantics schema plan; skipped = false }
+
+let answer t = t.answer
+let schema t = t.schema
+let last_update_skipped t = t.skipped
+
+(* A delta is irrelevant when no changed edge connects two pattern labels
+   and no added node carries a pattern label: matches and simulation pairs
+   only ever involve pattern-labeled nodes, and their witnessing edges run
+   between two of them. *)
+let irrelevant g q (delta : Digraph.delta) =
+  let labels = Pattern.labels_used q in
+  let uses l = List.mem l labels in
+  let edge_relevant (s, d) =
+    s < Digraph.n_nodes g && d < Digraph.n_nodes g
+    && uses (Digraph.label g s)
+    && uses (Digraph.label g d)
+  in
+  (* Edges touching fresh nodes are conservatively relevant when the fresh
+     node's label is used. *)
+  let fresh_relevant (s, d) =
+    let fresh v =
+      v >= Digraph.n_nodes g
+      &&
+      let l, _ = List.nth delta.added_nodes (v - Digraph.n_nodes g) in
+      uses l
+    in
+    fresh s || fresh d
+  in
+  List.for_all
+    (fun e -> not (edge_relevant e || fresh_relevant e))
+    (delta.added_edges @ delta.removed_edges)
+
+let update t delta =
+  if irrelevant (Schema.graph t.schema) t.plan.Plan.pattern delta then
+    let schema = Schema.apply_delta t.schema delta in
+    { t with schema; skipped = true }
+  else begin
+    let schema = Schema.apply_delta t.schema delta in
+    { t with schema; answer = evaluate t.semantics schema t.plan; skipped = false }
+  end

@@ -1,0 +1,36 @@
+(** Incremental bounded evaluation (the paper's §VIII future-work topic).
+
+    Maintains the answer of an effectively bounded query under graph
+    deltas.  On each update the access-schema indexes are repaired locally
+    ({!Bpq_access.Index.apply_delta}); the answer is then refreshed by
+    re-running the query plan — itself bounded, so the per-update matching
+    cost is independent of [|G|].  Deltas that cannot affect the answer
+    (no changed edge joins two labels used by the pattern, no changed node
+    carries such a label) skip the re-evaluation entirely. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_pattern
+
+type answer =
+  | Matches of int array list  (** Subgraph semantics. *)
+  | Relation of int array array  (** Simulation semantics. *)
+
+type t
+
+val create : Actualized.semantics -> Schema.t -> Pattern.t -> t option
+(** [None] when the query is not effectively bounded under the schema. *)
+
+val answer : t -> answer
+(** The current answer (in current-graph node identifiers). *)
+
+val schema : t -> Schema.t
+(** The current (updated) schema. *)
+
+val update : t -> Digraph.delta -> t
+(** Applies the delta; returns the refreshed state.  The input state
+    remains valid (indexes are copied before repair). *)
+
+val last_update_skipped : t -> bool
+(** True when the most recent {!update} proved the delta irrelevant and
+    reused the previous answer. *)

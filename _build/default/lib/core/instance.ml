@@ -1,0 +1,165 @@
+open Bpq_pattern
+open Bpq_access
+
+let restrict_labels labels constrs =
+  List.filter
+    (fun (c : Constr.t) ->
+      List.mem c.target labels && List.for_all (fun s -> List.mem s labels) c.source)
+    constrs
+
+(* Realised type-(1)/(2) cardinalities over the given labels, with no bound
+   cut-off; thresholding by M afterwards is then a pure filter.
+
+   Pairs with no adjacency at all (and labels with no nodes) yield
+   vacuously-satisfied bound-0 constraints.  These are what make
+   Proposition 5 unconditional: any query whose labels or label pairs are
+   absent from the graph is instance-bounded with an empty answer. *)
+let realised_stats g labels =
+  let observed =
+    restrict_labels labels
+      (Discovery.type1 ~max_bound:max_int g @ Discovery.degree_bounds ~max_bound:max_int g)
+  in
+  let have = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Constr.t) -> Hashtbl.replace have (c.source, c.target) ())
+    observed;
+  let zeros = ref [] in
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem have ([], l)) then
+        zeros := Constr.make ~source:[] ~target:l ~bound:0 :: !zeros;
+      List.iter
+        (fun l' ->
+          if not (Hashtbl.mem have ([ l ], l')) then
+            zeros := Constr.make ~source:[ l ] ~target:l' ~bound:0 :: !zeros)
+        labels)
+    labels;
+  observed @ !zeros
+
+let candidate_extensions g ~m ~labels =
+  List.filter (fun (c : Constr.t) -> c.bound <= m) (realised_stats g labels)
+
+let query_labels queries =
+  List.sort_uniq compare (List.concat_map Pattern.labels_used queries)
+
+let added_for stats m = List.filter (fun (c : Constr.t) -> c.bound <= m) stats
+
+let all_bounded semantics base added queries =
+  let constrs = base @ added in
+  List.for_all (fun q -> Ebchk.check semantics q constrs) queries
+
+let eechk semantics g base ~m queries =
+  let added = candidate_extensions g ~m ~labels:(query_labels queries) in
+  if all_bounded semantics base added queries then Some added else None
+
+(* Smallest threshold in [values] (sorted ascending) whose extension makes
+   [queries] bounded; monotone, so binary search applies. *)
+let search semantics base stats queries values =
+  let ok m = all_bounded semantics base (added_for stats m) queries in
+  let n = Array.length values in
+  if n = 0 || not (ok values.(n - 1)) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if ok values.(mid) then hi := mid else lo := mid + 1
+    done;
+    Some values.(!lo)
+  end
+
+let thresholds stats =
+  let values = List.sort_uniq compare (List.map (fun (c : Constr.t) -> c.bound) stats) in
+  Array.of_list values
+
+let min_m semantics g base queries =
+  let stats = realised_stats g (query_labels queries) in
+  search semantics base stats queries (thresholds stats)
+
+let min_m_profile semantics g base queries =
+  let stats = realised_stats g (query_labels queries) in
+  let values = thresholds stats in
+  let mins =
+    List.filter_map
+      (fun q ->
+        (* Constraints mentioning labels outside the query can never cover
+           any of its nodes or edges; filtering them up front makes each
+           EBChk run proportional to the query, not the schema. *)
+        let labels = query_labels [ q ] in
+        search semantics
+          (restrict_labels labels base)
+          (restrict_labels labels stats)
+          [ q ] values)
+      queries
+  in
+  let sorted = List.sort compare mins in
+  let n = List.length sorted in
+  if n = 0 then []
+  else
+    List.mapi (fun i m -> (float_of_int (i + 1) /. float_of_int n, m)) sorted
+
+let coverage_score semantics constrs q =
+  let cover = Cover.compute semantics q constrs in
+  List.length (Cover.covered_nodes cover)
+  + (Pattern.n_edges q - List.length (Cover.uncovered_edges cover))
+
+let exact_min_extension ?(max_size = 4) semantics g base ~m queries =
+  let pool = Array.of_list (candidate_extensions g ~m ~labels:(query_labels queries)) in
+  let n = Array.length pool in
+  let solves chosen = all_bounded semantics base chosen queries in
+  if solves [] then Some []
+  else begin
+    (* Enumerate subsets by increasing cardinality; the first hit is a
+       minimum. *)
+    let rec subsets k start acc =
+      if k = 0 then if solves acc then Some (List.rev acc) else None
+      else
+        let rec try_from i =
+          if i > n - k then None
+          else
+            match subsets (k - 1) (i + 1) (pool.(i) :: acc) with
+            | Some _ as hit -> hit
+            | None -> try_from (i + 1)
+        in
+        try_from start
+    in
+    let rec by_size k =
+      if k > max_size then None
+      else
+        match subsets k 0 [] with
+        | Some _ as hit -> hit
+        | None -> by_size (k + 1)
+    in
+    by_size 1
+  end
+
+let greedy_extension semantics g base ~m queries =
+  let candidates = candidate_extensions g ~m ~labels:(query_labels queries) in
+  let rec loop chosen pool =
+    let current = base @ chosen in
+    let unbounded = List.filter (fun q -> not (Ebchk.check semantics q current)) queries in
+    if unbounded = [] then Some (List.rev chosen)
+    else begin
+      let baseline =
+        List.fold_left (fun acc q -> acc + coverage_score semantics current q) 0 unbounded
+      in
+      let best =
+        List.fold_left
+          (fun best c ->
+            let gain =
+              List.fold_left
+                (fun acc q -> acc + coverage_score semantics (c :: current) q)
+                0 unbounded
+              - baseline
+            in
+            match best with
+            | Some (_, g0) when g0 >= gain -> best
+            | Some _ | None -> if gain > 0 then Some (c, gain) else best)
+          None pool
+      in
+      match best with
+      | None -> None
+      | Some (c, _) ->
+        loop (c :: chosen) (List.filter (fun c' -> not (Constr.equal c c')) pool)
+    end
+  in
+  loop [] candidates

@@ -1,0 +1,80 @@
+(** Instance boundedness — making unbounded queries answerable in a
+    particular graph (paper §V for subgraph queries, §VI.D for simulation).
+
+    When a query load [Q] is not effectively bounded under schema [A], one
+    looks for an M-bounded extension [A_M]: [A] plus type-(1)/(2)
+    constraints with bounds at most [M] that hold on the given graph [G].
+    Under [A_M] each query fetches a subgraph whose size is a function of
+    [A], [Q] and [M].
+
+    - {!eechk} is the paper's EEChk/sEEChk: build the {e maximum}
+      M-bounded extension in O(|G|) and test every query with EBChk — a
+      decision procedure for EEP(Q, A, M, G) (Theorems 6 and 10).
+    - {!min_m} finds the smallest such [M] by monotone search over the
+      cardinalities realised in [G] — the quantity plotted in Fig. 6.
+    - {!greedy_extension} approximates the minimum {e number} of added
+      constraints; the exact minimum is logAPX-hard (§V, Remark), so a
+      greedy set-cover pass is the practical choice. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+val candidate_extensions :
+  Digraph.t -> m:int -> labels:Label.t list -> Constr.t list
+(** All type-(1) and type-(2) constraints over [labels] whose realised
+    bound on the graph is at most [m] (with that realised bound).  This is
+    the maximum M-bounded extension's added part, computed in one pass over
+    the graph. *)
+
+val eechk :
+  Actualized.semantics ->
+  Digraph.t ->
+  Constr.t list ->
+  m:int ->
+  Pattern.t list ->
+  Constr.t list option
+(** [eechk sem g a ~m queries] decides EEP: [Some added] when the maximum
+    M-bounded extension [a @ added] makes every query effectively bounded
+    (i.e. the load is instance-bounded in [g]), [None] otherwise. *)
+
+val min_m :
+  Actualized.semantics -> Digraph.t -> Constr.t list -> Pattern.t list -> int option
+(** Smallest [M] for which {!eechk} succeeds, [None] if no finite [M]
+    works (some query stays uncovered even under the full extension). *)
+
+val min_m_profile :
+  Actualized.semantics ->
+  Digraph.t ->
+  Constr.t list ->
+  Pattern.t list ->
+  (float * int) list
+(** For Fig. 6: pairs [(fraction, m)] — the minimum [M] that makes at
+    least that fraction of the query load instance-bounded, for each
+    distinct per-query minimum.  Queries with no finite [M] are excluded
+    from the denominator (the paper reports up to 100%). *)
+
+val greedy_extension :
+  Actualized.semantics ->
+  Digraph.t ->
+  Constr.t list ->
+  m:int ->
+  Pattern.t list ->
+  Constr.t list option
+(** A small (not necessarily minimum) added-constraint set sufficient for
+    instance boundedness, built greedily by marginal coverage gain. *)
+
+val exact_min_extension :
+  ?max_size:int ->
+  Actualized.semantics ->
+  Digraph.t ->
+  Constr.t list ->
+  m:int ->
+  Pattern.t list ->
+  Constr.t list option
+(** The genuinely smallest added-constraint set, by exhaustive subset
+    search of increasing size up to [max_size] (default 4).  Finding the
+    minimum M-extension is logAPX-hard (paper §V, Remark), so this is a
+    small-instance validator for {!greedy_extension}, not a production
+    path; cost is O(pool^max_size) EBChk runs.  [None] when no subset
+    within [max_size] suffices. *)

@@ -1,0 +1,63 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type fetch = {
+  unode : int;
+  anchors : (Label.t * int) list;
+  constr : Constr.t;
+  est : int;
+}
+
+type edge_check = {
+  edge : int * int;
+  target_side : int;
+  via : Constr.t;
+  anchors : (Label.t * int) list;
+  est : int;
+}
+
+type t = {
+  semantics : Actualized.semantics;
+  pattern : Pattern.t;
+  fetches : fetch list;
+  edge_checks : edge_check list;
+  node_estimates : int array;
+}
+
+let sat_mul a b = if a > 0 && b > max_int / a then max_int else a * b
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let node_bound t = Array.fold_left sat_add 0 t.node_estimates
+let edge_bound t = List.fold_left (fun acc ec -> sat_add acc ec.est) 0 t.edge_checks
+
+let to_string t =
+  let tbl = Pattern.label_table t.pattern in
+  let buf = Buffer.create 256 in
+  let anchors_str anchors =
+    if anchors = [] then "nil"
+    else
+      "{"
+      ^ String.concat ", " (List.map (fun (_, v) -> Printf.sprintf "u%d" v) anchors)
+      ^ "}"
+  in
+  List.iteri
+    (fun i (f : fetch) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ft%d(u%d, %s, %s)  est<=%d\n" (i + 1) f.unode
+           (anchors_str f.anchors)
+           (Constr.to_string tbl f.constr)
+           f.est))
+    t.fetches;
+  List.iter
+    (fun (ec : edge_check) ->
+      let s, d = ec.edge in
+      Buffer.add_string buf
+        (Printf.sprintf "check(u%d -> u%d) via %s keyed by %s  est<=%d\n" s d
+           (Constr.to_string tbl ec.via)
+           (anchors_str ec.anchors) ec.est))
+    t.edge_checks;
+  Buffer.add_string buf
+    (Printf.sprintf "bounds: <=%d nodes, <=%d candidate edges\n" (node_bound t)
+       (edge_bound t));
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Query plans (paper §IV).
+
+    A plan is a sequence of node-fetching operations
+    [ft(u, V_S, φ, g_Q(u))] followed by edge-verification directives.  Each
+    fetch retrieves candidate matches [cmat(u)] for pattern node [u] from
+    the index of constraint [φ], keyed by previously fetched candidates of
+    the anchor pattern nodes; each edge directive verifies the candidate
+    pairs of one pattern edge through a covering constraint's index.  Every
+    operation carries its static worst-case cardinality, so the total
+    amount of data a plan can touch — and hence [|G_Q|] — is known before
+    execution, independent of any data graph. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type fetch = {
+  unode : int;  (** The pattern node whose candidates are fetched. *)
+  anchors : (Label.t * int) list;
+      (** Per source label of [constr], the anchor pattern node whose
+          candidates key the index; empty for type-(1) fetches. *)
+  constr : Constr.t;
+  est : int;  (** Worst-case [|cmat(unode)|] after this operation. *)
+}
+
+type edge_check = {
+  edge : int * int;  (** The pattern edge [(u1, u2)] being verified. *)
+  target_side : int;  (** The endpoint playing the constraint's target. *)
+  via : Constr.t;
+  anchors : (Label.t * int) list;
+      (** Per source label, the pattern node supplying concrete keys; the
+          non-target endpoint of [edge] always appears here. *)
+  est : int;  (** Worst-case number of candidate edges examined. *)
+}
+
+type t = {
+  semantics : Actualized.semantics;
+  pattern : Pattern.t;
+  fetches : fetch list;  (** Execution order; a node may be fetched more
+                             than once, later fetches reduce its set. *)
+  edge_checks : edge_check list;
+  node_estimates : int array;
+      (** Final worst-case [|cmat(u)|] per pattern node. *)
+}
+
+val node_bound : t -> int
+(** Worst-case number of nodes in [G_Q] (sum of final estimates,
+    saturating). *)
+
+val edge_bound : t -> int
+(** Worst-case number of candidate edges examined while building [G_Q]. *)
+
+val sat_mul : int -> int -> int
+(** Saturating multiplication on non-negative ints (estimates never wrap
+    around). *)
+
+val sat_add : int -> int -> int
+
+val to_string : t -> string
+(** Multi-line rendering: one line per operation with its estimate, plus
+    the totals — the shape of the worked plan in the paper's Example 1. *)

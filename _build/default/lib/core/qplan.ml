@@ -1,0 +1,185 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+(* Distinct integer values admitted by a conjunction of comparison atoms;
+   [None] when the atoms leave the range open. *)
+let predicate_value_cap (p : Predicate.t) =
+  let lo = ref None and hi = ref None and has_eq = ref false in
+  let tighten_lo v = lo := Some (match !lo with None -> v | Some x -> max x v) in
+  let tighten_hi v = hi := Some (match !hi with None -> v | Some x -> min x v) in
+  List.iter
+    (fun (a : Predicate.atom) ->
+      match (a.op, a.const) with
+      | Value.Eq, _ -> has_eq := true
+      | Value.Ge, Value.Int c -> tighten_lo c
+      | Value.Gt, Value.Int c -> tighten_lo (c + 1)
+      | Value.Le, Value.Int c -> tighten_hi c
+      | Value.Lt, Value.Int c -> tighten_hi (c - 1)
+      | (Value.Ge | Value.Gt | Value.Le | Value.Lt), (Value.Null | Value.Str _) -> ())
+    p;
+  if !has_eq then Some 1
+  else
+    match (!lo, !hi) with
+    | Some l, Some h -> Some (max 0 (h - l + 1))
+    | (Some _ | None), _ -> None
+
+(* Pick, per source label of a saturated actualized constraint, the
+   fetchable anchor with the smallest current estimate.  The bound is a
+   product over distinct labels, so per-label minimisation yields the
+   global minimum over S-labeled anchor sets. *)
+let best_anchors sn size (phi : Actualized.t) =
+  let pick (label, members) =
+    let usable = List.filter (fun v -> sn.(v)) members in
+    match usable with
+    | [] -> None
+    | first :: rest ->
+      let best =
+        List.fold_left (fun b v -> if size.(v) < size.(b) then v else b) first rest
+      in
+      Some (label, best)
+  in
+  let rec all = function
+    | [] -> Some []
+    | g :: rest ->
+      (match pick g with
+       | None -> None
+       | Some a -> Option.map (fun acc -> a :: acc) (all rest))
+  in
+  all phi.groups
+
+let cost bound anchors size =
+  List.fold_left (fun acc (_, v) -> Plan.sat_mul acc size.(v)) bound anchors
+
+let generate ?(assume_distinct_values = false) semantics q constrs =
+  let cover = Cover.compute semantics q constrs in
+  if not (Cover.total cover) then None
+  else begin
+    let nq = Pattern.n_nodes q in
+    let saturated = Cover.saturated cover in
+    let size = Array.make nq max_int in
+    let sn = Array.make nq false in
+    let fetches = ref [] in
+    (* Seed from the tightest type-(1) constraint per label (lines 2-6). *)
+    for u = 0 to nq - 1 do
+      let tightest =
+        List.fold_left
+          (fun best (c : Constr.t) ->
+            if Constr.is_type1 c && c.target = Pattern.label q u then
+              match best with
+              | Some (b : Constr.t) when b.bound <= c.bound -> best
+              | Some _ | None -> Some c
+            else best)
+          None constrs
+      in
+      match tightest with
+      | None -> ()
+      | Some c ->
+        let est =
+          match
+            if assume_distinct_values then predicate_value_cap (Pattern.pred q u)
+            else None
+          with
+          | Some cap -> min c.bound cap
+          | None -> c.bound
+        in
+        fetches := { Plan.unode = u; anchors = []; constr = c; est } :: !fetches;
+        sn.(u) <- true;
+        size.(u) <- est
+    done;
+    (* Iteratively reduce candidate estimates (lines 7-9). *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to nq - 1 do
+        let best =
+          List.fold_left
+            (fun best (phi : Actualized.t) ->
+              if phi.target <> u then best
+              else if phi.constr.bound = 0 then
+                (* Unconditionally empty: no anchors needed (see Cover). *)
+                Some (phi, [], 0)
+              else
+                match best_anchors sn size phi with
+                | None -> best
+                | Some anchors ->
+                  let c = cost phi.constr.bound anchors size in
+                  (match best with
+                   | Some (_, _, cb) when cb <= c -> best
+                   | Some _ | None -> Some (phi, anchors, c)))
+            None saturated
+        in
+        match best with
+        | Some (phi, anchors, c) when c < size.(u) ->
+          fetches :=
+            { Plan.unode = u; anchors; constr = phi.constr; est = c } :: !fetches;
+          size.(u) <- c;
+          sn.(u) <- true;
+          changed := true
+        | Some _ | None -> ()
+      done
+    done;
+    if not (Array.for_all Fun.id sn) then None
+    else begin
+      (* Edge-verification directives: cheapest saturated constraint whose
+         target is one endpoint and whose source side contains the other. *)
+      let directive (u1, u2) =
+        let consider (phi : Actualized.t) target other =
+          if phi.target <> target || not (List.mem other phi.vbar) then None
+          else begin
+            let anchors =
+              List.map
+                (fun (label, members) ->
+                  if label = Pattern.label q other then (label, other)
+                  else
+                    match List.filter (fun v -> sn.(v)) members with
+                    | [] -> assert false (* saturated: every label has a
+                                            covered, hence fetchable, member *)
+                    | first :: rest ->
+                      ( label,
+                        List.fold_left
+                          (fun b v -> if size.(v) < size.(b) then v else b)
+                          first rest ))
+                phi.groups
+            in
+            Some
+              { Plan.edge = (u1, u2);
+                target_side = target;
+                via = phi.constr;
+                anchors;
+                est = cost phi.constr.bound anchors size }
+          end
+        in
+        let better a b =
+          match (a, b) with
+          | Some (x : Plan.edge_check), Some y -> if x.est <= y.est then a else b
+          | (Some _ as s), None | None, s -> s
+        in
+        List.fold_left
+          (fun best phi ->
+            better best (better (consider phi u2 u1) (consider phi u1 u2)))
+          None saturated
+      in
+      let rec directives acc = function
+        | [] -> Some (List.rev acc)
+        | e :: rest ->
+          (match directive e with
+           | None -> None
+           | Some d -> directives (d :: acc) rest)
+      in
+      match directives [] (Pattern.edges q) with
+      | None -> None
+      | Some edge_checks ->
+        Some
+          { Plan.semantics;
+            pattern = q;
+            fetches = List.rev !fetches;
+            edge_checks;
+            node_estimates = size }
+    end
+  end
+
+let generate_exn ?assume_distinct_values semantics q constrs =
+  match generate ?assume_distinct_values semantics q constrs with
+  | Some plan -> plan
+  | None -> invalid_arg "Qplan.generate_exn: query is not effectively bounded"

@@ -1,0 +1,50 @@
+(** Generating worst-case-optimal query plans — algorithm QPlan (paper
+    §IV, Fig. 4) and its simulation variant sQPlan (§VI.C).
+
+    Starting from the type-(1) constraints, the generator repeatedly picks
+    for each pattern node the saturated actualized constraint whose anchor
+    set minimises the worst-case candidate count [N · Π size(anchor)],
+    appending a fetch operation whenever the estimate strictly improves.
+    The loop reaches the fixpoint in O(|V_Q||E_Q||A|) (Theorems 4 and 9),
+    and the resulting plan is worst-case optimal: no effectively bounded
+    plan has a smaller worst-case [|G_Q|] over all graphs satisfying the
+    schema (exercised against exhaustive plan search in the test suite).
+
+    Edge-verification directives are chosen the same way: per pattern
+    edge, the cheapest saturated constraint anchored at the opposite
+    endpoint. *)
+
+open Bpq_pattern
+open Bpq_access
+
+val generate :
+  ?assume_distinct_values:bool ->
+  Actualized.semantics ->
+  Pattern.t ->
+  Constr.t list ->
+  Plan.t option
+(** [None] when the query is not effectively bounded under the schema
+    (equivalently, when {!Ebchk.check} refuses).
+
+    [assume_distinct_values] (default [false]) additionally caps the
+    estimate of a type-(1) fetch by the number of distinct integer values
+    its node predicate admits — e.g. [year >= 2011 & year <= 2013] caps
+    the year fetch at 3.  This reproduces the paper's Example 1/6
+    arithmetic (17791 nodes, 35136 edge candidates for Q0 under A0) and is
+    sound exactly when nodes of that label carry pairwise distinct
+    attribute values, as calendar years do.  It never changes {e what} is
+    fetched, only the reported worst-case bounds and tie-breaking between
+    plans. *)
+
+val generate_exn :
+  ?assume_distinct_values:bool ->
+  Actualized.semantics ->
+  Pattern.t ->
+  Constr.t list ->
+  Plan.t
+(** @raise Invalid_argument when not effectively bounded. *)
+
+val predicate_value_cap : Bpq_pattern.Predicate.t -> int option
+(** Number of distinct integer values satisfying the conjunction, when the
+    atoms pin a finite range ([None] otherwise, or when the range is
+    contradictory on non-integers).  Exposed for tests. *)

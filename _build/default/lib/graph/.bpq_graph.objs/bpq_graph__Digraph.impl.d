@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Bpq_util Hashtbl Label List Value

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Bpq_util Digraph Fun Label List Printf Value

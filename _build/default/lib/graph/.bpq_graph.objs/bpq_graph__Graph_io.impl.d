@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Digraph Fun Label Printf Scanf String Value

@@ -1,0 +1,1 @@
+lib/graph/gstats.ml: Array Buffer Digraph Hashtbl Label List Option Printf

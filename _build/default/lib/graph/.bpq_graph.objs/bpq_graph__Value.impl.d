@@ -1,0 +1,1 @@
+lib/graph/value.ml: Stdlib String

@@ -1,0 +1,209 @@
+module Vec = Bpq_util.Vec
+
+type t = {
+  table : Label.table;
+  labels : int array;
+  values : Value.t array;
+  out_off : int array;
+  out_adj : int array;
+  in_off : int array;
+  in_adj : int array;
+  by_label_off : int array;
+  by_label : int array;
+  edge_set : (int, unit) Hashtbl.t;
+  n_edges : int;
+}
+
+module Builder = struct
+  type t = {
+    table : Label.table;
+    labels : Vec.t;
+    mutable values : Value.t array;
+    srcs : Vec.t;
+    dsts : Vec.t;
+  }
+
+  let create ?(node_hint = 64) table =
+    { table;
+      labels = Vec.create ~capacity:node_hint ();
+      values = Array.make (max node_hint 1) Value.Null;
+      srcs = Vec.create ();
+      dsts = Vec.create () }
+
+  let n_nodes b = Vec.length b.labels
+
+  let add_node b lbl v =
+    let id = Vec.length b.labels in
+    Vec.push b.labels lbl;
+    if id = Array.length b.values then begin
+      let values = Array.make (2 * id) Value.Null in
+      Array.blit b.values 0 values 0 id;
+      b.values <- values
+    end;
+    b.values.(id) <- v;
+    id
+
+  let add_edge b src dst =
+    let n = n_nodes b in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      invalid_arg "Digraph.Builder.add_edge: unknown endpoint";
+    Vec.push b.srcs src;
+    Vec.push b.dsts dst
+
+  (* Counting sort of [keys] into CSR offsets over [n] buckets. *)
+  let csr n keys payloads =
+    let m = Array.length keys in
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to m - 1 do
+      off.(keys.(i) + 1) <- off.(keys.(i) + 1) + 1
+    done;
+    for i = 1 to n do
+      off.(i) <- off.(i) + off.(i - 1)
+    done;
+    let adj = Array.make m 0 in
+    let cursor = Array.copy off in
+    for i = 0 to m - 1 do
+      let k = keys.(i) in
+      adj.(cursor.(k)) <- payloads.(i);
+      cursor.(k) <- cursor.(k) + 1
+    done;
+    (off, adj)
+
+  let freeze b =
+    let n = n_nodes b in
+    let labels = Vec.to_array b.labels in
+    let values = Array.sub b.values 0 n in
+    (* Deduplicate edges via the membership table. *)
+    let raw = Vec.length b.srcs in
+    let edge_set = Hashtbl.create (max 16 raw) in
+    let srcs = Vec.create ~capacity:raw () and dsts = Vec.create ~capacity:raw () in
+    for i = 0 to raw - 1 do
+      let s = Vec.get b.srcs i and d = Vec.get b.dsts i in
+      let key = (s * n) + d in
+      if not (Hashtbl.mem edge_set key) then begin
+        Hashtbl.replace edge_set key ();
+        Vec.push srcs s;
+        Vec.push dsts d
+      end
+    done;
+    let src_arr = Vec.to_array srcs and dst_arr = Vec.to_array dsts in
+    let out_off, out_adj = csr n src_arr dst_arr in
+    let in_off, in_adj = csr n dst_arr src_arr in
+    let nlabels = Label.count b.table in
+    let ids = Array.init n (fun i -> i) in
+    let by_label_off, by_label = csr nlabels labels ids in
+    { table = b.table;
+      labels;
+      values;
+      out_off;
+      out_adj;
+      in_off;
+      in_adj;
+      by_label_off;
+      by_label;
+      edge_set;
+      n_edges = Array.length src_arr }
+end
+
+let label_table g = g.table
+let n_nodes g = Array.length g.labels
+let n_edges g = g.n_edges
+let size g = n_nodes g + n_edges g
+
+let label g v = g.labels.(v)
+let value g v = g.values.(v)
+
+let out_degree g v = g.out_off.(v + 1) - g.out_off.(v)
+let in_degree g v = g.in_off.(v + 1) - g.in_off.(v)
+let degree g v = out_degree g v + in_degree g v
+
+let iter_range adj off_lo off_hi f =
+  for i = off_lo to off_hi - 1 do
+    f adj.(i)
+  done
+
+let iter_out g v f = iter_range g.out_adj g.out_off.(v) g.out_off.(v + 1) f
+let iter_in g v f = iter_range g.in_adj g.in_off.(v) g.in_off.(v + 1) f
+
+let fold_out g v f init =
+  let acc = ref init in
+  iter_out g v (fun w -> acc := f !acc w);
+  !acc
+
+let fold_in g v f init =
+  let acc = ref init in
+  iter_in g v (fun w -> acc := f !acc w);
+  !acc
+
+let out_neighbours g v = Array.sub g.out_adj g.out_off.(v) (out_degree g v)
+let in_neighbours g v = Array.sub g.in_adj g.in_off.(v) (in_degree g v)
+
+let neighbours g v =
+  let vec = Vec.create ~capacity:(degree g v + 1) () in
+  iter_out g v (fun w -> Vec.push vec w);
+  iter_in g v (fun w -> Vec.push vec w);
+  Vec.sort_uniq vec;
+  Vec.to_array vec
+
+let has_edge g src dst = Hashtbl.mem g.edge_set ((src * n_nodes g) + dst)
+let adjacent g u v = has_edge g u v || has_edge g v u
+
+let iter_neighbours g v f =
+  (* Out-neighbours first, then in-neighbours not already out-neighbours. *)
+  iter_out g v (fun w -> f w);
+  iter_in g v (fun w -> if not (has_edge g v w) then f w)
+
+let nodes_with_label g l =
+  if l < 0 || l + 1 >= Array.length g.by_label_off then [||]
+  else Array.sub g.by_label g.by_label_off.(l) (g.by_label_off.(l + 1) - g.by_label_off.(l))
+
+let iter_label g l f =
+  if l >= 0 && l + 1 < Array.length g.by_label_off then
+    iter_range g.by_label g.by_label_off.(l) g.by_label_off.(l + 1) f
+
+let count_label g l =
+  if l < 0 || l + 1 >= Array.length g.by_label_off then 0
+  else g.by_label_off.(l + 1) - g.by_label_off.(l)
+
+let iter_nodes g f =
+  for v = 0 to n_nodes g - 1 do
+    f v
+  done
+
+let iter_edges g f = iter_nodes g (fun v -> iter_out g v (fun w -> f v w))
+
+type delta = {
+  added_nodes : (Label.t * Value.t) list;
+  added_edges : (int * int) list;
+  removed_edges : (int * int) list;
+}
+
+let empty_delta = { added_nodes = []; added_edges = []; removed_edges = [] }
+
+let apply_delta g d =
+  let removed = Hashtbl.create 16 in
+  List.iter (fun (s, t) -> Hashtbl.replace removed ((s * n_nodes g) + t) ()) d.removed_edges;
+  let b = Builder.create ~node_hint:(n_nodes g + List.length d.added_nodes) g.table in
+  iter_nodes g (fun v -> ignore (Builder.add_node b g.labels.(v) g.values.(v)));
+  List.iter (fun (l, v) -> ignore (Builder.add_node b l v)) d.added_nodes;
+  iter_edges g (fun s t ->
+      if not (Hashtbl.mem removed ((s * n_nodes g) + t)) then Builder.add_edge b s t);
+  List.iter (fun (s, t) -> Builder.add_edge b s t) d.added_edges;
+  Builder.freeze b
+
+let delta_touched g d =
+  let seen = Hashtbl.create 64 in
+  let mark v = if v < n_nodes g then Hashtbl.replace seen v () in
+  let mark_with_nbrs v =
+    if v < n_nodes g then begin
+      mark v;
+      iter_neighbours g v mark
+    end
+  in
+  let mark_edge (s, t) =
+    mark_with_nbrs s;
+    mark_with_nbrs t
+  in
+  List.iter mark_edge d.added_edges;
+  List.iter mark_edge d.removed_edges;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen []

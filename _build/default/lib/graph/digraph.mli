@@ -1,0 +1,109 @@
+(** Node-labeled directed data graphs [G = (V, E, f, ν)].
+
+    Graphs are constructed through a mutable {!Builder} and then frozen into
+    an immutable compressed-sparse-row representation with:
+    - forward and reverse adjacency (both directions are needed because the
+      paper's notion of neighbour is direction-agnostic);
+    - nodes grouped by label (the retrieval side of type-(1) access
+      constraints, and candidate enumeration in the matchers);
+    - an O(1) directed-edge membership structure (the probe side of edge
+      verification in query plans).
+
+    Node identifiers are dense integers [0 .. n_nodes - 1] in insertion
+    order.  Parallel edges are collapsed at freeze time. *)
+
+type t
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?node_hint:int -> Label.table -> t
+  val add_node : t -> Label.t -> Value.t -> int
+  (** Returns the new node's identifier. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** [add_edge b src dst] records the directed edge [(src, dst)]; both
+      endpoints must already exist. *)
+
+  val n_nodes : t -> int
+  val freeze : t -> graph
+end
+
+(** {1 Structure access} *)
+
+val label_table : t -> Label.table
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val size : t -> int
+(** [|G| = |V| + |E|], the size measure used throughout the paper. *)
+
+val label : t -> int -> Label.t
+val value : t -> int -> Value.t
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val degree : t -> int -> int
+(** [out_degree + in_degree] (an upper bound on the number of distinct
+    neighbours). *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+val iter_in : t -> int -> (int -> unit) -> unit
+
+val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val fold_in : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val out_neighbours : t -> int -> int array
+(** Fresh array; prefer the iterators in hot paths. *)
+
+val in_neighbours : t -> int -> int array
+
+val neighbours : t -> int -> int array
+(** Distinct neighbours in either direction, sorted ascending (fresh
+    array). *)
+
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+(** Visits each distinct neighbour exactly once. *)
+
+val has_edge : t -> int -> int -> bool
+(** O(1) directed-edge membership. *)
+
+val adjacent : t -> int -> int -> bool
+(** [has_edge u v || has_edge v u]. *)
+
+(** {1 Labels} *)
+
+val nodes_with_label : t -> Label.t -> int array
+(** Fresh array of all nodes carrying the label (empty for labels interned
+    after freezing). *)
+
+val iter_label : t -> Label.t -> (int -> unit) -> unit
+val count_label : t -> Label.t -> int
+
+(** {1 Whole-graph iteration} *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+(** {1 Updates} *)
+
+type delta = {
+  added_nodes : (Label.t * Value.t) list;
+      (** Appended in order; they receive the next free identifiers. *)
+  added_edges : (int * int) list;
+  removed_edges : (int * int) list;
+}
+
+val empty_delta : delta
+
+val apply_delta : t -> delta -> t
+(** Functional update (rebuilds the frozen indexes; the point of the paper's
+    incremental maintenance is that the {e access-schema} indexes need only
+    local repair, see {!Bpq_access.Index.apply_delta}). *)
+
+val delta_touched : t -> delta -> int list
+(** ΔG ∪ Nb_G(ΔG): endpoints of changed edges plus their neighbours in the
+    pre-update graph — the locality set the paper says suffices for index
+    maintenance. *)

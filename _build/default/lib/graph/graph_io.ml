@@ -1,0 +1,63 @@
+let output oc g =
+  let tbl = Digraph.label_table g in
+  Printf.fprintf oc "# bpq graph: %d nodes, %d edges\n" (Digraph.n_nodes g)
+    (Digraph.n_edges g);
+  Digraph.iter_nodes g (fun v ->
+      let lbl = Label.name tbl (Digraph.label g v) in
+      match Digraph.value g v with
+      | Value.Null -> Printf.fprintf oc "n %s\n" lbl
+      | Value.Int i -> Printf.fprintf oc "n %s %d\n" lbl i
+      | Value.Str s -> Printf.fprintf oc "n %s %S\n" lbl s);
+  Digraph.iter_edges g (fun s t -> Printf.fprintf oc "e %d %d\n" s t)
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc g)
+
+let parse_value line_no raw =
+  let raw = String.trim raw in
+  if raw = "" then Value.Null
+  else if String.length raw >= 2 && raw.[0] = '"' then
+    try Scanf.sscanf raw "%S" (fun s -> Value.Str s)
+    with Scanf.Scan_failure _ | Failure _ ->
+      failwith (Printf.sprintf "line %d: malformed string literal" line_no)
+  else
+    match int_of_string_opt raw with
+    | Some i -> Value.Int i
+    | None -> failwith (Printf.sprintf "line %d: malformed value %S" line_no raw)
+
+let split_first_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse tbl ic =
+  let b = Digraph.Builder.create tbl in
+  let line_no = ref 0 in
+  (try
+     while true do
+       incr line_no;
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         let kind, rest = split_first_word line in
+         match kind with
+         | "n" ->
+           let lbl, value_part = split_first_word (String.trim rest) in
+           if lbl = "" then
+             failwith (Printf.sprintf "line %d: node without label" !line_no);
+           ignore
+             (Digraph.Builder.add_node b (Label.intern tbl lbl)
+                (parse_value !line_no value_part))
+         | "e" ->
+           (try Scanf.sscanf rest " %d %d" (fun s t -> Digraph.Builder.add_edge b s t)
+            with Scanf.Scan_failure _ | Failure _ | Invalid_argument _ ->
+              failwith (Printf.sprintf "line %d: malformed edge %S" !line_no rest))
+         | _ -> failwith (Printf.sprintf "line %d: unknown declaration %S" !line_no kind)
+       end
+     done
+   with End_of_file -> ());
+  Digraph.Builder.freeze b
+
+let load tbl path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse tbl ic)

@@ -1,0 +1,20 @@
+(** Plain-text (de)serialisation of data graphs.
+
+    Line-oriented format, one declaration per line:
+    {v
+    # comment
+    n <label> [<int> | "<string>"]     -- node, ids assigned 0,1,2,...
+    e <src> <dst>                      -- directed edge
+    v}
+    Nodes must precede the edges that use them.  The format is meant for the
+    CLI and the examples, not for bulk storage. *)
+
+val save : Digraph.t -> string -> unit
+(** [save g path] writes [g] to [path]. *)
+
+val load : Label.table -> string -> Digraph.t
+(** [load tbl path] parses [path], interning labels into [tbl].
+    @raise Failure with a line-numbered message on malformed input. *)
+
+val output : out_channel -> Digraph.t -> unit
+val parse : Label.table -> in_channel -> Digraph.t

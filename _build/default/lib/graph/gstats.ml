@@ -1,0 +1,77 @@
+type label_stat = {
+  label : Label.t;
+  count : int;
+  max_degree : int;
+  avg_degree : float;
+}
+
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_labels : int;
+  max_out_degree : int;
+  max_in_degree : int;
+  avg_degree : float;
+  isolated : int;
+  by_label : label_stat list;
+}
+
+let compute g =
+  let n = Digraph.n_nodes g in
+  let tbl = Digraph.label_table g in
+  let max_out = ref 0 and max_in = ref 0 and isolated = ref 0 in
+  let nlabels = Label.count tbl in
+  let label_max = Array.make nlabels 0 in
+  let label_deg_sum = Array.make nlabels 0 in
+  Digraph.iter_nodes g (fun v ->
+      let dout = Digraph.out_degree g v and din = Digraph.in_degree g v in
+      max_out := max !max_out dout;
+      max_in := max !max_in din;
+      if dout + din = 0 then incr isolated;
+      let l = Digraph.label g v in
+      label_max.(l) <- max label_max.(l) (dout + din);
+      label_deg_sum.(l) <- label_deg_sum.(l) + dout + din);
+  let by_label =
+    List.filter_map
+      (fun l ->
+        let count = Digraph.count_label g l in
+        if count = 0 then None
+        else
+          Some
+            { label = l;
+              count;
+              max_degree = label_max.(l);
+              avg_degree = float_of_int label_deg_sum.(l) /. float_of_int count })
+      (Label.all tbl)
+    |> List.sort (fun a b -> compare (b.count, b.label) (a.count, a.label))
+  in
+  { n_nodes = n;
+    n_edges = Digraph.n_edges g;
+    n_labels = List.length by_label;
+    max_out_degree = !max_out;
+    max_in_degree = !max_in;
+    avg_degree =
+      (if n = 0 then 0.0 else 2.0 *. float_of_int (Digraph.n_edges g) /. float_of_int n);
+    isolated = !isolated;
+    by_label }
+
+let degree_histogram g =
+  let counts = Hashtbl.create 64 in
+  Digraph.iter_nodes g (fun v ->
+      let d = Digraph.degree g v in
+      Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)));
+  List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts [])
+
+let to_string ?(top = 10) tbl t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "nodes: %d, edges: %d, labels: %d\n" t.n_nodes t.n_edges t.n_labels;
+  Printf.bprintf buf "degree: avg %.2f, max out %d, max in %d; isolated nodes: %d\n"
+    t.avg_degree t.max_out_degree t.max_in_degree t.isolated;
+  Printf.bprintf buf "top labels:\n";
+  List.iteri
+    (fun i s ->
+      if i < top then
+        Printf.bprintf buf "  %-20s %8d nodes, max degree %d, avg %.2f\n"
+          (Label.name tbl s.label) s.count s.max_degree s.avg_degree)
+    t.by_label;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Descriptive statistics of a data graph.
+
+    Used by the CLI's [stats] subcommand and as a quick sanity check on
+    generated datasets; constraint discovery consumes the same quantities
+    (label cardinalities, per-label-pair degree maxima). *)
+
+type label_stat = {
+  label : Label.t;
+  count : int;
+  max_degree : int;  (** Max total degree over the label's nodes. *)
+  avg_degree : float;
+}
+
+type t = {
+  n_nodes : int;
+  n_edges : int;
+  n_labels : int;  (** Labels with at least one node. *)
+  max_out_degree : int;
+  max_in_degree : int;
+  avg_degree : float;
+  isolated : int;  (** Nodes with no edges at all. *)
+  by_label : label_stat list;  (** Descending by count. *)
+}
+
+val compute : Digraph.t -> t
+
+val degree_histogram : Digraph.t -> (int * int) list
+(** [(degree, node count)] pairs, ascending by degree, over total degree. *)
+
+val to_string : ?top:int -> Label.table -> t -> string
+(** Render a summary with the [top] (default 10) most populous labels. *)

@@ -1,0 +1,37 @@
+type t = Null | Int of int | Str of string
+type op = Eq | Lt | Gt | Le | Ge
+
+let class_rank = function Null -> 0 | Int _ -> 1 | Str _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> String.compare x y
+  | _ -> Stdlib.compare (class_rank a) (class_rank b)
+
+let equal a b = compare a b = 0
+
+let test op v c =
+  match (op, v, c) with
+  | Eq, _, _ -> equal v c
+  | Lt, Int x, Int y -> x < y
+  | Gt, Int x, Int y -> x > y
+  | Le, Int x, Int y -> x <= y
+  | Ge, Int x, Int y -> x >= y
+  | (Lt | Gt | Le | Ge), _, _ -> false
+
+let to_string = function
+  | Null -> "null"
+  | Int i -> string_of_int i
+  | Str s -> "\"" ^ s ^ "\""
+
+let op_to_string = function Eq -> "=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+
+let op_of_string = function
+  | "=" -> Some Eq
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | _ -> None

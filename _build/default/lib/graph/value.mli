@@ -1,0 +1,27 @@
+(** Attribute values carried by graph nodes.
+
+    In the paper each node [v] carries ν(v), the value of its label
+    attribute (e.g. [year = 2011]); pattern predicates compare that value
+    against constants with [=, <, >, ≤, ≥].  We support integer and string
+    attributes; ordering comparisons are meaningful for integers, equality
+    for both.  [Null] marks nodes whose label has no attribute. *)
+
+type t = Null | Int of int | Str of string
+
+type op = Eq | Lt | Gt | Le | Ge
+
+val compare : t -> t -> int
+(** Total order: [Null < Int _ < Str _], integers and strings ordered
+    naturally within their class. *)
+
+val equal : t -> t -> bool
+
+val test : op -> t -> t -> bool
+(** [test op v c] evaluates [v op c].  Ordering operators on incomparable
+    classes (or on [Null]) evaluate to [false], so a predicate on a missing
+    attribute simply fails to match — no exceptions during matching. *)
+
+val to_string : t -> string
+
+val op_to_string : op -> string
+val op_of_string : string -> op option

@@ -1,0 +1,1 @@
+lib/matcher/gsim.ml: Array Bpq_graph Bpq_pattern Bpq_util Digraph Hashtbl List Pattern Predicate Seq Timer Vec

@@ -1,0 +1,1 @@
+lib/matcher/naive.ml: Array Bpq_graph Bpq_pattern Digraph Gsim List Pattern Predicate

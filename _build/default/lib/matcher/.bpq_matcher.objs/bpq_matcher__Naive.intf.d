@@ -1,0 +1,1 @@
+lib/matcher/naive.mli: Bpq_graph Bpq_pattern Digraph Pattern

@@ -1,0 +1,1 @@
+lib/matcher/opt_match.ml: Array Bpq_access Bpq_graph Bpq_pattern Constr Digraph Gsim Hashtbl Index Label List Pattern Predicate Schema Seq Vf2

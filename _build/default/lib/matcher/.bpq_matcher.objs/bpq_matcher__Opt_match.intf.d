@@ -1,0 +1,1 @@
+lib/matcher/opt_match.mli: Bpq_access Bpq_pattern Bpq_util Pattern Schema Timer

@@ -1,0 +1,1 @@
+lib/matcher/vf2.ml: Array Bpq_graph Bpq_pattern Bpq_util Digraph Hashtbl List Option Pattern Predicate Timer

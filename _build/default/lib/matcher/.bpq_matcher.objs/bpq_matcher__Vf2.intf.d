@@ -1,0 +1,1 @@
+lib/matcher/vf2.mli: Bpq_graph Bpq_pattern Bpq_util Digraph Pattern Timer

@@ -1,0 +1,115 @@
+open Bpq_util
+open Bpq_graph
+open Bpq_pattern
+
+let initial_members ?candidates g q u yield =
+  let ok v =
+    Digraph.label g v = Pattern.label q u
+    && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
+  in
+  match candidates with
+  | Some c -> Array.iter (fun v -> if ok v then yield v) c.(u)
+  | None -> Digraph.iter_label g (Pattern.label q u) (fun v -> if ok v then yield v)
+
+let collect sim_mem =
+  let nq = Array.length sim_mem in
+  let result =
+    Array.init nq (fun u ->
+        let vec = Vec.create () in
+        Array.iteri (fun v m -> if m then Vec.push vec v) sim_mem.(u);
+        Vec.to_array vec)
+  in
+  if Array.exists (fun arr -> Array.length arr = 0) result && nq > 0 then
+    Array.make nq [||]
+  else result
+
+let run ?(deadline = Timer.no_deadline) ?candidates g q =
+  let nq = Pattern.n_nodes q in
+  if nq = 0 then [||]
+  else begin
+    let n = Digraph.n_nodes g in
+    let sim_mem = Array.init nq (fun _ -> Array.make n false) in
+    for u = 0 to nq - 1 do
+      initial_members ?candidates g q u (fun v -> sim_mem.(u).(v) <- true)
+    done;
+    let edges = Array.of_list (Pattern.edges q) in
+    let ne = Array.length edges in
+    (* counter.(e).(v): successors of [v] simulating the head of pattern
+       edge [e], maintained for every [v] simulating its tail. *)
+    let counter = Array.init ne (fun _ -> Array.make n 0) in
+    let pending = Vec.create () in
+    let push u v = Vec.push pending ((u * n) + v) in
+    for e = 0 to ne - 1 do
+      let u, u' = edges.(e) in
+      for v = 0 to n - 1 do
+        if sim_mem.(u).(v) then begin
+          let c = Digraph.fold_out g v (fun acc v' -> if sim_mem.(u').(v') then acc + 1 else acc) 0 in
+          counter.(e).(v) <- c;
+          if c = 0 then push u v
+        end
+      done
+    done;
+    (* Pattern edges grouped by head node, for cascade propagation. *)
+    let edges_into = Array.make nq [] in
+    Array.iteri (fun e (_, u') -> edges_into.(u') <- e :: edges_into.(u')) edges;
+    while not (Vec.is_empty pending) do
+      if Timer.expired deadline then raise Timer.Timeout;
+      let code = Vec.pop pending in
+      let u = code / n and v = code mod n in
+      if sim_mem.(u).(v) then begin
+        sim_mem.(u).(v) <- false;
+        List.iter
+          (fun e ->
+            let u'', _ = edges.(e) in
+            Digraph.iter_in g v (fun v'' ->
+                if sim_mem.(u'').(v'') then begin
+                  counter.(e).(v'') <- counter.(e).(v'') - 1;
+                  if counter.(e).(v'') = 0 then push u'' v''
+                end))
+          edges_into.(u)
+      end
+    done;
+    collect sim_mem
+  end
+
+let naive ?candidates g q =
+  let nq = Pattern.n_nodes q in
+  if nq = 0 then [||]
+  else begin
+    let sims = Array.init nq (fun _ -> Hashtbl.create 64) in
+    for u = 0 to nq - 1 do
+      initial_members ?candidates g q u (fun v -> Hashtbl.replace sims.(u) v ())
+    done;
+    let violates u v =
+      List.exists
+        (fun u' ->
+          not (Digraph.fold_out g v (fun acc v' -> acc || Hashtbl.mem sims.(u') v') false))
+        (Pattern.children q u)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to nq - 1 do
+        let doomed =
+          Hashtbl.fold (fun v () acc -> if violates u v then v :: acc else acc) sims.(u) []
+        in
+        if doomed <> [] then begin
+          changed := true;
+          List.iter (fun v -> Hashtbl.remove sims.(u) v) doomed
+        end
+      done
+    done;
+    let result =
+      Array.map
+        (fun sim ->
+          let arr = Array.of_seq (Seq.map fst (Hashtbl.to_seq sim)) in
+          Array.sort compare arr;
+          arr)
+        sims
+    in
+    if Array.exists (fun arr -> Array.length arr = 0) result then Array.make nq [||]
+    else result
+  end
+
+let is_empty sim = Array.for_all (fun arr -> Array.length arr = 0) sim
+let relation_size sim = Array.fold_left (fun acc arr -> acc + Array.length arr) 0 sim

@@ -1,0 +1,40 @@
+(** Graph simulation (the paper's non-localized pattern semantics).
+
+    A match relation [R ⊆ V_Q × V] requires that (a) related nodes agree on
+    label and satisfy the pattern predicate and (b) every pattern edge
+    [(u, u')] is simulated forward: if [(u, v) ∈ R] then some successor
+    [v'] of [v] has [(u', v') ∈ R].  There is a unique maximum such
+    relation (Henzinger, Henzinger & Kopke, FOCS 1995); the query answer
+    [Q(G)] is that relation, and it is empty as soon as some pattern node
+    has no partner.
+
+    {!run} is the counter-based fixpoint in
+    O((|V_Q| + |E_Q|) · (|V| + |E|)) — the complexity the paper quotes for
+    [gsim].  {!naive} is the obvious quadratic fixpoint, kept as a test
+    oracle. *)
+
+open Bpq_util
+open Bpq_graph
+open Bpq_pattern
+
+val run :
+  ?deadline:Timer.deadline ->
+  ?candidates:int array array ->
+  Digraph.t ->
+  Pattern.t ->
+  int array array
+(** [run g q] returns [sim] with [sim.(u)] the sorted array of graph nodes
+    simulating pattern node [u].  If any pattern node ends up with no
+    partner, every entry is [[||]] (the maximum match relation is empty).
+    [candidates.(u)], when given, restricts the initial partners of [u]. *)
+
+val naive :
+  ?candidates:int array array -> Digraph.t -> Pattern.t -> int array array
+(** Reference implementation: repeatedly delete violating pairs until the
+    fixpoint; same result as {!run}. *)
+
+val is_empty : int array array -> bool
+(** True iff the relation has no pairs. *)
+
+val relation_size : int array array -> int
+(** Total number of (pattern node, graph node) pairs. *)

@@ -1,0 +1,34 @@
+open Bpq_graph
+open Bpq_pattern
+
+let iso_matches g q =
+  let nq = Pattern.n_nodes q and n = Digraph.n_nodes g in
+  let mapping = Array.make nq (-1) in
+  let results = ref [] in
+  let ok_node u v =
+    Digraph.label g v = Pattern.label q u
+    && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
+  in
+  let ok_edges () =
+    List.for_all (fun (s, t) -> Digraph.has_edge g mapping.(s) mapping.(t)) (Pattern.edges q)
+  in
+  let injective u v =
+    let rec go i = i >= u || (mapping.(i) <> v && go (i + 1)) in
+    go 0
+  in
+  let rec assign u =
+    if u = nq then begin
+      if ok_edges () then results := Array.copy mapping :: !results
+    end
+    else
+      for v = 0 to n - 1 do
+        if ok_node u v && injective u v then begin
+          mapping.(u) <- v;
+          assign (u + 1);
+          mapping.(u) <- -1
+        end
+      done
+  in
+  if nq = 0 then [ [||] ] else (assign 0; !results)
+
+let sim g q = Gsim.naive g q

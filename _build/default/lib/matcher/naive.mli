@@ -1,0 +1,15 @@
+(** Exhaustive reference matchers — test oracles only.
+
+    These enumerate the full assignment space without pruning and are
+    intended for graphs of at most a dozen nodes; the property-based tests
+    use them to validate {!Vf2} and the plan-based evaluators. *)
+
+open Bpq_graph
+open Bpq_pattern
+
+val iso_matches : Digraph.t -> Pattern.t -> int array list
+(** Every injective label/predicate/edge-respecting mapping, by brute-force
+    enumeration of all node tuples. *)
+
+val sim : Digraph.t -> Pattern.t -> int array array
+(** Alias of {!Gsim.naive} (no candidate restriction). *)

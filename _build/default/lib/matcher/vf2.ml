@@ -1,0 +1,138 @@
+open Bpq_util
+open Bpq_graph
+open Bpq_pattern
+
+exception Stop
+
+let compute_order q base_count =
+  let nq = Pattern.n_nodes q in
+  let order = Array.make nq 0 in
+  let selected = Array.make nq false in
+  let matched_neighbours u =
+    List.length (List.filter (fun u' -> selected.(u')) (Pattern.neighbours q u))
+  in
+  for i = 0 to nq - 1 do
+    let best = ref (-1) in
+    let better u =
+      (* Prefer nodes attached to the matched prefix (more constrained),
+         then smaller candidate universes (or higher pattern degree in
+         blind mode, where [base_count] is constant). *)
+      match !best with
+      | -1 -> true
+      | b ->
+        let ku = matched_neighbours u and kb = matched_neighbours b in
+        ku > kb || (ku = kb && base_count u < base_count b)
+    in
+    for u = 0 to nq - 1 do
+      if (not selected.(u)) && better u then best := u
+    done;
+    order.(i) <- !best;
+    selected.(!best) <- true
+  done;
+  order
+
+let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g q yield =
+  let nq = Pattern.n_nodes q in
+  if nq = 0 then yield [||]
+  else begin
+    let cand_sets =
+      Option.map
+        (Array.map (fun arr ->
+             let set = Hashtbl.create (max 16 (Array.length arr)) in
+             Array.iter (fun v -> Hashtbl.replace set v ()) arr;
+             set))
+        candidates
+    in
+    let base_count u =
+      if blind then Pattern.n_nodes q - Pattern.out_degree q u - Pattern.in_degree q u
+      else
+        match candidates with
+        | Some c -> Array.length c.(u)
+        | None -> Digraph.count_label g (Pattern.label q u)
+    in
+    let order = compute_order q base_count in
+    let mapping = Array.make nq (-1) in
+    let used = Hashtbl.create 64 in
+    let node_ok u v =
+      Digraph.label g v = Pattern.label q u
+      && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
+      && Digraph.out_degree g v >= Pattern.out_degree q u
+      && Digraph.in_degree g v >= Pattern.in_degree q u
+      && (match cand_sets with None -> true | Some cs -> Hashtbl.mem cs.(u) v)
+    in
+    let consistent u v =
+      List.for_all
+        (fun u' -> mapping.(u') < 0 || Digraph.has_edge g v mapping.(u'))
+        (Pattern.children q u)
+      && List.for_all
+           (fun u' -> mapping.(u') < 0 || Digraph.has_edge g mapping.(u') v)
+           (Pattern.parents q u)
+    in
+    let try_assign u v k =
+      if Timer.expired deadline then raise Timer.Timeout;
+      if (not (Hashtbl.mem used v)) && node_ok u v && consistent u v then begin
+        mapping.(u) <- v;
+        Hashtbl.replace used v ();
+        k ();
+        Hashtbl.remove used v;
+        mapping.(u) <- -1
+      end
+    in
+    (* Candidates for [u] come from the adjacency of an already-matched
+       pattern neighbour when one exists (the cheapest such anchor), else
+       from the label universe / supplied candidate array. *)
+    let enumerate u k =
+      let anchor =
+        List.fold_left
+          (fun best u' ->
+            if mapping.(u') < 0 then best
+            else
+              let d = Digraph.degree g mapping.(u') in
+              match best with
+              | Some (_, db) when db <= d -> best
+              | Some _ | None -> Some (u', d))
+          None (Pattern.neighbours q u)
+      in
+      match anchor with
+      | Some (u', _) ->
+        let v' = mapping.(u') in
+        if Pattern.has_edge q u' u then Digraph.iter_out g v' (fun v -> try_assign u v k)
+        else Digraph.iter_in g v' (fun v -> try_assign u v k)
+      | None ->
+        (match candidates with
+         | Some c -> Array.iter (fun v -> try_assign u v k) c.(u)
+         | None ->
+           if blind then Digraph.iter_nodes g (fun v -> try_assign u v k)
+           else Digraph.iter_label g (Pattern.label q u) (fun v -> try_assign u v k))
+    in
+    let rec step i () = if i = nq then yield mapping else enumerate order.(i) (step (i + 1)) in
+    step 0 ()
+  end
+
+let count_matches ?deadline ?blind ?candidates ?limit g q =
+  let count = ref 0 in
+  (try
+     iter_matches ?deadline ?blind ?candidates g q (fun _ ->
+         incr count;
+         match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
+   with Stop -> ());
+  !count
+
+let find_first ?deadline ?blind ?candidates g q =
+  let result = ref None in
+  (try
+     iter_matches ?deadline ?blind ?candidates g q (fun m ->
+         result := Some (Array.copy m);
+         raise Stop)
+   with Stop -> ());
+  !result
+
+let matches ?deadline ?blind ?candidates ?limit g q =
+  let acc = ref [] and count = ref 0 in
+  (try
+     iter_matches ?deadline ?blind ?candidates g q (fun m ->
+         acc := Array.copy m :: !acc;
+         incr count;
+         match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
+   with Stop -> ());
+  !acc

@@ -1,0 +1,1 @@
+lib/pattern/edge_labeled.ml: Array Bpq_graph Digraph Label List Pattern Predicate Value

@@ -1,0 +1,1 @@
+lib/pattern/edge_labeled.mli: Bpq_graph Digraph Label Pattern Predicate Value

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Bpq_graph Buffer Fun Label List Predicate Printf

@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Bpq_graph Label Predicate

@@ -1,0 +1,1 @@
+lib/pattern/pattern_parser.ml: Array Bpq_graph Buffer Fun Hashtbl Label List Pattern Predicate Printf Scanf String Value

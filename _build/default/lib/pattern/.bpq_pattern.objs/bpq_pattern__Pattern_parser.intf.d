@@ -1,0 +1,1 @@
+lib/pattern/pattern_parser.mli: Bpq_graph Label Pattern

@@ -1,0 +1,1 @@
+lib/pattern/predicate.ml: Bpq_graph List String Value

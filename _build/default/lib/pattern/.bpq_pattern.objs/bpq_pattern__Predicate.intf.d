@@ -1,0 +1,1 @@
+lib/pattern/predicate.mli: Bpq_graph Value

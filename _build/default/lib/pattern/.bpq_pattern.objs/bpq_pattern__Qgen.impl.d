@@ -1,0 +1,1 @@
+lib/pattern/qgen.ml: Array Bpq_graph Bpq_util Digraph Fun Hashtbl Label List Option Pattern Predicate Prng Seq Value

@@ -1,0 +1,1 @@
+lib/pattern/qgen.mli: Bpq_graph Bpq_util Digraph Pattern Prng

@@ -1,0 +1,1 @@
+lib/pattern/template.ml: Array Bpq_graph Label List Pattern Predicate Printf Value

@@ -1,0 +1,1 @@
+lib/pattern/template.mli: Bpq_graph Label Pattern Value

@@ -1,0 +1,87 @@
+open Bpq_graph
+
+type t = {
+  table : Label.table;
+  labels : Label.t array;
+  preds : Predicate.t array;
+  edge_list : (int * int) list;
+  succ : int list array;
+  prede : int list array;
+  nbrs : int list array;
+}
+
+let create table nodes edge_pairs =
+  let n = Array.length nodes in
+  let check v = if v < 0 || v >= n then invalid_arg "Pattern.create: bad endpoint" in
+  List.iter
+    (fun (s, t) ->
+      check s;
+      check t)
+    edge_pairs;
+  let edge_list = List.sort_uniq compare edge_pairs in
+  let succ = Array.make n [] and prede = Array.make n [] in
+  List.iter
+    (fun (s, t) ->
+      succ.(s) <- t :: succ.(s);
+      prede.(t) <- s :: prede.(t))
+    edge_list;
+  let nbrs =
+    Array.init n (fun v -> List.sort_uniq compare (succ.(v) @ prede.(v)))
+  in
+  { table;
+    labels = Array.map fst nodes;
+    preds = Array.map snd nodes;
+    edge_list;
+    succ;
+    prede;
+    nbrs }
+
+let label_table q = q.table
+let n_nodes q = Array.length q.labels
+let n_edges q = List.length q.edge_list
+let size q = n_nodes q + n_edges q
+let label q u = q.labels.(u)
+let pred q u = q.preds.(u)
+let edges q = q.edge_list
+let has_edge q s t = List.mem t q.succ.(s)
+let children q u = q.succ.(u)
+let parents q u = q.prede.(u)
+let neighbours q u = q.nbrs.(u)
+let out_degree q u = List.length q.succ.(u)
+let in_degree q u = List.length q.prede.(u)
+
+let pred_count q = Array.fold_left (fun acc p -> acc + Predicate.arity p) 0 q.preds
+
+let is_connected q =
+  let n = n_nodes q in
+  if n <= 1 then true
+  else begin
+    let seen = Array.make n false in
+    let rec dfs u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter dfs q.nbrs.(u)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let labels_used q =
+  List.sort_uniq compare (Array.to_list q.labels)
+
+let to_string q =
+  let buf = Buffer.create 128 in
+  Array.iteri
+    (fun u l ->
+      Buffer.add_string buf
+        (Printf.sprintf "u%d: %s" u (Label.name q.table l));
+      (match q.preds.(u) with
+       | [] -> ()
+       | p -> Buffer.add_string buf (" [" ^ Predicate.to_string p ^ "]"));
+      Buffer.add_char buf '\n')
+    q.labels;
+  List.iter
+    (fun (s, t) -> Buffer.add_string buf (Printf.sprintf "u%d -> u%d\n" s t))
+    q.edge_list;
+  Buffer.contents buf

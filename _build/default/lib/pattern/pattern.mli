@@ -1,0 +1,55 @@
+(** Pattern queries [Q = (V_Q, E_Q, f_Q, g_Q)].
+
+    A pattern is a small directed graph whose nodes carry a label and a
+    {!Predicate.t}.  Pattern-node identifiers are dense integers
+    [0 .. n_nodes - 1].  Patterns share the {!Bpq_graph.Label.table} of the
+    data graphs they are asked against. *)
+
+open Bpq_graph
+
+type t
+
+val create :
+  Label.table -> (Label.t * Predicate.t) array -> (int * int) list -> t
+(** [create tbl nodes edges] builds the pattern; duplicate edges are
+    collapsed.  @raise Invalid_argument on out-of-range endpoints. *)
+
+val label_table : t -> Label.table
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val size : t -> int
+(** [|Q| = |V_Q| + |E_Q|]. *)
+
+val label : t -> int -> Label.t
+val pred : t -> int -> Predicate.t
+
+val edges : t -> (int * int) list
+(** All directed edges, each exactly once. *)
+
+val has_edge : t -> int -> int -> bool
+
+val children : t -> int -> int list
+(** Successors: [u'] with edge [(u, u')]. *)
+
+val parents : t -> int -> int list
+(** Predecessors: [u'] with edge [(u', u)]. *)
+
+val neighbours : t -> int -> int list
+(** Distinct neighbours in either direction. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val pred_count : t -> int
+(** Total number of predicate atoms (the workload parameter [#p]). *)
+
+val is_connected : t -> bool
+(** Weak connectivity (edge direction ignored); vacuously true for the
+    empty pattern and singletons. *)
+
+val labels_used : t -> Label.t list
+(** Distinct labels, ascending. *)
+
+val to_string : t -> string
+(** Multi-line rendering for logs and error messages. *)

@@ -1,0 +1,94 @@
+open Bpq_graph
+
+let fail line_no fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "line %d: %s" line_no m)) fmt
+
+let parse_atom line_no token =
+  let ops = [ ("<=", Value.Le); (">=", Value.Ge); ("=", Value.Eq); ("<", Value.Lt); (">", Value.Gt) ] in
+  let matching (sym, _) =
+    String.length token > String.length sym
+    && String.sub token 0 (String.length sym) = sym
+  in
+  match List.find_opt matching ops with
+  | None -> fail line_no "malformed predicate atom %S" token
+  | Some (sym, op) ->
+    let raw = String.sub token (String.length sym) (String.length token - String.length sym) in
+    let const =
+      if String.length raw >= 2 && raw.[0] = '"' then
+        try Scanf.sscanf raw "%S" (fun s -> Value.Str s)
+        with Scanf.Scan_failure _ | Failure _ -> fail line_no "malformed string in %S" token
+      else
+        match int_of_string_opt raw with
+        | Some i -> Value.Int i
+        | None -> fail line_no "malformed constant in %S" token
+    in
+    { Predicate.op; const }
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_lines tbl lines =
+  let names = Hashtbl.create 16 in
+  let nodes = ref [] and n_nodes = ref 0 in
+  let edges = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line_no = i + 1 in
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then
+        match tokens line with
+        | "n" :: name :: lbl :: atoms ->
+          if Hashtbl.mem names name then fail line_no "duplicate node %S" name;
+          Hashtbl.replace names name !n_nodes;
+          incr n_nodes;
+          let pred = List.map (parse_atom line_no) atoms in
+          nodes := (Label.intern tbl lbl, pred) :: !nodes
+        | "n" :: _ -> fail line_no "node needs a name and a label"
+        | [ "e"; src; dst ] ->
+          let resolve n =
+            match Hashtbl.find_opt names n with
+            | Some id -> id
+            | None -> fail line_no "unknown node %S" n
+          in
+          edges := (resolve src, resolve dst) :: !edges
+        | "e" :: _ -> fail line_no "edge needs exactly two endpoints"
+        | kind :: _ -> fail line_no "unknown declaration %S" kind
+        | [] -> ())
+    lines;
+  Pattern.create tbl (Array.of_list (List.rev !nodes)) (List.rev !edges)
+
+let parse_string tbl s = parse_lines tbl (String.split_on_char '\n' s)
+
+let load tbl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines tbl (List.rev !lines))
+
+let atom_to_source (a : Predicate.atom) =
+  let const =
+    match a.const with
+    | Value.Null -> "0" (* unrepresentable; Null constants never arise from parsing *)
+    | Value.Int i -> string_of_int i
+    | Value.Str s -> Printf.sprintf "%S" s
+  in
+  Value.op_to_string a.op ^ const
+
+let to_source q =
+  let tbl = Pattern.label_table q in
+  let buf = Buffer.create 128 in
+  for u = 0 to Pattern.n_nodes q - 1 do
+    Buffer.add_string buf (Printf.sprintf "n u%d %s" u (Label.name tbl (Pattern.label q u)));
+    List.iter (fun a -> Buffer.add_string buf (" " ^ atom_to_source a)) (Pattern.pred q u);
+    Buffer.add_char buf '\n'
+  done;
+  List.iter
+    (fun (s, t) -> Buffer.add_string buf (Printf.sprintf "e u%d u%d\n" s t))
+    (Pattern.edges q);
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Textual syntax for pattern queries.
+
+    Line-oriented, mirroring the graph format of {!Bpq_graph.Graph_io}:
+    {v
+    # pairs of co-stars from the same country (the paper's Q0)
+    n a  award
+    n y  year >=2011 <=2013
+    n m  movie
+    e m a
+    e m y
+    v}
+    - [n <name> <label> <atom>...] declares a node; each atom is an operator
+      immediately followed by a constant ([>=2011], [="france"]).
+    - [e <src> <dst>] declares a directed edge between declared names. *)
+
+open Bpq_graph
+
+val parse_string : Label.table -> string -> Pattern.t
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val load : Label.table -> string -> Pattern.t
+(** Parse the file at the given path. *)
+
+val to_source : Pattern.t -> string
+(** Renders a pattern back into parseable syntax (node names [u0], [u1],
+    ...); [parse_string] of the result reproduces the pattern. *)

@@ -1,0 +1,16 @@
+open Bpq_graph
+
+type atom = { op : Value.op; const : Value.t }
+type t = atom list
+
+let true_ = []
+let atom op const = [ { op; const } ]
+let conj a b = a @ b
+let eval p v = List.for_all (fun a -> Value.test a.op v a.const) p
+let arity = List.length
+
+let atom_to_string a = Value.op_to_string a.op ^ " " ^ Value.to_string a.const
+let to_string p = String.concat " & " (List.map atom_to_string p)
+
+let norm p = List.sort compare p
+let equal a b = norm a = norm b

@@ -1,0 +1,29 @@
+(** Node predicates of pattern queries.
+
+    The paper attaches to each pattern node [u] a predicate [g_Q(u)]: a
+    conjunction of atomic comparisons [f_Q(u) op c] between the node's
+    attribute value and a constant, with [op ∈ {=, <, >, ≤, ≥}].  The empty
+    conjunction is [true]. *)
+
+open Bpq_graph
+
+type atom = { op : Value.op; const : Value.t }
+type t = atom list
+(** A conjunction, in no particular order. *)
+
+val true_ : t
+val atom : Value.op -> Value.t -> t
+val conj : t -> t -> t
+
+val eval : t -> Value.t -> bool
+(** [eval p v] substitutes [v] for the attribute and evaluates the
+    conjunction. *)
+
+val arity : t -> int
+(** Number of atoms (the paper's [#p] counts atoms across the query). *)
+
+val to_string : t -> string
+(** E.g. [">= 2011 & <= 2013"]; [""] for the empty conjunction. *)
+
+val equal : t -> t -> bool
+(** Syntactic equality up to atom order. *)

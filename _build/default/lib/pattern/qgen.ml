@@ -1,0 +1,174 @@
+open Bpq_util
+open Bpq_graph
+
+type config = {
+  min_nodes : int;
+  max_nodes : int;
+  edge_factor : float;
+  min_preds : int;
+  max_preds : int;
+}
+
+let default_config =
+  { min_nodes = 3; max_nodes = 7; edge_factor = 1.5; min_preds = 2; max_preds = 8 }
+
+let present_labels g =
+  List.filter (fun l -> Digraph.count_label g l > 0)
+    (Label.all (Digraph.label_table g))
+
+(* An atom that the value [v] satisfies, so generated predicates are
+   individually satisfiable on the data that inspired them. *)
+let atom_for rng v =
+  match v with
+  | Value.Null -> None
+  | Value.Str s -> Some { Predicate.op = Value.Eq; const = Value.Str s }
+  | Value.Int i ->
+    let slack = Prng.int rng 4 in
+    let op, const =
+      match Prng.int rng 3 with
+      | 0 -> (Value.Eq, i)
+      | 1 -> (Value.Ge, i - slack)
+      | _ -> (Value.Le, i + slack)
+    in
+    Some { Predicate.op; const = Value.Int const }
+
+let sprinkle_predicates rng g cfg node_labels seeds =
+  (* [seeds.(u)] is a concrete graph node whose value anchors the atoms for
+     pattern node [u]; [None] means sample any node with the right label. *)
+  let n = Array.length node_labels in
+  let preds = Array.make n Predicate.true_ in
+  let target = Prng.int_in rng cfg.min_preds cfg.max_preds in
+  let attempts = ref (8 * target) in
+  let placed = ref 0 in
+  while !placed < target && !attempts > 0 do
+    decr attempts;
+    let u = Prng.int rng n in
+    let sample =
+      match seeds.(u) with
+      | Some v -> Some v
+      | None ->
+        let candidates = Digraph.nodes_with_label g node_labels.(u) in
+        if Array.length candidates = 0 then None else Some (Prng.pick rng candidates)
+    in
+    match sample with
+    | None -> ()
+    | Some v ->
+      (match atom_for rng (Digraph.value g v) with
+       | None -> ()
+       | Some a ->
+         preds.(u) <- a :: preds.(u);
+         incr placed)
+  done;
+  preds
+
+let edge_budget rng cfg n =
+  let hi = int_of_float (cfg.edge_factor *. float_of_int n) in
+  Prng.int_in rng (max 1 (n - 1)) (max (n - 1) hi)
+
+let random ?(config = default_config) rng g =
+  if Digraph.n_nodes g = 0 then invalid_arg "Qgen.random: empty graph";
+  let labels = Array.of_list (present_labels g) in
+  let n = Prng.int_in rng config.min_nodes config.max_nodes in
+  let node_labels = Array.init n (fun _ -> Prng.pick rng labels) in
+  (* Random spanning tree, then extra edges up to the budget. *)
+  let edges = ref [] in
+  for u = 1 to n - 1 do
+    let v = Prng.int rng u in
+    edges := (if Prng.bool rng then (u, v) else (v, u)) :: !edges
+  done;
+  let extra = edge_budget rng config n - (n - 1) in
+  for _ = 1 to extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  let preds = sprinkle_predicates rng g config node_labels (Array.make n None) in
+  Pattern.create (Digraph.label_table g)
+    (Array.init n (fun u -> (node_labels.(u), preds.(u))))
+    !edges
+
+(* Grow a connected node set of the data graph by repeatedly expanding a
+   random member's neighbourhood. *)
+let grow_walk rng g target =
+  let chosen = ref [] and size = ref 0 in
+  let in_set = Hashtbl.create 16 in
+  let add v =
+    Hashtbl.replace in_set v ();
+    chosen := v :: !chosen;
+    incr size
+  in
+  add (Prng.int rng (Digraph.n_nodes g));
+  let stuck = ref 0 in
+  while !size < target && !stuck < 32 do
+    let members = Array.of_list !chosen in
+    let from = Prng.pick rng members in
+    let nbrs = Digraph.neighbours g from in
+    let fresh = Array.of_seq (Seq.filter (fun v -> not (Hashtbl.mem in_set v)) (Array.to_seq nbrs)) in
+    if Array.length fresh = 0 then incr stuck
+    else begin
+      stuck := 0;
+      add (Prng.pick rng fresh)
+    end
+  done;
+  Array.of_list (List.rev !chosen)
+
+let from_walk ?(config = default_config) rng g =
+  if Digraph.n_nodes g = 0 then invalid_arg "Qgen.from_walk: empty graph";
+  let target = Prng.int_in rng config.min_nodes config.max_nodes in
+  (* Retry from different start nodes when the walk gets trapped in a tiny
+     component. *)
+  let rec attempt k =
+    let nodes = grow_walk rng g target in
+    if Array.length nodes >= min target (config.min_nodes) || k = 0 then nodes
+    else attempt (k - 1)
+  in
+  let nodes = attempt 8 in
+  let n = Array.length nodes in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i v -> Hashtbl.replace index_of v i) nodes;
+  (* Candidate pattern edges are exactly the data edges inside the walk, so
+     the identity embedding is always a match. *)
+  let candidates = ref [] in
+  Array.iteri
+    (fun i v ->
+      Digraph.iter_out g v (fun w ->
+          match Hashtbl.find_opt index_of w with
+          | Some j when i <> j -> candidates := (i, j) :: !candidates
+          | Some _ | None -> ()))
+    nodes;
+  let candidates = Array.of_list !candidates in
+  Prng.shuffle rng candidates;
+  let budget = edge_budget rng config n in
+  (* Keep a connected skeleton first (union-find over undirected edges),
+     then shuffle in extras up to the budget. *)
+  let parent = Array.init n Fun.id in
+  let rec find x = if parent.(x) = x then x else find parent.(x) in
+  let kept = ref [] and kept_n = ref 0 in
+  Array.iter
+    (fun (i, j) ->
+      let ri = find i and rj = find j in
+      if ri <> rj then begin
+        parent.(ri) <- rj;
+        kept := (i, j) :: !kept;
+        incr kept_n
+      end)
+    candidates;
+  Array.iter
+    (fun e ->
+      if !kept_n < budget && not (List.mem e !kept) then begin
+        kept := e :: !kept;
+        incr kept_n
+      end)
+    candidates;
+  let node_labels = Array.map (Digraph.label g) nodes in
+  let seeds = Array.map Option.some nodes in
+  let preds = sprinkle_predicates rng g config node_labels seeds in
+  Pattern.create (Digraph.label_table g)
+    (Array.init n (fun u -> (node_labels.(u), preds.(u))))
+    !kept
+
+let workload ?(config = default_config) ?(mixed = true) rng g n =
+  List.init n (fun i ->
+      if mixed && i mod 2 = 0 then from_walk ~config rng g else random ~config rng g)
+
+let with_nodes ?(config = default_config) ~nodes rng g =
+  from_walk ~config:{ config with min_nodes = nodes; max_nodes = nodes } rng g

@@ -1,0 +1,42 @@
+(** Random query workloads.
+
+    The paper's experiments generate, per dataset, 100 random pattern
+    queries controlled by [#n] (nodes, in [3, 7]), [#e] (edges, in
+    [#n - 1, 1.5 * #n]) and [#p] (predicate atoms, in [2, 8]), using labels
+    drawn from the dataset.  Two generation modes are provided:
+
+    - {!random}: labels sampled from the data graph's alphabet weighted by
+      presence, edges a random spanning tree plus extras — the paper's
+      setup; queries may have empty answers;
+    - {!from_walk}: the pattern is carved out of an actual connected
+      subgraph of the data graph (predicates built around the values found
+      there), so at least one match is guaranteed — useful when comparing
+      evaluation times, since an early-empty query flatters every
+      algorithm. *)
+
+open Bpq_util
+open Bpq_graph
+
+type config = {
+  min_nodes : int;
+  max_nodes : int;
+  edge_factor : float;  (** [#e] uniform in [\[#n - 1, edge_factor * #n\]]. *)
+  min_preds : int;
+  max_preds : int;
+}
+
+val default_config : config
+(** The paper's ranges: nodes 3-7, edge factor 1.5, predicates 2-8. *)
+
+val random : ?config:config -> Prng.t -> Digraph.t -> Pattern.t
+val from_walk : ?config:config -> Prng.t -> Digraph.t -> Pattern.t
+
+val workload :
+  ?config:config -> ?mixed:bool -> Prng.t -> Digraph.t -> int -> Pattern.t list
+(** [workload rng g n] generates [n] queries.  With [mixed] (default true)
+    half come from {!from_walk} and half from {!random}, approximating a
+    realistic mix of satisfiable and speculative queries. *)
+
+val with_nodes : ?config:config -> nodes:int -> Prng.t -> Digraph.t -> Pattern.t
+(** {!from_walk} pinned to an exact node count — the Fig. 5(b/f/j) sweep
+    over [#n] = 3..7. *)

@@ -1,0 +1,56 @@
+open Bpq_graph
+
+type operand = Const of Value.t | Param of string
+type atom = { op : Value.op; operand : operand }
+
+type t = {
+  table : Label.table;
+  nodes : (Label.t * atom list) array;
+  edge_list : (int * int) list;
+}
+
+let create table nodes edge_list =
+  (* Validate endpoints eagerly, reusing Pattern's checks. *)
+  ignore
+    (Pattern.create table
+       (Array.map (fun (l, _) -> (l, Predicate.true_)) nodes)
+       edge_list);
+  { table; nodes; edge_list }
+
+let params t =
+  Array.to_list t.nodes
+  |> List.concat_map (fun (_, atoms) ->
+         List.filter_map
+           (fun a -> match a.operand with Param p -> Some p | Const _ -> None)
+           atoms)
+  |> List.sort_uniq compare
+
+let build t resolve =
+  Pattern.create t.table
+    (Array.map
+       (fun (l, atoms) ->
+         let pred =
+           List.filter_map
+             (fun a ->
+               match resolve a.operand with
+               | Some const -> Some { Predicate.op = a.op; const }
+               | None -> None)
+             atoms
+         in
+         (l, pred))
+       t.nodes)
+    t.edge_list
+
+let instantiate t bindings =
+  build t (function
+    | Const v -> Some v
+    | Param p ->
+      (match List.assoc_opt p bindings with
+       | Some v -> Some v
+       | None -> invalid_arg (Printf.sprintf "Template.instantiate: unbound parameter %S" p)))
+
+let skeleton t =
+  build t (function Const v -> Some v | Param _ -> None)
+
+let n_nodes t = Array.length t.nodes
+let edges t = t.edge_list

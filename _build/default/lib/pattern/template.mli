@@ -1,0 +1,37 @@
+(** Parameterized query templates.
+
+    The paper's §V motivates instance boundedness with "a frequent query
+    load Q, such as a finite set of parameterized queries as found in
+    recommendation systems".  A template is a pattern whose predicate
+    constants may be named parameters; {!instantiate} substitutes concrete
+    values.
+
+    The key structural fact (exploited by {!skeleton} and pinned down in
+    the test suite): effective boundedness depends only on the pattern's
+    labels and edges, never on predicate constants — so one EBChk/QPlan
+    run on the skeleton serves every instantiation of the template. *)
+
+open Bpq_graph
+
+type operand = Const of Value.t | Param of string
+
+type atom = { op : Value.op; operand : operand }
+
+type t
+
+val create : Label.table -> (Label.t * atom list) array -> (int * int) list -> t
+(** Same shape as {!Pattern.create}, with parameterisable atoms. *)
+
+val params : t -> string list
+(** Distinct parameter names, sorted. *)
+
+val instantiate : t -> (string * Value.t) list -> Pattern.t
+(** @raise Invalid_argument if a parameter has no binding. *)
+
+val skeleton : t -> Pattern.t
+(** The pattern with all parameterised atoms dropped (constant atoms are
+    kept).  Every instantiation matches a subset of what the skeleton
+    matches, and is effectively bounded under exactly the same schemas. *)
+
+val n_nodes : t -> int
+val edges : t -> (int * int) list

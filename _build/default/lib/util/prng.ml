@@ -1,0 +1,94 @@
+(* SplitMix64.  State is a single 64-bit counter advanced by a fixed odd
+   gamma; output is a finalizing hash of the state, so streams obtained via
+   [split] are statistically independent. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = mix (bits64 t) }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec go () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then go () else v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Zipf sampling by inversion on a memoised CDF; label universes are small
+   (at most a few thousand ranks) so the table cost is negligible. *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for k = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (k + 1)) s);
+      cdf.(k) <- !total
+    done;
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. !total
+    done;
+    Hashtbl.replace zipf_tables (n, s) cdf;
+    cdf
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  let cdf = zipf_cdf n s in
+  let u = float t 1.0 in
+  (* Binary search for the first rank whose cumulative weight covers u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (n - 1)
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    int_of_float (Float.log1p (-.u) /. Float.log1p (-.p))

@@ -1,0 +1,48 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All dataset generators and query-workload generators in this repository
+    draw randomness from this module rather than from [Stdlib.Random], so
+    that every experiment is reproducible from a single integer seed.  The
+    core is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), which has a
+    cheap, well-distributed [split] operation: independent generators can be
+    derived for sub-tasks without sharing mutable state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator determined by [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** [bits64 t] returns 64 uniformly distributed bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniform element of [arr] (which must be non-empty). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[0, n)] from a Zipf distribution with
+    exponent [s], by inversion on the precomputed harmonic weights.  Used by
+    the DBpedia-like and Web-like generators to skew label frequencies. *)
+
+val geometric : t -> p:float -> int
+(** [geometric t ~p] is the number of failures before the first success of a
+    Bernoulli([p]) trial; [p] must be in (0, 1]. *)

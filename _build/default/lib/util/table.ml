@@ -1,0 +1,45 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let pad cell width = cell ^ String.make (width - String.length cell) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note row =
+    List.iteri
+      (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter note rows;
+  let line row =
+    String.concat "  " (List.mapi (fun i cell -> pad cell widths.(i)) row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line t.headers :: rule :: List.map line rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(digits = 3) v = Printf.sprintf "%.*f" digits v
+
+let cell_time s =
+  if s < 0.0 then "n/a"
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let cell_ratio v = Printf.sprintf "%.2e" v

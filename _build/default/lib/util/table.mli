@@ -1,0 +1,29 @@
+(** Aligned plain-text tables.
+
+    The bench harness reproduces each of the paper's tables and figures as a
+    textual series; this module renders them with aligned columns so the
+    output in [bench_output.txt] is directly readable. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val render : t -> string
+(** Render with a header rule and two-space column gaps. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_float : ?digits:int -> float -> string
+(** Fixed-point formatting helper ([digits] defaults to 3). *)
+
+val cell_time : float -> string
+(** Formats a duration in seconds adaptively (e.g. ["12.3ms"], ["4.56s"]). *)
+
+val cell_ratio : float -> string
+(** Scientific notation with two significant digits, for size ratios such as
+    the paper's [|index|/|G|] plots. *)

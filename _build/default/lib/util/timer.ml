@@ -1,0 +1,31 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+let time_ms f =
+  let result, s = time f in
+  (result, s *. 1000.0)
+
+type deadline =
+  | Never
+  | Until of { limit : float; mutable countdown : int }
+
+exception Timeout
+
+let no_deadline = Never
+let check_every = 4096
+
+let deadline_after s = Until { limit = now () +. s; countdown = check_every }
+
+let expired = function
+  | Never -> false
+  | Until d ->
+    d.countdown <- d.countdown - 1;
+    if d.countdown > 0 then false
+    else begin
+      d.countdown <- check_every;
+      now () > d.limit
+    end

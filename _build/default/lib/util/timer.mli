@@ -1,0 +1,27 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch, with microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result paired with the elapsed
+    wall-clock seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Same as {!time} but reports milliseconds. *)
+
+type deadline
+(** A soft time budget threaded through long-running matchers so the bench
+    harness can report "did not finish" instead of hanging, mirroring the
+    paper's 40000s cut-off for VF2 on big graphs. *)
+
+val no_deadline : deadline
+val deadline_after : float -> deadline
+(** [deadline_after s] expires [s] seconds from now. *)
+
+val expired : deadline -> bool
+(** Cheap check (amortised: consults the clock only every few thousand
+    calls). *)
+
+exception Timeout
+(** Raised by matchers when their deadline expires. *)

@@ -1,0 +1,62 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () = { data = Array.make (max capacity 1) 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- v
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) 0 in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t v =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let clear t = t.len <- 0
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array arr =
+  { data = (if Array.length arr = 0 then Array.make 1 0 else Array.copy arr);
+    len = Array.length arr }
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let unsafe_data t = t.data
+
+let sort_uniq t =
+  if t.len > 1 then begin
+    let sub = Array.sub t.data 0 t.len in
+    Array.sort compare sub;
+    let w = ref 1 in
+    for r = 1 to t.len - 1 do
+      if sub.(r) <> sub.(!w - 1) then begin
+        sub.(!w) <- sub.(r);
+        incr w
+      end
+    done;
+    Array.blit sub 0 t.data 0 !w;
+    t.len <- !w
+  end

@@ -1,0 +1,30 @@
+(** Growable vector of unboxed integers.
+
+    OCaml 5.1 predates [Stdlib.Dynarray]; this is the int-specialised
+    equivalent used throughout the graph builder and the plan executor, where
+    node identifiers are accumulated in tight loops. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val pop : t -> int
+(** [pop t] removes and returns the last element.  @raise Invalid_argument
+    on an empty vector. *)
+
+val clear : t -> unit
+val is_empty : t -> bool
+val to_array : t -> int array
+(** [to_array t] copies the live prefix into a fresh array. *)
+
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit
+val exists : (int -> bool) -> t -> bool
+val unsafe_data : t -> int array
+(** The backing store; only indices [< length t] are meaningful. *)
+
+val sort_uniq : t -> unit
+(** Sorts the contents ascending and removes duplicates in place. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Bpq_access Bpq_graph Bpq_pattern Constr Digraph Discovery Generators Label List Pattern Predicate Schema Value

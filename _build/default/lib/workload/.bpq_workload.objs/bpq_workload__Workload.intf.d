@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Bpq_access Bpq_graph Bpq_pattern Constr Digraph Label Pattern Schema

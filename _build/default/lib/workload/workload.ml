@@ -1,0 +1,115 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type dataset = {
+  name : string;
+  table : Label.table;
+  graph : Digraph.t;
+  constrs : Constr.t list;
+  schema : Schema.t;
+}
+
+let a0 tbl =
+  let l = Label.intern tbl in
+  [ Constr.make ~source:[ l "year"; l "award" ] ~target:(l "movie") ~bound:4;
+    Constr.make ~source:[ l "movie" ] ~target:(l "actor") ~bound:30;
+    Constr.make ~source:[ l "movie" ] ~target:(l "actress") ~bound:30;
+    Constr.make ~source:[ l "actor" ] ~target:(l "country") ~bound:1;
+    Constr.make ~source:[ l "actress" ] ~target:(l "country") ~bound:1;
+    Constr.make ~source:[] ~target:(l "year") ~bound:135;
+    Constr.make ~source:[] ~target:(l "award") ~bound:24;
+    Constr.make ~source:[] ~target:(l "country") ~bound:196 ]
+
+let q0 tbl =
+  let l = Label.intern tbl in
+  Pattern.create tbl
+    [| (l "award", Predicate.true_);
+       ( l "year",
+         Predicate.conj
+           (Predicate.atom Value.Ge (Value.Int 2011))
+           (Predicate.atom Value.Le (Value.Int 2013)) );
+       (l "movie", Predicate.true_);
+       (l "actor", Predicate.true_);
+       (l "actress", Predicate.true_);
+       (l "country", Predicate.true_) |]
+    [ (2, 0); (2, 1); (2, 3); (2, 4); (3, 5); (4, 5) ]
+
+let a1 tbl =
+  let l = Label.intern tbl in
+  [ Constr.make ~source:[ l "B" ] ~target:(l "A") ~bound:2;
+    Constr.make ~source:[ l "C"; l "D" ] ~target:(l "B") ~bound:2;
+    Constr.make ~source:[] ~target:(l "C") ~bound:1;
+    Constr.make ~source:[] ~target:(l "D") ~bound:1 ]
+
+let q_nodes tbl =
+  let l = Label.intern tbl in
+  [| (l "A", Predicate.true_);
+     (l "B", Predicate.true_);
+     (l "C", Predicate.true_);
+     (l "D", Predicate.true_) |]
+
+let q1 tbl = Pattern.create tbl (q_nodes tbl) [ (0, 1); (1, 0); (2, 1); (3, 1) ]
+let q2 tbl = Pattern.create tbl (q_nodes tbl) [ (0, 1); (1, 0); (1, 2); (1, 3) ]
+
+let g1 tbl ~n =
+  if n < 1 then invalid_arg "Workload.g1: n must be at least 1";
+  let l = Label.intern tbl in
+  let b = Digraph.Builder.create tbl in
+  let cycle =
+    Array.init (2 * n) (fun i ->
+        Digraph.Builder.add_node b (l (if i mod 2 = 0 then "A" else "B")) Value.Null)
+  in
+  for i = 0 to (2 * n) - 1 do
+    Digraph.Builder.add_edge b cycle.(i) cycle.((i + 1) mod (2 * n))
+  done;
+  let c = Digraph.Builder.add_node b (l "C") Value.Null in
+  let d = Digraph.Builder.add_node b (l "D") Value.Null in
+  Digraph.Builder.add_edge b c cycle.((2 * n) - 1);
+  Digraph.Builder.add_edge b d cycle.((2 * n) - 1);
+  Digraph.Builder.freeze b
+
+let make name graph table constrs =
+  { name; table; graph; constrs; schema = Schema.build graph constrs }
+
+let imdb ?(seed = 42) ?(scale = 1.0) () =
+  let table = Label.create_table () in
+  let graph = Generators.imdb_like ~seed ~scale table in
+  (* The paper's hand-written schema plus discovered constraints, as in
+     §VII ("degree bounds, label frequencies and data semantics"). *)
+  let constrs = a0 table @ Discovery.discover ~max_bound:60 graph in
+  make "IMDbG" graph table constrs
+
+let dbpedia ?(seed = 43) ?(scale = 1.0) () =
+  let table = Label.create_table () in
+  let graph = Generators.dbpedia_like ~seed ~scale table in
+  (* Knowledge-graph in-degrees concentrate on popular classes; a higher
+     bound cut-off is needed for edge coverage (the paper's example bound
+     on IMDb is itself 104). *)
+  make "DBpediaG" graph table
+    (Discovery.discover ~max_bound:250 ~max_constraints:20_000 graph)
+
+let web ?(seed = 44) ?(scale = 1.0) () =
+  let table = Label.create_table () in
+  let graph = Generators.web_like ~seed ~scale table in
+  make "WebBG" graph table
+    (Discovery.discover ~max_bound:64 ~max_constraints:100_000 graph)
+
+let all ?seed ?scale () =
+  [ imdb ?seed ?scale (); dbpedia ?seed ?scale (); web ?seed ?scale () ]
+
+let align ds queries =
+  let pairs =
+    List.concat_map
+      (fun q ->
+        List.map
+          (fun (s, t) -> (Pattern.label q s, Pattern.label q t))
+          (Pattern.edges q))
+      queries
+  in
+  let zeros = Discovery.absent_pair_bounds ds.graph ~pairs in
+  if zeros = [] then ds
+  else
+    { ds with
+      constrs = ds.constrs @ zeros;
+      schema = Schema.extend ds.schema zeros }

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Bpq_access Bpq_graph Bpq_pattern Bpq_util Digraph Generators Label List Pattern QCheck2 QCheck_alcotest

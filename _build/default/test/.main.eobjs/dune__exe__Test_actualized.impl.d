@@ -1,0 +1,1 @@
+test/test_actualized.ml: Actualized Alcotest Bpq_access Bpq_core Bpq_graph Bpq_pattern Constr Helpers Label List Predicate Printf QCheck2

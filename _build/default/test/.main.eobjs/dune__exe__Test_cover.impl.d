@@ -1,0 +1,1 @@
+test/test_cover.ml: Actualized Alcotest Bpq_access Bpq_core Bpq_graph Bpq_pattern Bpq_workload Constr Cover Fun Helpers Label List Pattern Predicate QCheck2

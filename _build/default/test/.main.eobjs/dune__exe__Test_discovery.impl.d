@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Bpq_access Bpq_graph Constr Discovery Generators Helpers Label List QCheck2 Schema Value

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Bpq_access Bpq_core Bpq_graph Bpq_pattern Bpq_workload Constr Digraph Discovery Fun Generators Hashtbl Helpers Label List Printf QCheck2 Schema Value

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bpq_graph Bpq_util Digraph Generators Helpers Label List QCheck2 Value

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Actualized Alcotest Array Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_pattern Bpq_util Bpq_workload Digraph Helpers Incremental Label List QCheck2 Schema Value

@@ -1,0 +1,1 @@
+test/test_instance.ml: Actualized Alcotest Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_pattern Bpq_workload Constr Ebchk Helpers Instance Label Lazy List QCheck2 Qplan Schema Value

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Bpq_graph Digraph Filename Fun Generators Graph_io Helpers Label QCheck2 String Sys Value

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Actualized Alcotest Array Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_workload Constr Ebchk Exec Helpers Label List Plan Printf Qplan Schema

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Bpq_graph Bpq_pattern Helpers Label List Pattern Pattern_parser Predicate Value

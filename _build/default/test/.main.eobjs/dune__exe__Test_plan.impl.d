@@ -1,0 +1,1 @@
+test/test_plan.ml: Actualized Alcotest Array Bpq_core Bpq_graph Bpq_pattern Bpq_workload Helpers Label List Plan Printf QCheck2 Qplan String

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Bpq_util Fun Helpers Prng

@@ -1,0 +1,1 @@
+test/test_qgen.ml: Alcotest Bpq_graph Bpq_matcher Bpq_pattern Bpq_util Generators Helpers Label List Pattern Pattern_parser QCheck2 Qgen

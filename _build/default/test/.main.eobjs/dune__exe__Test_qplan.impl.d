@@ -1,0 +1,1 @@
+test/test_qplan.ml: Actualized Alcotest Array Bpq_access Bpq_core Bpq_graph Bpq_pattern Bpq_workload Constr Cover Ebchk Fun Hashtbl Helpers Label List Pattern Plan Predicate Qplan

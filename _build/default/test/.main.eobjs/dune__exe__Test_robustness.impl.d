@@ -1,0 +1,1 @@
+test/test_robustness.ml: Actualized Alcotest Array Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_pattern Bpq_workload Constr Ebchk Exec Helpers Label List Pattern Plan Predicate Qplan Schema Value

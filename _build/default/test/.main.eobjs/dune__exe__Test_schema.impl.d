@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Array Bpq_access Bpq_graph Bpq_util Constr Digraph Discovery Generators Helpers Index Label List QCheck2 Schema Value

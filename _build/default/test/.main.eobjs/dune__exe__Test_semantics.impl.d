@@ -1,0 +1,1 @@
+test/test_semantics.ml: Actualized Array Bounded_eval Bpq_access Bpq_core Bpq_graph Bpq_matcher Bpq_pattern Bpq_util Ebchk Fun Helpers List Pattern Plan Predicate QCheck2 Qplan

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bpq_util Float Helpers List QCheck2 Stats String Table Timer Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bpq_access Bpq_graph Bpq_workload Digraph Generators Helpers Label List Schema String

@@ -1,0 +1,54 @@
+(* Shared helpers for the test suite. *)
+
+open Bpq_graph
+open Bpq_pattern
+
+let check_true msg b = Alcotest.(check bool) msg true b
+let check_false msg b = Alcotest.(check bool) msg false b
+let check_int msg a b = Alcotest.(check int) msg a b
+
+(* Build a graph from compact descriptions: nodes as (label, value) and
+   edges as index pairs. *)
+let graph tbl nodes edges =
+  let b = Digraph.Builder.create tbl in
+  List.iter (fun (l, v) -> ignore (Digraph.Builder.add_node b (Label.intern tbl l) v)) nodes;
+  List.iter (fun (s, t) -> Digraph.Builder.add_edge b s t) edges;
+  Digraph.Builder.freeze b
+
+let pattern tbl nodes edges =
+  Pattern.create tbl
+    (Array.of_list (List.map (fun (l, p) -> (Label.intern tbl l, p)) nodes))
+    edges
+
+(* Canonical forms for comparing answers. *)
+let sort_matches ms = List.sort compare (List.map Array.to_list ms)
+
+let norm_sim sim =
+  Array.to_list
+    (Array.map
+       (fun arr ->
+         let c = Array.copy arr in
+         Array.sort compare c;
+         Array.to_list c)
+       sim)
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* A deterministic RNG per test to keep failures reproducible. *)
+let rng () = Bpq_util.Prng.create 20150413
+
+(* A small random-instance generator shared by the pipeline property
+   tests: graph + discovered schema. *)
+let random_instance seed =
+  let module Prng = Bpq_util.Prng in
+  let r = Prng.create seed in
+  let tbl = Label.create_table () in
+  let nodes = 15 + Prng.int r 50 in
+  let g =
+    Generators.random ~seed:(seed * 7 + 1) ~nodes ~edges:(2 * nodes)
+      ~labels:(3 + Prng.int r 5)
+      tbl
+  in
+  let constrs = Bpq_access.Discovery.discover ~max_bound:(4 + Prng.int r 16) g in
+  (tbl, g, constrs, r)

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "bpq"
+    [ ("prng", Test_prng.suite);
+      ("util", Test_util.suite);
+      ("graph", Test_graph.suite);
+      ("pattern", Test_pattern.suite);
+      ("io", Test_io.suite);
+      ("qgen", Test_qgen.suite);
+      ("index", Test_index.suite);
+      ("schema", Test_schema.suite);
+      ("discovery", Test_discovery.suite);
+      ("matcher", Test_matcher.suite);
+      ("generators", Test_generators.suite);
+      ("actualized", Test_actualized.suite);
+      ("plan", Test_plan.suite);
+      ("cover", Test_cover.suite);
+      ("qplan", Test_qplan.suite);
+      ("exec", Test_exec.suite);
+      ("instance", Test_instance.suite);
+      ("incremental", Test_incremental.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("robustness", Test_robustness.suite);
+      ("distributed", Test_distributed.suite);
+      ("semantics", Test_semantics.suite) ]

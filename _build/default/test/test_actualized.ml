@@ -1,0 +1,111 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+open Bpq_core
+
+let t = Predicate.true_
+
+(* Pattern: A -> B, C -> B, B -> D. *)
+let world () =
+  let tbl = Label.create_table () in
+  let q =
+    Helpers.pattern tbl [ ("A", t); ("B", t); ("C", t); ("D", t) ] [ (0, 1); (2, 1); (1, 3) ]
+  in
+  let l = Label.intern tbl in
+  (tbl, q, l)
+
+let test_eligible_neighbours () =
+  let _, q, _ = world () in
+  Helpers.check_true "subgraph: all neighbours of B"
+    (Actualized.eligible_neighbours Actualized.Subgraph q 1 = [ 0; 2; 3 ]);
+  Helpers.check_true "simulation: children of B only"
+    (Actualized.eligible_neighbours Actualized.Simulation q 1 = [ 3 ])
+
+let test_build_subgraph () =
+  let _, q, l = world () in
+  let a = [ Constr.make ~source:[ l "A"; l "C" ] ~target:(l "B") ~bound:5 ] in
+  match Actualized.build Actualized.Subgraph q a with
+  | [ phi ] ->
+    Helpers.check_int "target is B" 1 phi.target;
+    Helpers.check_true "vbar = {A, C}" (phi.vbar = [ 0; 2 ]);
+    Helpers.check_int "two groups" 2 (List.length phi.groups)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 actualized, got %d" (List.length other))
+
+let test_build_requires_all_labels () =
+  let _, q, l = world () in
+  (* {A, X} -> B cannot actualize: no X neighbour. *)
+  let a = [ Constr.make ~source:[ l "A"; l "X" ] ~target:(l "B") ~bound:5 ] in
+  Helpers.check_int "no actualization" 0
+    (List.length (Actualized.build Actualized.Subgraph q a))
+
+let test_build_simulation_restricts_to_children () =
+  let _, q, l = world () in
+  (* {A} -> B: A is a parent of B, not a child — no sim actualization. *)
+  let a = [ Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:5 ] in
+  Helpers.check_int "subgraph actualizes" 1
+    (List.length (Actualized.build Actualized.Subgraph q a));
+  Helpers.check_int "simulation does not" 0
+    (List.length (Actualized.build Actualized.Simulation q a));
+  (* {D} -> B: D is a child — both semantics actualize. *)
+  let a' = [ Constr.make ~source:[ l "D" ] ~target:(l "B") ~bound:5 ] in
+  Helpers.check_int "simulation with child" 1
+    (List.length (Actualized.build Actualized.Simulation q a'))
+
+let test_type1_never_actualizes () =
+  let _, q, l = world () in
+  let a = [ Constr.make ~source:[] ~target:(l "B") ~bound:5 ] in
+  Helpers.check_int "type-1 excluded" 0 (List.length (Actualized.build Actualized.Subgraph q a))
+
+let test_one_per_matching_node () =
+  let tbl = Label.create_table () in
+  (* Two B nodes, both with an A neighbour. *)
+  let q =
+    Helpers.pattern tbl [ ("A", t); ("B", t); ("B", t) ] [ (0, 1); (0, 2) ]
+  in
+  let l = Label.intern tbl in
+  let a = [ Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:5 ] in
+  Helpers.check_int "one per target node" 2
+    (List.length (Actualized.build Actualized.Subgraph q a))
+
+let sim_gamma_subset_of_subgraph_gamma =
+  Helpers.qcheck ~count:50 "simulation Γ is a subset of subgraph Γ"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      let sub = Actualized.build Actualized.Subgraph q constrs in
+      let sim = Actualized.build Actualized.Simulation q constrs in
+      List.for_all
+        (fun (s : Actualized.t) ->
+          List.exists
+            (fun (b : Actualized.t) ->
+              Constr.equal s.constr b.constr && s.target = b.target
+              && List.for_all (fun v -> List.mem v b.vbar) s.vbar)
+            sub)
+        sim)
+
+let vbar_members_carry_source_labels =
+  Helpers.qcheck ~count:50 "V̄ members carry labels of S and neighbour the target"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      List.for_all
+        (fun (phi : Actualized.t) ->
+          List.for_all
+            (fun v ->
+              List.mem (Bpq_pattern.Pattern.label q v) phi.constr.source
+              && List.mem v (Bpq_pattern.Pattern.neighbours q phi.target))
+            phi.vbar)
+        (Actualized.build Actualized.Subgraph q constrs))
+
+let suite =
+  [ Alcotest.test_case "eligible neighbours" `Quick test_eligible_neighbours;
+    Alcotest.test_case "build subgraph" `Quick test_build_subgraph;
+    Alcotest.test_case "build requires all labels" `Quick test_build_requires_all_labels;
+    Alcotest.test_case "simulation restricts to children" `Quick
+      test_build_simulation_restricts_to_children;
+    Alcotest.test_case "type-1 never actualizes" `Quick test_type1_never_actualizes;
+    Alcotest.test_case "one per matching node" `Quick test_one_per_matching_node;
+    sim_gamma_subset_of_subgraph_gamma;
+    vbar_members_carry_source_labels ]

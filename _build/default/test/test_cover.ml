@@ -1,0 +1,146 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+open Bpq_core
+module W = Bpq_workload.Workload
+
+let t = Predicate.true_
+
+let test_q0_fully_covered () =
+  let tbl = Label.create_table () in
+  let cover = Cover.compute Actualized.Subgraph (W.q0 tbl) (W.a0 tbl) in
+  Helpers.check_true "VCov = VQ (Example 4)" (Cover.all_nodes_covered cover);
+  Helpers.check_true "ECov = EQ (Example 4)" (Cover.all_edges_covered cover);
+  Helpers.check_true "total" (Cover.total cover)
+
+let test_q1_subgraph_covered_but_not_sim () =
+  (* Example 8: VCov(Q1,A1) = V1 and ECov = E1, yet sVCov misses u1, u2. *)
+  let tbl = Label.create_table () in
+  let q1 = W.q1 tbl and a1 = W.a1 tbl in
+  let sub = Cover.compute Actualized.Subgraph q1 a1 in
+  Helpers.check_true "subgraph node cover total" (Cover.all_nodes_covered sub);
+  Helpers.check_true "subgraph edge cover total" (Cover.all_edges_covered sub);
+  let sim = Cover.compute Actualized.Simulation q1 a1 in
+  Helpers.check_true "u1, u2 uncovered (Example 9)"
+    (Cover.uncovered_nodes sim = [ 0; 1 ]);
+  Helpers.check_false "not total" (Cover.total sim)
+
+let test_q2_sim_covered () =
+  (* Example 9: sVCov(Q2, A1) = V2 and sECov = E2. *)
+  let tbl = Label.create_table () in
+  let cover = Cover.compute Actualized.Simulation (W.q2 tbl) (W.a1 tbl) in
+  Helpers.check_true "total" (Cover.total cover)
+
+let test_type1_only_covers_nodes_not_edges () =
+  let tbl = Label.create_table () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let a =
+    [ Constr.make ~source:[] ~target:(Label.intern tbl "A") ~bound:3;
+      Constr.make ~source:[] ~target:(Label.intern tbl "B") ~bound:3 ]
+  in
+  let cover = Cover.compute Actualized.Subgraph q a in
+  Helpers.check_true "nodes covered" (Cover.all_nodes_covered cover);
+  (* No constraint connects the two labels, so the edge cannot be verified
+     boundedly. *)
+  Helpers.check_false "edge uncovered" (Cover.all_edges_covered cover);
+  Helpers.check_true "exactly that edge" (Cover.uncovered_edges cover = [ (0, 1) ])
+
+let test_chained_deduction () =
+  let tbl = Label.create_table () in
+  (* A covered by type-1; B deduced from A; C deduced from B. *)
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t); ("C", t) ] [ (0, 1); (1, 2) ] in
+  let l = Label.intern tbl in
+  let a =
+    [ Constr.make ~source:[] ~target:(l "A") ~bound:2;
+      Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:3;
+      Constr.make ~source:[ l "B" ] ~target:(l "C") ~bound:4 ]
+  in
+  let cover = Cover.compute Actualized.Subgraph q a in
+  Helpers.check_true "all nodes" (Cover.all_nodes_covered cover);
+  Helpers.check_true "all edges" (Cover.all_edges_covered cover)
+
+let test_missing_source_label_blocks () =
+  let tbl = Label.create_table () in
+  (* Constraint {A, X} -> (B, _) cannot actualize: no X neighbour in Q. *)
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let l = Label.intern tbl in
+  let a =
+    [ Constr.make ~source:[] ~target:(l "A") ~bound:2;
+      Constr.make ~source:[ l "A"; l "X" ] ~target:(l "B") ~bound:3 ]
+  in
+  let cover = Cover.compute Actualized.Subgraph q a in
+  Helpers.check_true "B uncovered" (Cover.uncovered_nodes cover = [ 1 ])
+
+let test_simulation_needs_children () =
+  let tbl = Label.create_table () in
+  let l = Label.intern tbl in
+  let a =
+    [ Constr.make ~source:[] ~target:(l "A") ~bound:2;
+      Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:3 ]
+  in
+  (* Edge A -> B: A is a parent of B, so B's candidates are NOT bounded for
+     simulation (the constraint's source must be among B's children). *)
+  let q_parent = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let c1 = Cover.compute Actualized.Simulation q_parent a in
+  Helpers.check_false "parent does not cover" (Cover.all_nodes_covered c1);
+  (* Edge B -> A: now A is a child of B and coverage flows. *)
+  let q_child = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (1, 0) ] in
+  let c2 = Cover.compute Actualized.Simulation q_child a in
+  Helpers.check_true "child covers" (Cover.all_nodes_covered c2)
+
+let test_saturated_exposes_usable_constraints () =
+  let tbl = Label.create_table () in
+  let cover = Cover.compute Actualized.Subgraph (W.q0 tbl) (W.a0 tbl) in
+  (* Example 5's Γ: φ1 (movie via year+award), φ2 x2 (actor/actress via
+     movie), φ3 x2 (country via actor/actress) = 5 actualized constraints,
+     all saturated. *)
+  Helpers.check_int "saturated count" 5 (List.length (Cover.saturated cover))
+
+let monotone_in_constraints =
+  Helpers.qcheck ~count:50 "covers grow monotonically with constraints"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let tbl, g, constrs, r = Helpers.random_instance seed in
+      ignore tbl;
+      let q = Bpq_pattern.Qgen.random r g in
+      let half = List.filteri (fun i _ -> i mod 2 = 0) constrs in
+      let check semantics =
+        let small = Cover.compute semantics q half in
+        let big = Cover.compute semantics q constrs in
+        List.for_all
+          (fun u -> (not (Cover.node_covered small u)) || Cover.node_covered big u)
+          (List.init (Pattern.n_nodes q) Fun.id)
+        && List.for_all
+             (fun e -> (not (Cover.edge_covered small e)) || Cover.edge_covered big e)
+             (Pattern.edges q)
+      in
+      check Actualized.Subgraph && check Actualized.Simulation)
+
+let sim_cover_subset_of_subgraph_cover =
+  Helpers.qcheck ~count:50 "sVCov ⊆ VCov and sECov ⊆ ECov"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      let sub = Cover.compute Actualized.Subgraph q constrs in
+      let sim = Cover.compute Actualized.Simulation q constrs in
+      List.for_all
+        (fun u -> (not (Cover.node_covered sim u)) || Cover.node_covered sub u)
+        (List.init (Pattern.n_nodes q) Fun.id)
+      && List.for_all
+           (fun e -> (not (Cover.edge_covered sim e)) || Cover.edge_covered sub e)
+           (Pattern.edges q))
+
+let suite =
+  [ Alcotest.test_case "Q0/A0 fully covered" `Quick test_q0_fully_covered;
+    Alcotest.test_case "Q1: subgraph covered, sim not" `Quick
+      test_q1_subgraph_covered_but_not_sim;
+    Alcotest.test_case "Q2 sim covered" `Quick test_q2_sim_covered;
+    Alcotest.test_case "type-1 covers nodes not edges" `Quick
+      test_type1_only_covers_nodes_not_edges;
+    Alcotest.test_case "chained deduction" `Quick test_chained_deduction;
+    Alcotest.test_case "missing source label blocks" `Quick test_missing_source_label_blocks;
+    Alcotest.test_case "simulation needs children" `Quick test_simulation_needs_children;
+    Alcotest.test_case "saturated constraints" `Quick test_saturated_exposes_usable_constraints;
+    monotone_in_constraints;
+    sim_cover_subset_of_subgraph_cover ]

@@ -1,0 +1,107 @@
+open Bpq_graph
+open Bpq_access
+
+let test_type1_counts () =
+  let tbl = Label.create_table () in
+  let g =
+    Helpers.graph tbl
+      [ ("A", Value.Null); ("A", Value.Null); ("B", Value.Null) ]
+      []
+  in
+  let found = Discovery.type1 g in
+  Helpers.check_int "two labels" 2 (List.length found);
+  List.iter
+    (fun (c : Constr.t) ->
+      let expected = if Label.name tbl c.target = "A" then 2 else 1 in
+      Helpers.check_int "realised count" expected c.bound)
+    found
+
+let test_type1_max_bound_prunes () =
+  let tbl = Label.create_table () in
+  let nodes = List.init 10 (fun _ -> ("A", Value.Null)) @ [ ("B", Value.Null) ] in
+  let g = Helpers.graph tbl nodes [] in
+  let found = Discovery.type1 ~max_bound:5 g in
+  Helpers.check_int "only B survives" 1 (List.length found)
+
+let test_degree_bounds () =
+  let tbl = Label.create_table () in
+  (* movie 0 has two actors; movie 1 has one. *)
+  let g =
+    Helpers.graph tbl
+      [ ("movie", Value.Null); ("movie", Value.Null);
+        ("actor", Value.Null); ("actor", Value.Null) ]
+      [ (0, 2); (0, 3); (1, 2) ]
+  in
+  let found = Discovery.degree_bounds g in
+  let movie = Label.intern tbl "movie" and actor = Label.intern tbl "actor" in
+  let bound_of src dst =
+    List.find_map
+      (fun (c : Constr.t) -> if c.source = [ src ] && c.target = dst then Some c.bound else None)
+      found
+  in
+  Helpers.check_true "movie->actor is 2" (bound_of movie actor = Some 2);
+  Helpers.check_true "actor->movie is 2" (bound_of actor movie = Some 2)
+
+let test_pair_constraints_finds_award_pattern () =
+  (* The IMDb-like generator guarantees (year, award) -> (movie, <= 4). *)
+  let tbl = Label.create_table () in
+  let g = Generators.imdb_like ~seed:7 ~scale:0.02 tbl in
+  let found = Discovery.pair_constraints ~max_bound:10 g in
+  let year = Label.intern tbl "year"
+  and award = Label.intern tbl "award"
+  and movie = Label.intern tbl "movie" in
+  let hit =
+    List.find_opt
+      (fun (c : Constr.t) ->
+        c.target = movie && List.sort compare c.source = List.sort compare [ year; award ])
+      found
+  in
+  match hit with
+  | Some c -> Helpers.check_true "bound within C1" (c.bound <= 4)
+  | None -> Alcotest.fail "expected (year, award) -> (movie, _) to be discovered"
+
+let discovered_constraints_hold =
+  Helpers.qcheck ~count:30 "every discovered constraint is satisfied by its graph"
+    QCheck2.Gen.(int_range 1 300)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:40 ~edges:120 ~labels:5 tbl in
+      let constrs = Discovery.discover g in
+      let schema = Schema.build g constrs in
+      Schema.satisfied schema)
+
+let discover_dedups_by_key =
+  Helpers.qcheck ~count:20 "discover keeps one bound per (source, target)"
+    QCheck2.Gen.(int_range 1 300)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:30 ~edges:80 ~labels:4 tbl in
+      let constrs = Discovery.discover g in
+      let keys = List.map (fun (c : Constr.t) -> (c.source, c.target)) constrs in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+let test_functional_dependency_found () =
+  let tbl = Label.create_table () in
+  (* Every person has exactly one country: person -> (country, 1). *)
+  let g =
+    Helpers.graph tbl
+      [ ("person", Value.Null); ("person", Value.Null); ("country", Value.Null);
+        ("country", Value.Null) ]
+      [ (0, 2); (1, 3) ]
+  in
+  let found = Discovery.degree_bounds g in
+  let person = Label.intern tbl "person" and country = Label.intern tbl "country" in
+  Helpers.check_true "FD person->country"
+    (List.exists
+       (fun (c : Constr.t) -> c.source = [ person ] && c.target = country && c.bound = 1)
+       found)
+
+let suite =
+  [ Alcotest.test_case "type1 counts" `Quick test_type1_counts;
+    Alcotest.test_case "type1 max_bound prunes" `Quick test_type1_max_bound_prunes;
+    Alcotest.test_case "degree bounds" `Quick test_degree_bounds;
+    Alcotest.test_case "pair constraints find (year,award)->movie" `Quick
+      test_pair_constraints_finds_award_pattern;
+    discovered_constraints_hold;
+    discover_dedups_by_key;
+    Alcotest.test_case "functional dependency found" `Quick test_functional_dependency_found ]

@@ -1,0 +1,88 @@
+open Bpq_access
+open Bpq_core
+module W = Bpq_workload.Workload
+
+let q0_setup () =
+  let ds = W.imdb ~scale:0.02 () in
+  let a0 = W.a0 ds.table in
+  let schema = Schema.build ds.graph a0 in
+  let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 ds.table) a0 in
+  (ds, schema, plan)
+
+let canon (r : Exec.result) =
+  ( List.sort compare (Array.to_list r.from_gq),
+    Array.map (fun arr -> List.sort compare (Array.to_list arr)) r.candidates_g,
+    Bpq_graph.Digraph.n_edges r.gq )
+
+let test_equals_single_node () =
+  let _, schema, plan = q0_setup () in
+  let single = Exec.run schema plan in
+  let dist = Distributed.create ~shards:4 schema in
+  let sharded, stats = Distributed.run dist plan in
+  Helpers.check_true "same G_Q" (canon single = canon sharded);
+  Helpers.check_int "same accesses"
+    (Exec.accessed single.stats) (Exec.accessed sharded.stats);
+  (* All accounting sums match the single-node stats. *)
+  Helpers.check_int "lookups partitioned"
+    (single.stats.fetch_lookups + single.stats.edge_lookups)
+    (Array.fold_left ( + ) 0 stats.lookups_per_shard)
+
+let test_matches_agree_across_shard_counts () =
+  let ds, schema, plan = q0_setup () in
+  let reference = Helpers.sort_matches (Bounded_eval.bvf2_matches schema plan) in
+  List.iter
+    (fun shards ->
+      let dist = Distributed.create ~shards schema in
+      let r, _ = Distributed.run dist plan in
+      let matches =
+        Bpq_matcher.Vf2.matches ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+        |> List.map (Array.map (fun v -> r.from_gq.(v)))
+      in
+      Helpers.check_true
+        (Printf.sprintf "same answers at %d shards" shards)
+        (Helpers.sort_matches matches = reference))
+    [ 1; 2; 7; 16 ];
+  ignore ds
+
+let test_traffic_spreads () =
+  let _, schema, plan = q0_setup () in
+  let dist = Distributed.create ~shards:8 schema in
+  let _, stats = Distributed.run dist plan in
+  let active =
+    Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 stats.lookups_per_shard
+  in
+  Helpers.check_true "several shards involved" (active >= 3);
+  let b = Distributed.balance stats in
+  Helpers.check_true "balance defined" (not (Float.is_nan b));
+  Helpers.check_true "balance at least 1" (b >= 1.0)
+
+let test_rejects_bad_shards () =
+  let _, schema, _ = q0_setup () in
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Distributed.create: shards must be positive") (fun () ->
+      ignore (Distributed.create ~shards:0 schema))
+
+let sharded_equals_single =
+  Helpers.qcheck ~count:40 "sharded execution equals single-node on random instances"
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 9))
+    (fun (seed, shards) ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      match Qplan.generate Actualized.Subgraph q constrs with
+      | None -> true
+      | Some plan ->
+        let single = Exec.run schema plan in
+        let sharded, stats = Distributed.run (Distributed.create ~shards schema) plan in
+        canon single = canon sharded
+        && Array.fold_left ( + ) 0 stats.lookups_per_shard
+           = single.stats.fetch_lookups + single.stats.edge_lookups
+        && Array.fold_left ( + ) 0 stats.items_per_shard >= single.stats.fetched)
+
+let suite =
+  [ Alcotest.test_case "equals single node" `Quick test_equals_single_node;
+    Alcotest.test_case "matches agree across shard counts" `Quick
+      test_matches_agree_across_shard_counts;
+    Alcotest.test_case "traffic spreads" `Quick test_traffic_spreads;
+    Alcotest.test_case "rejects bad shards" `Quick test_rejects_bad_shards;
+    sharded_equals_single ]

@@ -1,0 +1,194 @@
+open Bpq_graph
+open Bpq_access
+
+(* Reference: common neighbours of [vs] labeled [l], by direct scan. *)
+let naive_common_neighbours g vs l =
+  match vs with
+  | [] -> Array.to_list (Digraph.nodes_with_label g l)
+  | v0 :: rest ->
+    Array.to_list (Digraph.neighbours g v0)
+    |> List.filter (fun w ->
+           Digraph.label g w = l
+           && List.for_all (fun v -> Array.mem w (Digraph.neighbours g v)) rest)
+
+let movie_world () =
+  let tbl = Label.create_table () in
+  (* 0:year 1:year 2:award 3:movie 4:movie 5:actor *)
+  let g =
+    Helpers.graph tbl
+      [ ("year", Value.Int 2011); ("year", Value.Int 2012); ("award", Value.Null);
+        ("movie", Value.Null); ("movie", Value.Null); ("actor", Value.Null) ]
+      [ (3, 0); (3, 2); (4, 1); (4, 2); (3, 5); (4, 5) ]
+  in
+  (tbl, g)
+
+let test_type1_lookup () =
+  let tbl, g = movie_world () in
+  let c = Constr.make ~source:[] ~target:(Label.intern tbl "movie") ~bound:10 in
+  let idx = Index.build g c in
+  Helpers.check_true "all movies" (List.sort compare (Array.to_list (Index.lookup idx [])) = [ 3; 4 ]);
+  Helpers.check_int "count" 2 (Index.lookup_count idx []);
+  Helpers.check_true "satisfied" (Index.satisfied idx)
+
+let test_pair_lookup () =
+  let tbl, g = movie_world () in
+  let c =
+    Constr.make
+      ~source:[ Label.intern tbl "year"; Label.intern tbl "award" ]
+      ~target:(Label.intern tbl "movie") ~bound:4
+  in
+  let idx = Index.build g c in
+  Helpers.check_true "movie 3 for (year0,award)" (Index.lookup idx [ 0; 2 ] = [| 3 |]);
+  Helpers.check_true "movie 4 for (year1,award)" (Index.lookup idx [ 1; 2 ] = [| 4 |]);
+  Helpers.check_true "order irrelevant" (Index.lookup idx [ 2; 0 ] = [| 3 |]);
+  Helpers.check_true "missing key" (Index.lookup idx [ 0; 1 ] = [||]);
+  Helpers.check_int "max bucket" 1 (Index.max_bucket idx)
+
+let test_violation_detected () =
+  let tbl, g = movie_world () in
+  let c = Constr.make ~source:[ Label.intern tbl "movie" ] ~target:(Label.intern tbl "actor") ~bound:0 in
+  let idx = Index.build g c in
+  Helpers.check_false "bound 0 violated" (Index.satisfied idx);
+  Helpers.check_int "realised" 1 (Index.max_bucket idx)
+
+let test_size_counts_keys_and_payload () =
+  let tbl, g = movie_world () in
+  let c = Constr.make ~source:[ Label.intern tbl "movie" ] ~target:(Label.intern tbl "actor") ~bound:5 in
+  let idx = Index.build g c in
+  (* Keys: movie 3 and movie 4, each with one actor. *)
+  Helpers.check_int "keys" 2 (Index.n_keys idx);
+  Helpers.check_int "size" 4 (Index.size idx)
+
+let random_world seed =
+  let tbl = Label.create_table () in
+  let g = Generators.random ~seed ~nodes:30 ~edges:90 ~labels:4 tbl in
+  (tbl, g)
+
+let lookup_matches_naive =
+  Helpers.qcheck ~count:60 "index lookup equals naive common-neighbour scan"
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 0 2))
+    (fun (seed, arity) ->
+      let tbl, g = random_world seed in
+      let labels = Array.of_list (Label.all tbl) in
+      let r = Bpq_util.Prng.create seed in
+      let source =
+        List.sort_uniq compare
+          (List.init arity (fun _ -> Bpq_util.Prng.pick r labels))
+      in
+      let target = Bpq_util.Prng.pick r labels in
+      if List.mem target source then true
+      else begin
+        let c = Constr.make ~source ~target ~bound:1000 in
+        let idx = Index.build g c in
+        (* Probe random S-labeled sets. *)
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let vs =
+            List.filter_map
+              (fun s ->
+                let candidates = Digraph.nodes_with_label g s in
+                if Array.length candidates = 0 then None
+                else Some (Bpq_util.Prng.pick r candidates))
+              source
+          in
+          if List.length vs = List.length source then begin
+            let got = List.sort compare (Array.to_list (Index.lookup idx vs)) in
+            let want = List.sort compare (naive_common_neighbours g vs target) in
+            if got <> want then ok := false
+          end
+        done;
+        !ok
+      end)
+
+let incremental_matches_rebuild =
+  Helpers.qcheck ~count:60 "incremental maintenance equals rebuild"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let module Prng = Bpq_util.Prng in
+      let tbl, g = random_world seed in
+      let r = Prng.create (seed + 13) in
+      let labels = Array.of_list (Label.all tbl) in
+      let source = [ Prng.pick r labels ] in
+      let target = Prng.pick r labels in
+      if List.mem target source then true
+      else begin
+        let c = Constr.make ~source ~target ~bound:1000 in
+        let idx = Index.build g c in
+        let n = Digraph.n_nodes g in
+        let existing =
+          let acc = ref [] in
+          Digraph.iter_edges g (fun s t -> acc := (s, t) :: !acc);
+          !acc
+        in
+        let delta =
+          { Digraph.added_nodes = [ (target, Value.Null); (List.hd source, Value.Null) ];
+            added_edges =
+              [ (Prng.int r n, Prng.int r n); (n, n + 1); (Prng.int r n, n) ];
+            removed_edges = List.filteri (fun i _ -> i < 4) existing }
+        in
+        let g' = Digraph.apply_delta g delta in
+        Index.apply_delta idx ~old_graph:g ~new_graph:g' delta;
+        let fresh = Index.build g' c in
+        (* Compare every key of both indexes. *)
+        let agree = ref true in
+        let check_keys a b =
+          Index.iter a (fun key bucket ->
+              let other = Index.lookup b key in
+              let sort arr = List.sort compare (Array.to_list arr) in
+              if sort bucket <> sort other then agree := false)
+        in
+        check_keys idx fresh;
+        check_keys fresh idx;
+        !agree
+      end)
+
+let build_many_matches_build =
+  Helpers.qcheck ~count:40 "build_many equals per-constraint build"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g = random_world seed in
+      let constrs = Discovery.discover ~max_bound:1000 g in
+      let batch = Index.build_many g constrs in
+      List.for_all2
+        (fun c (c', idx) ->
+          Constr.equal c c'
+          &&
+          let reference = Index.build g c in
+          let agree = ref (Index.n_keys reference = Index.n_keys idx) in
+          Index.iter reference (fun key bucket ->
+              let sort arr = List.sort compare (Array.to_list arr) in
+              if sort bucket <> sort (Index.lookup idx key) then agree := false);
+          !agree)
+        constrs batch)
+
+let test_copy_is_independent () =
+  let tbl, g = movie_world () in
+  let c = Constr.make ~source:[ Label.intern tbl "movie" ] ~target:(Label.intern tbl "actor") ~bound:5 in
+  let idx = Index.build g c in
+  let snapshot = Index.copy idx in
+  let delta = { Digraph.empty_delta with removed_edges = [ (3, 5) ] } in
+  let g' = Digraph.apply_delta g delta in
+  Index.apply_delta idx ~old_graph:g ~new_graph:g' delta;
+  Helpers.check_int "mutated lost the edge" 0 (Index.lookup_count idx [ 3 ]);
+  Helpers.check_int "copy kept it" 1 (Index.lookup_count snapshot [ 3 ])
+
+let test_type1_delta_adds_new_nodes () =
+  let tbl, g = movie_world () in
+  let movie = Label.intern tbl "movie" in
+  let c = Constr.make ~source:[] ~target:movie ~bound:10 in
+  let idx = Index.build g c in
+  let delta = { Digraph.empty_delta with added_nodes = [ (movie, Value.Null) ] } in
+  let g' = Digraph.apply_delta g delta in
+  Index.apply_delta idx ~old_graph:g ~new_graph:g' delta;
+  Helpers.check_int "three movies now" 3 (Index.lookup_count idx [])
+
+let suite =
+  [ Alcotest.test_case "type-1 lookup" `Quick test_type1_lookup;
+    Alcotest.test_case "pair lookup" `Quick test_pair_lookup;
+    Alcotest.test_case "violation detected" `Quick test_violation_detected;
+    Alcotest.test_case "size counts keys and payload" `Quick test_size_counts_keys_and_payload;
+    lookup_matches_naive;
+    incremental_matches_rebuild;
+    build_many_matches_build;
+    Alcotest.test_case "copy is independent" `Quick test_copy_is_independent;
+    Alcotest.test_case "type-1 delta adds new nodes" `Quick test_type1_delta_adds_new_nodes ]

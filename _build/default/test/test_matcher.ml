@@ -1,0 +1,189 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_matcher
+
+let t = Predicate.true_
+
+(* A triangle with labels A -> B -> C -> A plus a pendant B. *)
+let triangle () =
+  let tbl = Label.create_table () in
+  let g =
+    Helpers.graph tbl
+      [ ("A", Value.Int 1); ("B", Value.Int 2); ("C", Value.Int 3); ("B", Value.Int 9) ]
+      [ (0, 1); (1, 2); (2, 0); (0, 3) ]
+  in
+  (tbl, g)
+
+let test_vf2_path () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  ignore tbl;
+  Helpers.check_int "two A->B matches" 2 (Vf2.count_matches g q)
+
+let test_vf2_triangle () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t); ("C", t) ] [ (0, 1); (1, 2); (2, 0) ] in
+  Helpers.check_int "one triangle" 1 (Vf2.count_matches g q);
+  match Vf2.find_first g q with
+  | Some m -> Helpers.check_true "the triangle" (Array.to_list m = [ 0; 1; 2 ])
+  | None -> Alcotest.fail "expected a match"
+
+let test_vf2_respects_direction () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("B", t); ("A", t) ] [ (0, 1) ] in
+  (* No B -> A edge exists. *)
+  Helpers.check_int "no matches" 0 (Vf2.count_matches g q)
+
+let test_vf2_predicates () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", Predicate.atom Value.Ge (Value.Int 5)) ] [ (0, 1) ] in
+  Helpers.check_int "only the pendant B" 1 (Vf2.count_matches g q)
+
+let test_vf2_injectivity () =
+  let tbl = Label.create_table () in
+  (* One A pointing at a single B; pattern wants two distinct Bs. *)
+  let g = Helpers.graph tbl [ ("A", Value.Null); ("B", Value.Null) ] [ (0, 1) ] in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t); ("B", t) ] [ (0, 1); (0, 2) ] in
+  Helpers.check_int "injective: no match" 0 (Vf2.count_matches g q)
+
+let test_vf2_limit_and_candidates () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  Helpers.check_int "limit 1" 1 (Vf2.count_matches ~limit:1 g q);
+  let candidates = [| [| 0 |]; [| 3 |] |] in
+  Helpers.check_int "candidate restriction" 1 (Vf2.count_matches ~candidates g q);
+  let candidates = [| [| 0 |]; [||] |] in
+  Helpers.check_int "empty candidates" 0 (Vf2.count_matches ~candidates g q)
+
+let test_vf2_empty_pattern () =
+  let tbl, g = triangle () in
+  ignore tbl;
+  let q = Pattern.create (Digraph.label_table g) [||] [] in
+  Helpers.check_int "one empty match" 1 (Vf2.count_matches g q)
+
+let test_gsim_basic () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let sim = Gsim.run g q in
+  Helpers.check_true "A simulates" (sim.(0) = [| 0 |]);
+  (* Both Bs are valid simulation partners (no outgoing requirement). *)
+  Helpers.check_true "both Bs" (sim.(1) = [| 1; 3 |])
+
+let test_gsim_needs_successor () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("B", t); ("C", t) ] [ (0, 1) ] in
+  let sim = Gsim.run g q in
+  (* Pendant B (node 3) has no C successor. *)
+  Helpers.check_true "only cycle B" (sim.(0) = [| 1 |]);
+  Helpers.check_true "C" (sim.(1) = [| 2 |])
+
+let test_gsim_empty_when_unsatisfiable () =
+  let tbl, g = triangle () in
+  let q = Helpers.pattern tbl [ ("C", t); ("B", t) ] [ (0, 1) ] in
+  (* No C -> B edge. *)
+  let sim = Gsim.run g q in
+  Helpers.check_true "empty relation" (Gsim.is_empty sim);
+  Helpers.check_int "size 0" 0 (Gsim.relation_size sim)
+
+let test_gsim_cycle_non_local () =
+  (* The paper's G1: simulation can relate pattern cycles to long graph
+     cycles — strictly more matches than isomorphism. *)
+  let tbl = Label.create_table () in
+  let g1 = Bpq_workload.Workload.g1 tbl ~n:5 in
+  let q =
+    Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1); (1, 0) ]
+  in
+  let sim = Gsim.run g1 q in
+  (* Every A on the cycle simulates u0?  A->B->A alternates forever. *)
+  Helpers.check_int "all A nodes" 5 (Array.length sim.(0));
+  Helpers.check_int "all B nodes" 5 (Array.length sim.(1))
+
+let vf2_matches_brute_force =
+  Helpers.qcheck ~count:80 "VF2 equals brute force on tiny graphs"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:8 ~edges:14 ~labels:3 tbl in
+      let r = Bpq_util.Prng.create seed in
+      let q =
+        Bpq_pattern.Qgen.random
+          ~config:{ Bpq_pattern.Qgen.default_config with min_nodes = 2; max_nodes = 4 }
+          r g
+      in
+      Helpers.sort_matches (Vf2.matches g q)
+      = Helpers.sort_matches (Naive.iso_matches g q))
+
+let gsim_matches_naive =
+  Helpers.qcheck ~count:80 "counter-based gsim equals naive fixpoint"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:20 ~edges:60 ~labels:3 tbl in
+      let r = Bpq_util.Prng.create seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      Helpers.norm_sim (Gsim.run g q) = Helpers.norm_sim (Gsim.naive g q))
+
+let opt_variants_agree =
+  Helpers.qcheck ~count:40 "optVF2/optgsim agree with the plain algorithms"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:30 ~edges:90 ~labels:4 tbl in
+      let constrs = Bpq_access.Discovery.discover g in
+      let schema = Bpq_access.Schema.build g constrs in
+      let r = Bpq_util.Prng.create seed in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      Helpers.sort_matches (Opt_match.opt_vf2_matches schema q)
+      = Helpers.sort_matches (Vf2.matches g q)
+      && Helpers.norm_sim (Opt_match.opt_gsim schema q) = Helpers.norm_sim (Gsim.run g q))
+
+let test_deadline_raises () =
+  let tbl = Label.create_table () in
+  (* A dense bipartite blob where VF2 has lots of branching. *)
+  let n = 14 in
+  let nodes = List.init (2 * n) (fun i -> ((if i < n then "A" else "B"), Value.Null)) in
+  let edges =
+    List.concat_map (fun i -> List.init n (fun j -> (i, n + j))) (List.init n Fun.id)
+  in
+  let g = Helpers.graph tbl nodes edges in
+  let q =
+    Helpers.pattern tbl
+      [ ("A", t); ("B", t); ("A", t); ("B", t); ("A", t); ("B", t) ]
+      [ (0, 1); (2, 1); (2, 3); (4, 3); (4, 5); (0, 5) ]
+  in
+  let deadline = Bpq_util.Timer.deadline_after 0.02 in
+  match Vf2.count_matches ~deadline g q with
+  | exception Bpq_util.Timer.Timeout -> ()
+  | n ->
+    (* Fast machines may finish; the count must then be the true one. *)
+    Helpers.check_true "finished with a sane count" (n > 0)
+
+let suite =
+  [ Alcotest.test_case "vf2 path" `Quick test_vf2_path;
+    Alcotest.test_case "vf2 triangle" `Quick test_vf2_triangle;
+    Alcotest.test_case "vf2 respects direction" `Quick test_vf2_respects_direction;
+    Alcotest.test_case "vf2 predicates" `Quick test_vf2_predicates;
+    Alcotest.test_case "vf2 injectivity" `Quick test_vf2_injectivity;
+    Alcotest.test_case "vf2 limit and candidates" `Quick test_vf2_limit_and_candidates;
+    Alcotest.test_case "vf2 empty pattern" `Quick test_vf2_empty_pattern;
+    Alcotest.test_case "gsim basic" `Quick test_gsim_basic;
+    Alcotest.test_case "gsim needs successor" `Quick test_gsim_needs_successor;
+    Alcotest.test_case "gsim empty when unsatisfiable" `Quick test_gsim_empty_when_unsatisfiable;
+    Alcotest.test_case "gsim cycle is non-local" `Quick test_gsim_cycle_non_local;
+    vf2_matches_brute_force;
+    gsim_matches_naive;
+    opt_variants_agree;
+    Alcotest.test_case "deadline raises" `Quick test_deadline_raises ]
+
+let blind_matches_anchored =
+  Helpers.qcheck ~count:40 "blind VF2 finds the same matches"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:25 ~edges:70 ~labels:3 tbl in
+      let r = Bpq_util.Prng.create seed in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      Helpers.sort_matches (Vf2.matches ~blind:true g q)
+      = Helpers.sort_matches (Vf2.matches g q))
+
+let suite = suite @ [ blind_matches_anchored ]

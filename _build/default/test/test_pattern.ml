@@ -1,0 +1,168 @@
+open Bpq_graph
+open Bpq_pattern
+
+(* Predicate *)
+
+let test_predicate_eval () =
+  let p =
+    Predicate.conj (Predicate.atom Value.Ge (Value.Int 5)) (Predicate.atom Value.Le (Value.Int 8))
+  in
+  Helpers.check_true "in range" (Predicate.eval p (Value.Int 6));
+  Helpers.check_true "boundary lo" (Predicate.eval p (Value.Int 5));
+  Helpers.check_true "boundary hi" (Predicate.eval p (Value.Int 8));
+  Helpers.check_false "below" (Predicate.eval p (Value.Int 4));
+  Helpers.check_false "above" (Predicate.eval p (Value.Int 9));
+  Helpers.check_false "null fails ordering" (Predicate.eval p Value.Null);
+  Helpers.check_true "empty conjunction is true" (Predicate.eval Predicate.true_ Value.Null)
+
+let test_predicate_string_equality () =
+  let p = Predicate.atom Value.Eq (Value.Str "fr") in
+  Helpers.check_true "equal string" (Predicate.eval p (Value.Str "fr"));
+  Helpers.check_false "different string" (Predicate.eval p (Value.Str "de"));
+  Helpers.check_false "int vs string" (Predicate.eval p (Value.Int 3))
+
+let test_predicate_strict_ops () =
+  let lt = Predicate.atom Value.Lt (Value.Int 3) and gt = Predicate.atom Value.Gt (Value.Int 3) in
+  Helpers.check_true "lt" (Predicate.eval lt (Value.Int 2));
+  Helpers.check_false "lt equal" (Predicate.eval lt (Value.Int 3));
+  Helpers.check_true "gt" (Predicate.eval gt (Value.Int 4));
+  Helpers.check_false "gt equal" (Predicate.eval gt (Value.Int 3))
+
+let test_predicate_misc () =
+  Helpers.check_int "arity" 2
+    (Predicate.arity (Predicate.conj (Predicate.atom Value.Eq (Value.Int 1)) (Predicate.atom Value.Lt (Value.Int 9))));
+  Helpers.check_true "equal up to order"
+    (Predicate.equal
+       (Predicate.conj (Predicate.atom Value.Eq (Value.Int 1)) (Predicate.atom Value.Lt (Value.Int 9)))
+       (Predicate.conj (Predicate.atom Value.Lt (Value.Int 9)) (Predicate.atom Value.Eq (Value.Int 1))));
+  Alcotest.(check string) "to_string" ">= 2011 & <= 2013"
+    (Predicate.to_string
+       (Predicate.conj (Predicate.atom Value.Ge (Value.Int 2011)) (Predicate.atom Value.Le (Value.Int 2013))))
+
+(* Value *)
+
+let test_value_compare () =
+  Helpers.check_true "null < int" (Value.compare Value.Null (Value.Int 0) < 0);
+  Helpers.check_true "int < str" (Value.compare (Value.Int 99) (Value.Str "a") < 0);
+  Helpers.check_true "int order" (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Helpers.check_true "str order" (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  Helpers.check_true "equal" (Value.equal (Value.Str "x") (Value.Str "x"))
+
+let test_value_strings () =
+  Alcotest.(check string) "null" "null" (Value.to_string Value.Null);
+  Alcotest.(check string) "int" "7" (Value.to_string (Value.Int 7));
+  Alcotest.(check string) "str" "\"hi\"" (Value.to_string (Value.Str "hi"));
+  Helpers.check_true "op roundtrip"
+    (List.for_all
+       (fun op -> Value.op_of_string (Value.op_to_string op) = Some op)
+       [ Value.Eq; Value.Lt; Value.Gt; Value.Le; Value.Ge ]);
+  Helpers.check_true "unknown op" (Value.op_of_string "!=" = None)
+
+(* Pattern structure *)
+
+let diamond tbl =
+  Helpers.pattern tbl
+    [ ("A", Predicate.true_); ("B", Predicate.true_); ("B", Predicate.true_); ("C", Predicate.true_) ]
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_pattern_structure () =
+  let tbl = Label.create_table () in
+  let q = diamond tbl in
+  Helpers.check_int "nodes" 4 (Pattern.n_nodes q);
+  Helpers.check_int "edges" 4 (Pattern.n_edges q);
+  Helpers.check_int "size" 8 (Pattern.size q);
+  Helpers.check_true "children of 0" (List.sort compare (Pattern.children q 0) = [ 1; 2 ]);
+  Helpers.check_true "parents of 3" (List.sort compare (Pattern.parents q 3) = [ 1; 2 ]);
+  Helpers.check_true "neighbours of 1" (Pattern.neighbours q 1 = [ 0; 3 ]);
+  Helpers.check_true "has_edge" (Pattern.has_edge q 0 1);
+  Helpers.check_false "no reverse edge" (Pattern.has_edge q 1 0);
+  Helpers.check_int "out degree" 2 (Pattern.out_degree q 0);
+  Helpers.check_int "in degree" 2 (Pattern.in_degree q 3);
+  Helpers.check_true "connected" (Pattern.is_connected q);
+  Helpers.check_int "labels used" 3 (List.length (Pattern.labels_used q))
+
+let test_pattern_disconnected () =
+  let tbl = Label.create_table () in
+  let q =
+    Helpers.pattern tbl [ ("A", Predicate.true_); ("B", Predicate.true_) ] []
+  in
+  Helpers.check_false "two isolated nodes" (Pattern.is_connected q)
+
+let test_pattern_dedups_edges () =
+  let tbl = Label.create_table () in
+  let q =
+    Helpers.pattern tbl [ ("A", Predicate.true_); ("B", Predicate.true_) ] [ (0, 1); (0, 1) ]
+  in
+  Helpers.check_int "one edge" 1 (Pattern.n_edges q)
+
+let test_pattern_rejects_bad_edge () =
+  let tbl = Label.create_table () in
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Pattern.create: bad endpoint") (fun () ->
+      ignore (Helpers.pattern tbl [ ("A", Predicate.true_) ] [ (0, 1) ]))
+
+let test_pred_count () =
+  let tbl = Label.create_table () in
+  let q =
+    Helpers.pattern tbl
+      [ ("A", Predicate.atom Value.Eq (Value.Int 1));
+        ( "B",
+          Predicate.conj (Predicate.atom Value.Ge (Value.Int 0)) (Predicate.atom Value.Le (Value.Int 9)) ) ]
+      [ (0, 1) ]
+  in
+  Helpers.check_int "atoms" 3 (Pattern.pred_count q)
+
+(* Parser *)
+
+let test_parser_roundtrip () =
+  let tbl = Label.create_table () in
+  let src = "n a award\nn y year >=2011 <=2013\nn m movie\ne m a\ne m y\n" in
+  let q = Pattern_parser.parse_string tbl src in
+  Helpers.check_int "nodes" 3 (Pattern.n_nodes q);
+  Helpers.check_int "edges" 2 (Pattern.n_edges q);
+  Helpers.check_int "predicates" 2 (Pattern.pred_count q);
+  let q2 = Pattern_parser.parse_string tbl (Pattern_parser.to_source q) in
+  Helpers.check_int "roundtrip nodes" (Pattern.n_nodes q) (Pattern.n_nodes q2);
+  Helpers.check_true "roundtrip edges" (Pattern.edges q = Pattern.edges q2);
+  Helpers.check_true "roundtrip preds"
+    (List.for_all2 Bpq_pattern.Predicate.equal
+       (List.init 3 (Pattern.pred q))
+       (List.init 3 (Pattern.pred q2)))
+
+let test_parser_string_atom () =
+  let tbl = Label.create_table () in
+  let q = Pattern_parser.parse_string tbl "n c country =\"france\"\n" in
+  Helpers.check_true "string predicate"
+    (Predicate.eval (Pattern.pred q 0) (Value.Str "france"))
+
+let test_parser_comments_and_blanks () =
+  let tbl = Label.create_table () in
+  let q = Pattern_parser.parse_string tbl "# header\n\nn x A\n  \n# tail\n" in
+  Helpers.check_int "one node" 1 (Pattern.n_nodes q)
+
+let expect_failure name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let tbl = Label.create_table () in
+      match Pattern_parser.parse_string tbl src with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected parse failure")
+
+let suite =
+  [ Alcotest.test_case "predicate eval" `Quick test_predicate_eval;
+    Alcotest.test_case "predicate string equality" `Quick test_predicate_string_equality;
+    Alcotest.test_case "predicate strict ops" `Quick test_predicate_strict_ops;
+    Alcotest.test_case "predicate misc" `Quick test_predicate_misc;
+    Alcotest.test_case "value compare" `Quick test_value_compare;
+    Alcotest.test_case "value strings" `Quick test_value_strings;
+    Alcotest.test_case "pattern structure" `Quick test_pattern_structure;
+    Alcotest.test_case "pattern disconnected" `Quick test_pattern_disconnected;
+    Alcotest.test_case "pattern dedups edges" `Quick test_pattern_dedups_edges;
+    Alcotest.test_case "pattern rejects bad edge" `Quick test_pattern_rejects_bad_edge;
+    Alcotest.test_case "pred count" `Quick test_pred_count;
+    Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser string atom" `Quick test_parser_string_atom;
+    Alcotest.test_case "parser comments" `Quick test_parser_comments_and_blanks;
+    expect_failure "parser rejects duplicate node" "n x A\nn x B\n";
+    expect_failure "parser rejects unknown edge endpoint" "n x A\ne x y\n";
+    expect_failure "parser rejects bad atom" "n x A >>3\n";
+    expect_failure "parser rejects unknown decl" "q x A\n" ]

@@ -1,0 +1,101 @@
+open Bpq_graph
+open Bpq_core
+module W = Bpq_workload.Workload
+
+let test_sat_mul () =
+  Helpers.check_int "normal" 12 (Plan.sat_mul 3 4);
+  Helpers.check_int "zero" 0 (Plan.sat_mul 0 max_int);
+  Helpers.check_int "saturates" max_int (Plan.sat_mul (max_int / 2) 3);
+  Helpers.check_int "saturated times anything" max_int (Plan.sat_mul max_int 2);
+  Helpers.check_int "one" max_int (Plan.sat_mul 1 max_int)
+
+let test_sat_add () =
+  Helpers.check_int "normal" 7 (Plan.sat_add 3 4);
+  Helpers.check_int "saturates" max_int (Plan.sat_add max_int 1);
+  Helpers.check_int "saturates both" max_int (Plan.sat_add (max_int - 1) 5)
+
+let q0_plan () =
+  let tbl = Label.create_table () in
+  (tbl, Qplan.generate_exn Actualized.Subgraph (W.q0 tbl) (W.a0 tbl))
+
+let test_bounds_sum_estimates () =
+  let _, plan = q0_plan () in
+  Helpers.check_int "node bound is the estimate sum"
+    (Array.fold_left ( + ) 0 plan.node_estimates)
+    (Plan.node_bound plan);
+  Helpers.check_int "edge bound sums directive estimates"
+    (List.fold_left (fun acc (ec : Plan.edge_check) -> acc + ec.est) 0 plan.edge_checks)
+    (Plan.edge_bound plan)
+
+let test_to_string_mentions_everything () =
+  let _, plan = q0_plan () in
+  let s = Plan.to_string plan in
+  Helpers.check_true "fetches rendered"
+    (List.for_all
+       (fun (f : Plan.fetch) ->
+         let needle = Printf.sprintf "u%d" f.unode in
+         let rec contains i =
+           i + String.length needle <= String.length s
+           && (String.sub s i (String.length needle) = needle || contains (i + 1))
+         in
+         contains 0)
+       plan.fetches);
+  Helpers.check_true "bounds line present"
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 7 <= String.length s && (String.sub s i 7 = "bounds:" || contains (i + 1))
+    in
+    contains 0)
+
+let test_edge_checks_cover_all_edges () =
+  let tbl = Label.create_table () in
+  let q0 = W.q0 tbl in
+  let plan = Qplan.generate_exn Actualized.Subgraph q0 (W.a0 tbl) in
+  let checked = List.map (fun (ec : Plan.edge_check) -> ec.edge) plan.edge_checks in
+  Helpers.check_true "every pattern edge has a directive"
+    (List.for_all (fun e -> List.mem e checked) (Bpq_pattern.Pattern.edges q0))
+
+let test_directive_anchors_include_other_endpoint () =
+  let tbl = Label.create_table () in
+  let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 tbl) (W.a0 tbl) in
+  List.iter
+    (fun (ec : Plan.edge_check) ->
+      let u1, u2 = ec.edge in
+      let other = if ec.target_side = u1 then u2 else u1 in
+      Helpers.check_true "other endpoint anchors the lookup"
+        (List.exists (fun (_, anchor) -> anchor = other) ec.anchors);
+      Helpers.check_true "target side is an endpoint"
+        (ec.target_side = u1 || ec.target_side = u2);
+      (* The directive's constraint targets the target side's label. *)
+      Helpers.check_int "constraint targets the target side"
+        (Bpq_pattern.Pattern.label plan.pattern ec.target_side)
+        ec.via.target)
+    plan.edge_checks
+
+let anchors_match_source_labels =
+  Helpers.qcheck ~count:60 "fetch anchors carry the constraint's source labels"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      match Qplan.generate Actualized.Subgraph q constrs with
+      | None -> true
+      | Some plan ->
+        List.for_all
+          (fun (f : Plan.fetch) ->
+            List.sort compare (List.map fst f.anchors) = f.constr.source
+            && List.for_all
+                 (fun (label, anchor) -> Bpq_pattern.Pattern.label q anchor = label)
+                 f.anchors)
+          plan.fetches)
+
+let suite =
+  [ Alcotest.test_case "sat_mul" `Quick test_sat_mul;
+    Alcotest.test_case "sat_add" `Quick test_sat_add;
+    Alcotest.test_case "bounds sum estimates" `Quick test_bounds_sum_estimates;
+    Alcotest.test_case "to_string mentions everything" `Quick test_to_string_mentions_everything;
+    Alcotest.test_case "edge checks cover all edges" `Quick test_edge_checks_cover_all_edges;
+    Alcotest.test_case "directive anchors include other endpoint" `Quick
+      test_directive_anchors_include_other_endpoint;
+    anchors_match_source_labels ]

@@ -1,0 +1,121 @@
+open Bpq_util
+
+let test_determinism () =
+  let a = Prng.create 1 and b = Prng.create 1 in
+  for _ = 1 to 100 do
+    Helpers.check_true "same stream" (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Helpers.check_true "different seeds diverge" !differs
+
+let test_int_range () =
+  let r = Helpers.rng () in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 7 in
+    Helpers.check_true "in [0,7)" (v >= 0 && v < 7)
+  done
+
+let test_int_in_range () =
+  let r = Helpers.rng () in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in r (-3) 5 in
+    Helpers.check_true "in [-3,5]" (v >= -3 && v <= 5)
+  done;
+  Helpers.check_int "degenerate range" 4 (Prng.int_in r 4 4)
+
+let test_int_rejects_bad_bound () =
+  let r = Helpers.rng () in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int r 0))
+
+let test_int_covers_all_values () =
+  let r = Helpers.rng () in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int r 5) <- true
+  done;
+  Helpers.check_true "every residue appears" (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let r = Helpers.rng () in
+  for _ = 1 to 1000 do
+    let v = Prng.float r 2.5 in
+    Helpers.check_true "in [0,2.5)" (v >= 0.0 && v < 2.5)
+  done
+
+let test_split_independence () =
+  let parent = Prng.create 5 in
+  let child = Prng.split parent in
+  (* The parent advanced, and the two streams are not locked together. *)
+  let same = ref 0 in
+  for _ = 1 to 32 do
+    if Prng.bits64 parent = Prng.bits64 child then incr same
+  done;
+  Helpers.check_true "streams diverge" (!same < 32)
+
+let test_copy_preserves_state () =
+  let a = Helpers.rng () in
+  let b = Prng.copy a in
+  for _ = 1 to 50 do
+    Helpers.check_true "copies replay" (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_pick () =
+  let r = Helpers.rng () in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Helpers.check_true "picked element" (Array.mem (Prng.pick r arr) arr)
+  done
+
+let test_shuffle_is_permutation () =
+  let r = Helpers.rng () in
+  let arr = Array.init 20 Fun.id in
+  Prng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Helpers.check_true "permutation" (sorted = Array.init 20 Fun.id)
+
+let test_zipf_range_and_skew () =
+  let r = Helpers.rng () in
+  let counts = Array.make 50 0 in
+  for _ = 1 to 20_000 do
+    let k = Prng.zipf r ~n:50 ~s:1.1 in
+    Helpers.check_true "rank in range" (k >= 0 && k < 50);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Helpers.check_true "rank 0 dominates rank 10" (counts.(0) > counts.(10));
+  Helpers.check_true "rank 1 beats rank 30" (counts.(1) > counts.(30))
+
+let test_geometric () =
+  let r = Helpers.rng () in
+  Helpers.check_int "p=1 is always 0" 0 (Prng.geometric r ~p:1.0);
+  let total = ref 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.geometric r ~p:0.5 in
+    Helpers.check_true "non-negative" (v >= 0);
+    total := !total + v
+  done;
+  let mean = float_of_int !total /. 10_000.0 in
+  (* Mean of Geometric(0.5) counting failures is 1. *)
+  Helpers.check_true "mean near 1" (mean > 0.8 && mean < 1.2)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "pick" `Quick test_pick;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "zipf range and skew" `Quick test_zipf_range_and_skew;
+    Alcotest.test_case "geometric" `Quick test_geometric ]

@@ -1,0 +1,79 @@
+open Bpq_graph
+open Bpq_pattern
+
+let dataset () =
+  let tbl = Label.create_table () in
+  (tbl, Generators.random ~seed:99 ~nodes:120 ~edges:400 ~labels:6 tbl)
+
+let test_random_respects_config () =
+  let _, g = dataset () in
+  let r = Helpers.rng () in
+  for _ = 1 to 50 do
+    let q = Qgen.random r g in
+    let n = Pattern.n_nodes q and e = Pattern.n_edges q in
+    Helpers.check_true "node range" (n >= 3 && n <= 7);
+    Helpers.check_true "edge lower" (e >= 1);
+    Helpers.check_true "edge upper" (e <= int_of_float (1.5 *. float_of_int n));
+    Helpers.check_true "pred count" (Pattern.pred_count q <= 8)
+  done
+
+let test_from_walk_connected_and_satisfiable () =
+  let _, g = dataset () in
+  let r = Helpers.rng () in
+  for _ = 1 to 30 do
+    let q = Qgen.from_walk r g in
+    Helpers.check_true "connected" (Pattern.is_connected q);
+    (* The walk pattern is carved from the graph, so at least one match
+       exists. *)
+    Helpers.check_true "has a match" (Bpq_matcher.Vf2.find_first g q <> None)
+  done
+
+let test_with_nodes_pins_count () =
+  let _, g = dataset () in
+  let r = Helpers.rng () in
+  for n = 3 to 7 do
+    let q = Qgen.with_nodes ~nodes:n r g in
+    Helpers.check_int "exact node count" n (Pattern.n_nodes q)
+  done
+
+let test_workload_size_and_mix () =
+  let _, g = dataset () in
+  let r = Helpers.rng () in
+  let qs = Qgen.workload r g 20 in
+  Helpers.check_int "workload size" 20 (List.length qs)
+
+let test_determinism () =
+  let tbl1 = Label.create_table () in
+  let g1 = Generators.random ~seed:5 ~nodes:50 ~edges:150 ~labels:4 tbl1 in
+  let q_a = Qgen.random (Bpq_util.Prng.create 1) g1 in
+  let q_b = Qgen.random (Bpq_util.Prng.create 1) g1 in
+  Helpers.check_true "same seed same query"
+    (Pattern_parser.to_source q_a = Pattern_parser.to_source q_b)
+
+let test_empty_graph_rejected () =
+  let tbl = Label.create_table () in
+  let g = Helpers.graph tbl [] [] in
+  let r = Helpers.rng () in
+  Alcotest.check_raises "random on empty" (Invalid_argument "Qgen.random: empty graph")
+    (fun () -> ignore (Qgen.random r g));
+  Alcotest.check_raises "walk on empty" (Invalid_argument "Qgen.from_walk: empty graph")
+    (fun () -> ignore (Qgen.from_walk r g))
+
+let generated_predicates_satisfiable =
+  Helpers.qcheck ~count:40 "walk queries keep their seed match"
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let g = Generators.random ~seed ~nodes:60 ~edges:200 ~labels:5 tbl in
+      let q = Qgen.from_walk (Bpq_util.Prng.create seed) g in
+      Bpq_matcher.Vf2.find_first g q <> None)
+
+let suite =
+  [ Alcotest.test_case "random respects config" `Quick test_random_respects_config;
+    Alcotest.test_case "from_walk connected and satisfiable" `Quick
+      test_from_walk_connected_and_satisfiable;
+    Alcotest.test_case "with_nodes pins count" `Quick test_with_nodes_pins_count;
+    Alcotest.test_case "workload size" `Quick test_workload_size_and_mix;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "empty graph rejected" `Quick test_empty_graph_rejected;
+    generated_predicates_satisfiable ]

@@ -1,0 +1,182 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+open Bpq_core
+module W = Bpq_workload.Workload
+
+let t = Predicate.true_
+
+let test_q0_plan_structure () =
+  (* Example 6: six fetching operations, type-(1) seeds first. *)
+  let tbl = Label.create_table () in
+  let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 tbl) (W.a0 tbl) in
+  Helpers.check_int "six fetches" 6 (List.length plan.fetches);
+  Helpers.check_int "six edge checks" 6 (List.length plan.edge_checks);
+  (* Every pattern node is fetched exactly once here (no reductions). *)
+  let fetched = List.map (fun (f : Plan.fetch) -> f.unode) plan.fetches in
+  Helpers.check_true "all nodes once" (List.sort compare fetched = [ 0; 1; 2; 3; 4; 5 ])
+
+let test_q0_plan_estimates_paper () =
+  (* Example 1/6 arithmetic under the distinct-value assumption:
+     17791 nodes fetched, 35136 candidate edges. *)
+  let tbl = Label.create_table () in
+  let plan =
+    Qplan.generate_exn ~assume_distinct_values:true Actualized.Subgraph (W.q0 tbl) (W.a0 tbl)
+  in
+  Helpers.check_int "node bound (paper 17791)" 17791 (Plan.node_bound plan);
+  Helpers.check_int "edge bound (paper 35136)" 35136 (Plan.edge_bound plan);
+  (* Per-node worst cases from Example 6: 24, 3, 288, 8640, 8640, 196. *)
+  Helpers.check_true "per-node estimates"
+    (Array.to_list plan.node_estimates = [ 24; 3; 288; 8640; 8640; 196 ])
+
+let test_q2_sim_plan_estimates_paper () =
+  (* Example 11: 8 candidate nodes (4+2+1+1), 12 candidate edges
+     (4+4+2+2). *)
+  let tbl = Label.create_table () in
+  let plan = Qplan.generate_exn Actualized.Simulation (W.q2 tbl) (W.a1 tbl) in
+  Helpers.check_int "node bound (paper 8)" 8 (Plan.node_bound plan);
+  Helpers.check_int "edge bound (paper 12)" 12 (Plan.edge_bound plan);
+  Helpers.check_true "per-node estimates"
+    (Array.to_list plan.node_estimates = [ 4; 2; 1; 1 ])
+
+let test_unbounded_query_has_no_plan () =
+  let tbl = Label.create_table () in
+  Helpers.check_true "Q1 has no simulation plan"
+    (Qplan.generate Actualized.Simulation (W.q1 tbl) (W.a1 tbl) = None);
+  Alcotest.check_raises "generate_exn raises"
+    (Invalid_argument "Qplan.generate_exn: query is not effectively bounded") (fun () ->
+      ignore (Qplan.generate_exn Actualized.Simulation (W.q1 tbl) (W.a1 tbl)))
+
+let test_plan_agrees_with_ebchk () =
+  let check seed =
+    let _, g, constrs, r = Helpers.random_instance seed in
+    let q = Bpq_pattern.Qgen.random r g in
+    List.iter
+      (fun semantics ->
+        let bounded = Ebchk.check semantics q constrs in
+        let plan = Qplan.generate semantics q constrs in
+        Helpers.check_true "plan iff bounded" (bounded = (plan <> None)))
+      [ Actualized.Subgraph; Actualized.Simulation ]
+  in
+  List.iter check [ 11; 22; 33; 44; 55; 66; 77; 88 ]
+
+let test_fetch_order_respects_dependencies () =
+  let tbl = Label.create_table () in
+  let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 tbl) (W.a0 tbl) in
+  (* Anchors of each fetch must have been fetched earlier. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Plan.fetch) ->
+      List.iter
+        (fun (_, anchor) ->
+          Helpers.check_true "anchor fetched before use" (Hashtbl.mem seen anchor))
+        f.anchors;
+      Hashtbl.replace seen f.unode ())
+    plan.fetches
+
+let test_tighter_constraint_preferred () =
+  let tbl = Label.create_table () in
+  let l = Label.intern tbl in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let a =
+    [ Constr.make ~source:[] ~target:(l "A") ~bound:10;
+      Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:50;
+      Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:5;
+      Constr.make ~source:[] ~target:(l "B") ~bound:1000 ]
+  in
+  let plan = Qplan.generate_exn Actualized.Subgraph q a in
+  (* B's final estimate must use the tight bound: 10 * 5 = 50, beating the
+     type-(1) 1000 and the loose 10 * 50 = 500. *)
+  Helpers.check_int "B estimate" 50 plan.node_estimates.(1)
+
+let test_type1_beats_expensive_deduction () =
+  let tbl = Label.create_table () in
+  let l = Label.intern tbl in
+  let q = Helpers.pattern tbl [ ("A", t); ("B", t) ] [ (0, 1) ] in
+  let a =
+    [ Constr.make ~source:[] ~target:(l "A") ~bound:100;
+      Constr.make ~source:[ l "A" ] ~target:(l "B") ~bound:50;
+      Constr.make ~source:[] ~target:(l "B") ~bound:7 ]
+  in
+  let plan = Qplan.generate_exn Actualized.Subgraph q a in
+  Helpers.check_int "B stays type-1" 7 plan.node_estimates.(1)
+
+(* Worst-case optimality on small instances: exhaustive search over
+   alternative per-node deduction choices can do no better. *)
+let rec all_assignments sn size saturated q remaining =
+  match remaining with
+  | [] -> [ Array.copy size ]
+  | u :: rest ->
+    (* Either keep the current estimate or improve via any saturated
+       constraint; explore every choice. *)
+    let choices = ref [ size.(u) ] in
+    List.iter
+      (fun (phi : Actualized.t) ->
+        if phi.target = u then begin
+          let ok = ref true and cost = ref phi.constr.bound in
+          List.iter
+            (fun (_, members) ->
+              let usable = List.filter (fun v -> sn.(v)) members in
+              match usable with
+              | [] -> ok := false
+              | _ ->
+                let m = List.fold_left (fun acc v -> min acc size.(v)) max_int usable in
+                cost := Plan.sat_mul !cost m)
+            phi.groups;
+          if !ok then choices := !cost :: !choices
+        end)
+      saturated;
+    List.concat_map
+      (fun c ->
+        let saved = size.(u) in
+        if c <= size.(u) then begin
+          size.(u) <- c;
+          let results = all_assignments sn size saturated q rest in
+          size.(u) <- saved;
+          results
+        end
+        else [])
+      (List.sort_uniq compare !choices)
+
+let test_worst_case_optimality_small () =
+  List.iter
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let q = Bpq_pattern.Qgen.random r g in
+      match Qplan.generate Actualized.Subgraph q constrs with
+      | None -> ()
+      | Some plan ->
+        (* The plan's per-node bound must be at most the bound obtained by
+           any single round of alternative choices over the fixpoint's own
+           saturated constraints. *)
+        let cover = Cover.compute Actualized.Subgraph q constrs in
+        let saturated = Cover.saturated cover in
+        let nq = Pattern.n_nodes q in
+        let sn = Array.make nq true in
+        let size = Array.copy plan.node_estimates in
+        let alternatives =
+          all_assignments sn size saturated q (List.init nq Fun.id)
+        in
+        List.iter
+          (fun alt ->
+            let alt_total = Array.fold_left Plan.sat_add 0 alt in
+            Helpers.check_true "plan no worse than alternative"
+              (Plan.node_bound plan <= alt_total || alt_total < 0))
+          alternatives)
+    [ 3; 14; 25; 36 ]
+
+let suite =
+  [ Alcotest.test_case "Q0 plan structure" `Quick test_q0_plan_structure;
+    Alcotest.test_case "Q0 plan estimates (paper Example 6)" `Quick
+      test_q0_plan_estimates_paper;
+    Alcotest.test_case "Q2 sim plan estimates (paper Example 11)" `Quick
+      test_q2_sim_plan_estimates_paper;
+    Alcotest.test_case "unbounded query has no plan" `Quick test_unbounded_query_has_no_plan;
+    Alcotest.test_case "plan exists iff EBChk accepts" `Quick test_plan_agrees_with_ebchk;
+    Alcotest.test_case "fetch order respects dependencies" `Quick
+      test_fetch_order_respects_dependencies;
+    Alcotest.test_case "tighter constraint preferred" `Quick test_tighter_constraint_preferred;
+    Alcotest.test_case "type-1 beats expensive deduction" `Quick
+      test_type1_beats_expensive_deduction;
+    Alcotest.test_case "worst-case optimality on small instances" `Quick
+      test_worst_case_optimality_small ]

@@ -1,0 +1,145 @@
+open Bpq_util
+
+(* Vec *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  Helpers.check_true "fresh is empty" (Vec.is_empty v);
+  Vec.push v 1;
+  Vec.push v 2;
+  Vec.push v 3;
+  Helpers.check_int "length" 3 (Vec.length v);
+  Helpers.check_int "pop" 3 (Vec.pop v);
+  Helpers.check_int "length after pop" 2 (Vec.length v)
+
+let test_vec_get_set () =
+  let v = Vec.of_array [| 5; 6; 7 |] in
+  Helpers.check_int "get" 6 (Vec.get v 1);
+  Vec.set v 1 42;
+  Helpers.check_int "set" 42 (Vec.get v 1);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3))
+
+let test_vec_growth () =
+  let v = Vec.create ~capacity:1 () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Helpers.check_int "length" 1000 (Vec.length v);
+  for i = 0 to 999 do
+    Helpers.check_int "element" i (Vec.get v i)
+  done
+
+let test_vec_sort_uniq () =
+  let v = Vec.of_array [| 3; 1; 3; 2; 1; 1 |] in
+  Vec.sort_uniq v;
+  Helpers.check_true "sorted distinct" (Vec.to_array v = [| 1; 2; 3 |])
+
+let test_vec_roundtrip () =
+  let arr = [| 9; 8; 7; 9 |] in
+  Helpers.check_true "roundtrip" (Vec.to_array (Vec.of_array arr) = arr)
+
+let test_vec_clear_iter_exists () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Helpers.check_true "exists" (Vec.exists (fun x -> x = 2) v);
+  Helpers.check_false "not exists" (Vec.exists (fun x -> x = 9) v);
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Helpers.check_int "iter sum" 6 !sum;
+  Vec.clear v;
+  Helpers.check_true "cleared" (Vec.is_empty v)
+
+let vec_model =
+  Helpers.qcheck "vec behaves like a list model"
+    QCheck2.Gen.(list (int_bound 100))
+    (fun ops ->
+      let v = Vec.create () in
+      List.iter (Vec.push v) ops;
+      Vec.to_array v = Array.of_list ops
+      && Vec.length v = List.length ops
+      && (ops = [] || Vec.get v 0 = List.hd ops))
+
+let vec_sort_uniq_model =
+  Helpers.qcheck "sort_uniq matches List.sort_uniq"
+    QCheck2.Gen.(list (int_bound 20))
+    (fun xs ->
+      let v = Vec.of_array (Array.of_list xs) in
+      Vec.sort_uniq v;
+      Array.to_list (Vec.to_array v) = List.sort_uniq compare xs)
+
+(* Stats *)
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "median" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean of equal" 4.0 (Stats.geometric_mean [ 4.0; 4.0 ]);
+  Helpers.check_true "mean of empty is nan" (Float.is_nan (Stats.mean []))
+
+let test_stats_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0; 50.0 ] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p50" 30.0 (Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile 1.0 xs)
+
+(* Table *)
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b" ];
+  let rendered = Table.render t in
+  Helpers.check_true "has header" (String.length rendered > 0);
+  let lines = String.split_on_char '\n' rendered in
+  Helpers.check_int "rows + header + rule" 4 (List.length lines);
+  (* All lines align to the same width. *)
+  match lines with
+  | header :: _ ->
+    List.iter
+      (fun l -> Helpers.check_true "aligned" (String.length l <= String.length header + 2))
+      lines
+  | [] -> Alcotest.fail "no lines"
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "1.500" (Table.cell_float 1.5);
+  Alcotest.(check string) "us" "5.0us" (Table.cell_time 5e-6);
+  Alcotest.(check string) "ms" "12.00ms" (Table.cell_time 0.012);
+  Alcotest.(check string) "s" "4.50s" (Table.cell_time 4.5);
+  Alcotest.(check string) "n/a" "n/a" (Table.cell_time (-1.0));
+  Alcotest.(check string) "ratio" "1.30e-03" (Table.cell_ratio 0.0013)
+
+(* Timer *)
+
+let test_timer_deadline () =
+  Helpers.check_false "no_deadline never expires" (Timer.expired Timer.no_deadline);
+  let d = Timer.deadline_after 1000.0 in
+  Helpers.check_false "future deadline" (Timer.expired d);
+  let d = Timer.deadline_after (-1.0) in
+  (* Amortised check: force enough calls to consult the clock. *)
+  let tripped = ref false in
+  for _ = 1 to 10_000 do
+    if Timer.expired d then tripped := true
+  done;
+  Helpers.check_true "past deadline trips" !tripped
+
+let test_timer_time () =
+  let x, elapsed = Timer.time (fun () -> 42) in
+  Helpers.check_int "result" 42 x;
+  Helpers.check_true "non-negative" (elapsed >= 0.0)
+
+let suite =
+  [ Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
+    Alcotest.test_case "vec get/set" `Quick test_vec_get_set;
+    Alcotest.test_case "vec growth" `Quick test_vec_growth;
+    Alcotest.test_case "vec sort_uniq" `Quick test_vec_sort_uniq;
+    Alcotest.test_case "vec roundtrip" `Quick test_vec_roundtrip;
+    Alcotest.test_case "vec clear/iter/exists" `Quick test_vec_clear_iter_exists;
+    vec_model;
+    vec_sort_uniq_model;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "timer deadline" `Quick test_timer_deadline;
+    Alcotest.test_case "timer time" `Quick test_timer_time ]

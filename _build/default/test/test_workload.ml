@@ -1,0 +1,86 @@
+open Bpq_graph
+open Bpq_access
+module W = Bpq_workload.Workload
+
+let test_imdb_satisfies_schema () =
+  let ds = W.imdb ~scale:0.02 () in
+  Helpers.check_true "IMDbG satisfies its schema" (Schema.satisfied ds.schema);
+  Helpers.check_true "has the 8 paper constraints" (List.length ds.constrs >= 8)
+
+let test_imdb_cardinalities () =
+  let ds = W.imdb ~scale:0.02 () in
+  let count name = Digraph.count_label ds.graph (Label.intern ds.table name) in
+  Helpers.check_int "135 years" 135 (count "year");
+  Helpers.check_int "24 awards" 24 (count "award");
+  Helpers.check_int "196 countries" 196 (count "country");
+  Helpers.check_true "movies exist" (count "movie" > 0);
+  Helpers.check_true "cast exists" (count "actor" > 0 && count "actress" > 0)
+
+let test_imdb_scales () =
+  let small = W.imdb ~scale:0.01 () in
+  let large = W.imdb ~scale:0.03 () in
+  Helpers.check_true "scale grows the graph"
+    (Digraph.size large.graph > Digraph.size small.graph)
+
+let test_dbpedia_and_web () =
+  List.iter
+    (fun ds ->
+      Helpers.check_true
+        (ds.W.name ^ " satisfies discovered schema")
+        (Schema.satisfied ds.W.schema);
+      Helpers.check_true (ds.W.name ^ " has constraints") (ds.W.constrs <> []);
+      Helpers.check_true (ds.W.name ^ " non-trivial") (Digraph.size ds.W.graph > 100))
+    [ W.dbpedia ~scale:0.01 (); W.web ~scale:0.01 () ]
+
+let test_g1_structure () =
+  let tbl = Label.create_table () in
+  let g = W.g1 tbl ~n:4 in
+  Helpers.check_int "2n + 2 nodes" 10 (Digraph.n_nodes g);
+  Helpers.check_int "cycle + 2 edges" 10 (Digraph.n_edges g);
+  let l = Label.intern tbl in
+  Helpers.check_int "A count" 4 (Digraph.count_label g (l "A"));
+  Helpers.check_int "B count" 4 (Digraph.count_label g (l "B"));
+  Helpers.check_int "one C" 1 (Digraph.count_label g (l "C"));
+  (* The cycle closes. *)
+  Helpers.check_true "cycle edge" (Digraph.has_edge g 7 0)
+
+let test_generators_deterministic () =
+  let t1 = Label.create_table () and t2 = Label.create_table () in
+  let g1 = Generators.imdb_like ~seed:9 ~scale:0.01 t1 in
+  let g2 = Generators.imdb_like ~seed:9 ~scale:0.01 t2 in
+  Helpers.check_int "same nodes" (Digraph.n_nodes g1) (Digraph.n_nodes g2);
+  Helpers.check_int "same edges" (Digraph.n_edges g1) (Digraph.n_edges g2)
+
+let test_web_power_law_ish () =
+  let tbl = Label.create_table () in
+  let g = Generators.web_like ~seed:3 ~scale:0.05 tbl in
+  (* Power-law-ish: the max in-degree dwarfs the average. *)
+  let max_in = ref 0 and total = ref 0 in
+  Digraph.iter_nodes g (fun v ->
+      max_in := max !max_in (Digraph.in_degree g v);
+      total := !total + Digraph.in_degree g v);
+  let avg = float_of_int !total /. float_of_int (Digraph.n_nodes g) in
+  Helpers.check_true "heavy tail" (float_of_int !max_in > 10.0 *. avg)
+
+let test_dbpedia_enum_classes_bounded () =
+  let tbl = Label.create_table () in
+  let g = Generators.dbpedia_like ~seed:4 ~scale:0.05 tbl in
+  (* Enum labels have scale-independent cardinality. *)
+  let ok = ref true in
+  List.iter
+    (fun l ->
+      let name = Label.name tbl l in
+      if String.length name >= 5 && String.sub name 0 5 = "enum_" then
+        if Digraph.count_label g l > 250 then ok := false)
+    (Label.all tbl);
+  Helpers.check_true "enum classes bounded" !ok
+
+let suite =
+  [ Alcotest.test_case "imdb satisfies schema" `Quick test_imdb_satisfies_schema;
+    Alcotest.test_case "imdb cardinalities" `Quick test_imdb_cardinalities;
+    Alcotest.test_case "imdb scales" `Quick test_imdb_scales;
+    Alcotest.test_case "dbpedia and web" `Quick test_dbpedia_and_web;
+    Alcotest.test_case "g1 structure" `Quick test_g1_structure;
+    Alcotest.test_case "generators deterministic" `Quick test_generators_deterministic;
+    Alcotest.test_case "web power-law-ish" `Quick test_web_power_law_ish;
+    Alcotest.test_case "dbpedia enum classes bounded" `Quick test_dbpedia_enum_classes_bounded ]
