@@ -1,0 +1,30 @@
+# Development entry points.  `make ci` is what the CI workflow runs.
+
+.PHONY: all build test bench-fast clean check-tree ci
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Quick end-to-end smoke of the benchmark harness (small scales, short
+# cut-offs); BPQ_JOBS=1 forces a sequential run for comparison.
+bench-fast:
+	BENCH_FAST=1 dune exec bench/main.exe
+
+clean:
+	dune clean
+
+# Fail if build artifacts or local droppings ever land in the index
+# again (a committed _build/ shipped with the original seed).
+check-tree:
+	@bad=$$(git ls-files | grep -E '^_build/|\.install$$' || true); \
+	if [ -n "$$bad" ]; then \
+	  echo "error: build artifacts tracked by git:"; echo "$$bad"; exit 1; \
+	fi
+	@echo "tree clean: no build artifacts tracked"
+
+ci: check-tree build test

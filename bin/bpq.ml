@@ -145,7 +145,14 @@ let plan_cmd =
 
 (* run *)
 
+module Pool = Bpq_util.Pool
+
 let run_cmd =
+  let patterns_arg =
+    Arg.(non_empty & opt_all file []
+         & info [ "q"; "query" ] ~docv:"FILE"
+             ~doc:"Pattern query file (repeatable; several queries evaluate as a batch).")
+  in
   let limit =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Stop after N matches.")
   in
@@ -159,12 +166,106 @@ let run_cmd =
          & info [ "explain" ]
              ~doc:"Print the EXPLAIN-ANALYZE report (per-operation estimate vs realised) instead of the matches.")
   in
-  let run semantics graph pattern constraints limit fallback explain =
+  let jobs =
+    Arg.(value & opt int (Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Evaluate batched queries on N domains (default: \\$BPQ_JOBS or the \
+                   recommended domain count; 1 forces sequential evaluation).")
+  in
+  let print_matches matches =
+    List.iter
+      (fun m ->
+        print_endline
+          (String.concat " "
+             (Array.to_list (Array.mapi (fun u v -> Printf.sprintf "u%d=%d" u v) m))))
+      matches
+  in
+  let print_relation sim =
+    Array.iteri
+      (fun u vs ->
+        Printf.printf "u%d: %s\n" u
+          (String.concat " " (List.map string_of_int (Array.to_list vs))))
+      sim
+  in
+  let run_single semantics g schema a q limit fallback explain =
+    match Qplan.generate semantics q a with
+    | Some plan when explain ->
+      let analysis = Explain.analyze schema plan in
+      print_string analysis.report;
+      0
+    | Some plan ->
+      (match semantics with
+       | Actualized.Subgraph ->
+         let matches, stats = Bounded_eval.bvf2_with_stats schema plan in
+         let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
+         print_matches matches;
+         Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
+           (List.length matches) (Exec.accessed stats) (Digraph.size g)
+       | Actualized.Simulation ->
+         let sim, stats = Bounded_eval.bsim_with_stats schema plan in
+         print_relation sim;
+         Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
+           (Bpq_matcher.Gsim.relation_size sim)
+           (Exec.accessed stats) (Digraph.size g));
+      0
+    | None when fallback ->
+      (match semantics with
+       | Actualized.Subgraph ->
+         let ms = Bpq_matcher.Vf2.matches ?limit g q in
+         Printf.printf "# not bounded; conventional VF2 found %d matches\n" (List.length ms)
+       | Actualized.Simulation ->
+         let sim = Bpq_matcher.Gsim.run g q in
+         Printf.printf "# not bounded; conventional gsim relation size %d\n"
+           (Bpq_matcher.Gsim.relation_size sim));
+      0
+    | None ->
+      prerr_endline (Ebchk.report q (Ebchk.diagnose semantics q a));
+      prerr_endline "hint: pass --fallback to evaluate conventionally";
+      1
+  in
+  (* Several -q files: plan and evaluate them as one batch on the pool.
+     Answers are printed in command-line order and are identical to a
+     sequential (--jobs 1) run. *)
+  let run_batch pool semantics g schema queries limit fallback =
+    let outcomes = Batch.eval_patterns ~pool ?limit semantics schema (List.map snd queries) in
+    let status = ref 0 in
+    List.iter2
+      (fun (path, q) (_, outcome) ->
+        Printf.printf "== %s ==\n" path;
+        match outcome with
+        | Some (Batch.Answer (Batch.Matches matches, elapsed)) ->
+          let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
+          print_matches matches;
+          Printf.printf "# %d matches (%.2fms)\n" (List.length matches) (elapsed *. 1000.0)
+        | Some (Batch.Answer (Batch.Relation sim, elapsed)) ->
+          print_relation sim;
+          Printf.printf "# relation size %d (%.2fms)\n"
+            (Bpq_matcher.Gsim.relation_size sim) (elapsed *. 1000.0)
+        | Some (Batch.Timeout elapsed) ->
+          Printf.printf "# did not finish (> %.2fs)\n" elapsed
+        | None when fallback ->
+          (match semantics with
+           | Actualized.Subgraph ->
+             let ms = Bpq_matcher.Vf2.matches ?limit g q in
+             Printf.printf "# not bounded; conventional VF2 found %d matches\n" (List.length ms)
+           | Actualized.Simulation ->
+             let sim = Bpq_matcher.Gsim.run g q in
+             Printf.printf "# not bounded; conventional gsim relation size %d\n"
+               (Bpq_matcher.Gsim.relation_size sim))
+        | None ->
+          print_endline "# not effectively bounded (see `bpq check`)";
+          status := 1)
+      queries outcomes;
+    !status
+  in
+  let run semantics graph patterns constraints limit fallback explain jobs =
     let tbl = Label.create_table () in
     let g = Graph_io.load tbl graph in
-    let q = Pattern_parser.load tbl pattern in
+    let queries = List.map (fun path -> (path, Pattern_parser.load tbl path)) patterns in
     let a = parse_constraints tbl constraints in
-    let schema = Schema.build g a in
+    let pool = Pool.create jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let schema = Schema.build ~pool g a in
     if not (Schema.satisfied schema) then begin
       prerr_endline "error: the graph does not satisfy the access constraints:";
       List.iter
@@ -174,52 +275,22 @@ let run_cmd =
       2
     end
     else
-      match Qplan.generate semantics q a with
-      | Some plan when explain ->
-        let analysis = Explain.analyze schema plan in
-        print_string analysis.report;
+      match queries with
+      | [ (_, q) ] -> run_single semantics g schema a q limit fallback explain
+      | _ when explain ->
+        List.iter
+          (fun (path, q) ->
+            Printf.printf "== %s ==\n" path;
+            match Qplan.generate semantics q a with
+            | Some plan -> print_string (Explain.analyze schema plan).Explain.report
+            | None -> print_endline "# not effectively bounded (see `bpq check`)")
+          queries;
         0
-      | Some plan ->
-        (match semantics with
-         | Actualized.Subgraph ->
-           let matches, stats = Bounded_eval.bvf2_with_stats schema plan in
-           let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
-           List.iter
-             (fun m ->
-               print_endline
-                 (String.concat " "
-                    (Array.to_list (Array.mapi (fun u v -> Printf.sprintf "u%d=%d" u v) m))))
-             matches;
-           Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
-             (List.length matches) (Exec.accessed stats) (Digraph.size g)
-         | Actualized.Simulation ->
-           let sim, stats = Bounded_eval.bsim_with_stats schema plan in
-           Array.iteri
-             (fun u vs ->
-               Printf.printf "u%d: %s\n" u
-                 (String.concat " " (List.map string_of_int (Array.to_list vs))))
-             sim;
-           Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
-             (Bpq_matcher.Gsim.relation_size sim)
-             (Exec.accessed stats) (Digraph.size g));
-        0
-      | None when fallback ->
-        (match semantics with
-         | Actualized.Subgraph ->
-           let ms = Bpq_matcher.Vf2.matches ?limit g q in
-           Printf.printf "# not bounded; conventional VF2 found %d matches\n" (List.length ms)
-         | Actualized.Simulation ->
-           let sim = Bpq_matcher.Gsim.run g q in
-           Printf.printf "# not bounded; conventional gsim relation size %d\n"
-             (Bpq_matcher.Gsim.relation_size sim));
-        0
-      | None ->
-        prerr_endline (Ebchk.report q (Ebchk.diagnose semantics q a));
-        prerr_endline "hint: pass --fallback to evaluate conventionally";
-        1
+      | _ -> run_batch pool semantics g schema queries limit fallback
   in
-  Cmd.v (Cmd.info "run" ~doc:"Evaluate a pattern query through its bounded plan.")
-    Term.(const run $ semantics_arg $ graph_arg $ pattern_arg $ constraints_arg $ limit $ fallback $ explain)
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
+    Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_arg $ limit
+          $ fallback $ explain $ jobs)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in

@@ -59,57 +59,66 @@ let remove_contributions t g w =
   in
   List.iter remove_from (contributions g t.constr w)
 
-let build g (c : Constr.t) =
-  let t = { constr = c; buckets = Hashtbl.create 256 } in
+let fill t g =
+  let c = t.constr in
   if Constr.is_type1 c then begin
     let vec = Vec.of_array (Digraph.nodes_with_label g c.target) in
     if not (Vec.is_empty vec) then Hashtbl.replace t.buckets [] vec
   end
-  else Digraph.iter_label g c.target (fun w -> add_contributions t g w);
+  else Digraph.iter_label g c.target (fun w -> add_contributions t g w)
+
+let build g (c : Constr.t) =
+  let t = { constr = c; buckets = Hashtbl.create 256 } in
+  fill t g;
   t
 
-let build_many g constrs =
-  (* Group the type-(2) constraints by target label; everything else is
-     built individually. *)
+let build_many ?(pool = Bpq_util.Pool.sequential) g constrs =
+  (* One empty shell per constraint up front; the filling work is then a
+     set of tasks each of which writes only its own shells' buckets, so
+     the tasks run on the pool with no shared mutation and the result is
+     identical for every pool size. *)
+  let shells =
+    List.map (fun c -> (c, { constr = c; buckets = Hashtbl.create 256 })) constrs
+  in
+  (* Single-source type-(2) constraints with the same target label share
+     one scan over that label's nodes; everything else fills solo. *)
   let type2_by_target : (Bpq_graph.Label.t, (Bpq_graph.Label.t * t) list ref) Hashtbl.t =
     Hashtbl.create 16
   in
-  let shells =
-    List.map
-      (fun (c : Constr.t) ->
-        match c.source with
-        | [ s ] ->
-          let shell = { constr = c; buckets = Hashtbl.create 256 } in
-          let group =
-            match Hashtbl.find_opt type2_by_target c.target with
-            | Some g -> g
-            | None ->
-              let g = ref [] in
-              Hashtbl.replace type2_by_target c.target g;
-              g
-          in
-          group := (s, shell) :: !group;
-          (c, shell)
-        | [] | _ :: _ :: _ -> (c, build g c))
-      constrs
+  let solo = ref [] in
+  List.iter
+    (fun ((c : Constr.t), shell) ->
+      match c.source with
+      | [ s ] ->
+        (match Hashtbl.find_opt type2_by_target c.target with
+         | Some group -> group := (s, shell) :: !group
+         | None -> Hashtbl.replace type2_by_target c.target (ref [ (s, shell) ]))
+      | [] | _ :: _ :: _ -> solo := shell :: !solo)
+    shells;
+  let scan_group target group () =
+    let by_source : (Bpq_graph.Label.t, t list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (s, shell) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_source s) in
+        Hashtbl.replace by_source s (shell :: prev))
+      !group;
+    Digraph.iter_label g target (fun w ->
+        Array.iter
+          (fun v ->
+            match Hashtbl.find_opt by_source (Digraph.label g v) with
+            | None -> ()
+            | Some group_shells ->
+              List.iter (fun shell -> Vec.push (bucket_for shell [ v ]) w) group_shells)
+          (Digraph.neighbours g w))
   in
-  Hashtbl.iter
-    (fun target group ->
-      let by_source : (Bpq_graph.Label.t, t list) Hashtbl.t = Hashtbl.create 8 in
-      List.iter
-        (fun (s, shell) ->
-          let prev = Option.value ~default:[] (Hashtbl.find_opt by_source s) in
-          Hashtbl.replace by_source s (shell :: prev))
-        !group;
-      Digraph.iter_label g target (fun w ->
-          Array.iter
-            (fun v ->
-              match Hashtbl.find_opt by_source (Digraph.label g v) with
-              | None -> ()
-              | Some shells ->
-                List.iter (fun shell -> Vec.push (bucket_for shell [ v ]) w) shells)
-            (Digraph.neighbours g w)))
-    type2_by_target;
+  let tasks =
+    Array.of_list
+      (Hashtbl.fold
+         (fun target group acc -> scan_group target group :: acc)
+         type2_by_target
+         (List.rev_map (fun shell () -> fill shell g) !solo))
+  in
+  Bpq_util.Pool.run_all pool tasks;
   shells
 
 let lookup t vs =

@@ -19,12 +19,18 @@ type t
 
 val build : Digraph.t -> Constr.t -> t
 
-val build_many : Digraph.t -> Constr.t list -> (Constr.t * t) list
+val build_many :
+  ?pool:Bpq_util.Pool.t -> Digraph.t -> Constr.t list -> (Constr.t * t) list
 (** Builds one index per constraint, like {!build}, but shares graph scans
     between type-(2) constraints with the same target label: one pass over
     the target label's nodes serves all of them, so a schema with hundreds
     of degree-bound constraints costs O(|E|) per distinct target label
-    rather than per constraint.  Order of the result matches the input. *)
+    rather than per constraint.  Order of the result matches the input.
+
+    The per-target-label scans are independent (each writes only its own
+    constraints' buckets), so when [pool] has more than one slot they run
+    in parallel on it; the resulting indexes are identical for every pool
+    size.  Defaults to sequential execution. *)
 
 val constr : t -> Constr.t
 

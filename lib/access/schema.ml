@@ -19,7 +19,7 @@ let dedup constrs =
        (fun acc c -> if List.exists (Constr.equal c) acc then acc else c :: acc)
        [] constrs)
 
-let build graph constrs = make graph (Index.build_many graph (dedup constrs))
+let build ?pool graph constrs = make graph (Index.build_many ?pool graph (dedup constrs))
 
 let graph t = t.graph
 let constraints t = List.map fst t.entries
@@ -60,9 +60,9 @@ let total_index_size t =
 
 let restrict t k = make t.graph (List.filteri (fun i _ -> i < k) t.entries)
 
-let extend t constrs =
+let extend ?pool t constrs =
   let fresh = List.filter (fun c -> not (mem t c)) (dedup constrs) in
-  make t.graph (t.entries @ Index.build_many t.graph fresh)
+  make t.graph (t.entries @ Index.build_many ?pool t.graph fresh)
 
 let apply_delta t delta =
   let new_graph = Digraph.apply_delta t.graph delta in

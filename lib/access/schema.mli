@@ -10,8 +10,10 @@ open Bpq_graph
 
 type t
 
-val build : Digraph.t -> Constr.t list -> t
-(** Builds one index per constraint (duplicates collapsed). *)
+val build : ?pool:Bpq_util.Pool.t -> Digraph.t -> Constr.t list -> t
+(** Builds one index per constraint (duplicates collapsed).  [pool]
+    parallelises the underlying {!Index.build_many} scans; the schema is
+    identical for every pool size (defaults to sequential). *)
 
 val graph : t -> Digraph.t
 val constraints : t -> Constr.t list
@@ -49,7 +51,7 @@ val restrict : t -> int -> t
     {!build}) — the Fig. 5(c/g/k) sweep over [‖A‖] without rebuilding
     indexes. *)
 
-val extend : t -> Constr.t list -> t
+val extend : ?pool:Bpq_util.Pool.t -> t -> Constr.t list -> t
 (** Builds indexes for the new constraints against the same graph and
     appends them; existing indexes are shared, not copied. *)
 

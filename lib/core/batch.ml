@@ -1,0 +1,59 @@
+open Bpq_util
+open Bpq_access
+
+type item = {
+  semantics : Actualized.semantics;
+  plan : Plan.t;
+}
+
+let item semantics plan = { semantics; plan }
+
+type answer =
+  | Matches of int array list
+  | Relation of int array array
+
+type outcome =
+  | Answer of answer * float
+  | Timeout of float
+
+let answer_size = function
+  | Matches ms -> List.length ms
+  | Relation sim -> Array.fold_left (fun acc vs -> acc + Array.length vs) 0 sim
+
+let plan_all ?(pool = Pool.sequential) semantics constrs patterns =
+  Pool.map_list pool (fun q -> (q, Qplan.generate semantics q constrs)) patterns
+
+let eval ?(pool = Pool.sequential) ?timeout ?limit schema items =
+  Pool.map_list pool
+    (fun it ->
+      (* The deadline is private to this item: deadlines are mutable and
+         must never cross domains. *)
+      let deadline = Option.map Timer.deadline_after timeout in
+      let start = Timer.now () in
+      match
+        match it.semantics with
+        | Actualized.Subgraph ->
+          Matches (Bounded_eval.bvf2_matches ?deadline ?limit schema it.plan)
+        | Actualized.Simulation -> Relation (Bounded_eval.bsim ?deadline schema it.plan)
+      with
+      | answer -> Answer (answer, Timer.now () -. start)
+      | exception Timer.Timeout -> Timeout (Timer.now () -. start))
+    items
+
+let eval_patterns ?pool ?timeout ?limit semantics schema patterns =
+  let planned = plan_all ?pool semantics (Schema.constraints schema) patterns in
+  let items =
+    List.filter_map (fun (_, p) -> Option.map (item semantics) p) planned
+  in
+  let outcomes = ref (eval ?pool ?timeout ?limit schema items) in
+  List.map
+    (fun (q, p) ->
+      match p with
+      | None -> (q, None)
+      | Some _ ->
+        (match !outcomes with
+         | o :: rest ->
+           outcomes := rest;
+           (q, Some o)
+         | [] -> assert false))
+    planned

@@ -1,0 +1,152 @@
+(* A fixed-size domain pool.
+
+   Work distribution is a shared atomic cursor over the input array: the
+   calling domain and every worker repeatedly claim the next unclaimed
+   index and evaluate it, so a claimed item is always executed by the
+   domain that claimed it.  The caller participates too, which makes the
+   combinators deadlock-free under nesting: even if every worker is busy,
+   the caller drains the whole input itself and only ever waits for items
+   some domain is actively executing. *)
+
+type state = {
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type t = {
+  slots : int;
+  mutable state : state option; (* [None] = sequential *)
+}
+
+let size t = t.slots
+let sequential = { slots = 1; state = None }
+
+let rec worker_loop st =
+  Mutex.lock st.mutex;
+  while Queue.is_empty st.jobs && not st.stop do
+    Condition.wait st.nonempty st.mutex
+  done;
+  if Queue.is_empty st.jobs then Mutex.unlock st.mutex
+  else begin
+    let job = Queue.pop st.jobs in
+    Mutex.unlock st.mutex;
+    (* Jobs trap their own exceptions; a raise here would kill the
+       worker, so swallow defensively. *)
+    (try job () with _ -> ());
+    worker_loop st
+  end
+
+let create n =
+  let n = max 1 (min n 128) in
+  if n = 1 then { slots = 1; state = None }
+  else begin
+    let st =
+      { jobs = Queue.create ();
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        stop = false;
+        workers = [] }
+    in
+    st.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop st));
+    { slots = n; state = Some st }
+  end
+
+let shutdown t =
+  match t.state with
+  | None -> ()
+  | Some st ->
+    Mutex.lock st.mutex;
+    st.stop <- true;
+    Condition.broadcast st.nonempty;
+    Mutex.unlock st.mutex;
+    List.iter Domain.join st.workers;
+    st.workers <- [];
+    t.state <- None
+
+let submit st job =
+  Mutex.lock st.mutex;
+  Queue.push job st.jobs;
+  Condition.signal st.nonempty;
+  Mutex.unlock st.mutex
+
+let default_jobs () =
+  match Sys.getenv_opt "BPQ_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> min n 128
+     | _ -> 1)
+  | None -> min (Domain.recommended_domain_count ()) 8
+
+let default_pool : t option ref = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create (default_jobs ()) in
+    default_pool := Some p;
+    at_exit (fun () -> shutdown p);
+    p
+
+let map_array t f a =
+  let n = Array.length a in
+  match t.state with
+  | _ when n = 0 -> [||]
+  | None -> Array.map f a
+  | Some _ when n = 1 -> Array.map f a
+  | Some st ->
+    let results = Array.make n None in
+    (* First error in input order wins, so the raised exception does not
+       depend on scheduling. *)
+    let error = ref None in
+    let error_mutex = Mutex.create () in
+    let record i e bt =
+      Mutex.lock error_mutex;
+      (match !error with
+       | Some (j, _, _) when j <= i -> ()
+       | _ -> error := Some (i, e, bt));
+      Mutex.unlock error_mutex
+    in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let fin_mutex = Mutex.create () in
+    let fin_cond = Condition.create () in
+    let step () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f a.(i) with
+           | v -> results.(i) <- Some v
+           | exception e -> record i e (Printexc.get_raw_backtrace ()));
+          if Atomic.fetch_and_add completed 1 = n - 1 then begin
+            Mutex.lock fin_mutex;
+            Condition.broadcast fin_cond;
+            Mutex.unlock fin_mutex
+          end;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    for _ = 1 to min (t.slots - 1) (n - 1) do
+      submit st step
+    done;
+    step ();
+    Mutex.lock fin_mutex;
+    while Atomic.get completed < n do
+      Condition.wait fin_cond fin_mutex
+    done;
+    Mutex.unlock fin_mutex;
+    (match !error with
+     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* all completed *))
+      results
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+let iter_array t f a = ignore (map_array t f a : unit array)
+let run_all t thunks = iter_array t (fun th -> th ()) thunks

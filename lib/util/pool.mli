@@ -1,0 +1,59 @@
+(** A fixed-size pool of OCaml 5 domains for data-parallel map over
+    read-only shared structures (frozen {!Bpq_graph.Digraph}s, built
+    indexes).
+
+    The combinators preserve input order, propagate the first exception
+    raised by any task (with its backtrace), and degrade to plain
+    sequential execution when the pool has a single slot — so a
+    [size:1] pool is a drop-in, deterministic replacement used by tests
+    and by machines without spare cores.
+
+    Determinism: a task must not share mutable state (PRNGs included)
+    with any other task; under that contract [map_array pool f a] is
+    observably identical to [Array.map f a] for every pool size, which
+    is what makes parallel index builds and batch query evaluation
+    bit-identical to their sequential runs. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a pool with [n] execution slots: the calling domain
+    plus [n - 1] worker domains (so [create 1] spawns nothing and runs
+    everything sequentially).  [n] is clamped to [[1, 128]]. *)
+
+val size : t -> int
+(** Number of execution slots (>= 1). *)
+
+val sequential : t
+(** The trivial single-slot pool. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool degrades to
+    sequential execution afterwards.  Pools created by {!default} are
+    shut down automatically at exit. *)
+
+val default : unit -> t
+(** The process-wide pool, created on first use with
+    [BPQ_JOBS] slots when that environment variable is a positive
+    integer, and [Domain.recommended_domain_count ()] (capped at 8)
+    otherwise.  [BPQ_JOBS=1] forces sequential execution everywhere. *)
+
+val default_jobs : unit -> int
+(** The slot count {!default} would use, without creating the pool. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f a] is [Array.map f a] with the applications of [f]
+    spread across the pool.  Result order matches input order; if any
+    application raises, the first exception (in input order) is
+    re-raised in the caller after all tasks have settled. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List analogue of {!map_array}. *)
+
+val iter_array : t -> ('a -> unit) -> 'a array -> unit
+(** [map_array] for effects only (each task must touch disjoint
+    state). *)
+
+val run_all : t -> (unit -> unit) array -> unit
+(** Run independent thunks across the pool; exceptions as in
+    {!map_array}. *)

@@ -37,8 +37,7 @@ let print t =
 let cell_float ?(digits = 3) v = Printf.sprintf "%.*f" digits v
 
 let cell_time s =
-  if s < 0.0 then "n/a"
-  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
   else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
   else Printf.sprintf "%.2fs" s
 

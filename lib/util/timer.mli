@@ -20,8 +20,12 @@ val deadline_after : float -> deadline
 (** [deadline_after s] expires [s] seconds from now. *)
 
 val expired : deadline -> bool
-(** Cheap check (amortised: consults the clock only every few thousand
-    calls). *)
+(** Cheap check: consults the clock only every [stride] calls, where the
+    stride adapts so consultations land roughly 10ms of wall clock apart
+    regardless of per-iteration cost (a slow iteration shrinks it, down
+    to every call), and tightens further once more than half the budget
+    is spent — so even very slow per-iteration work cannot overshoot the
+    cut-off by more than a fraction of the remaining budget. *)
 
 exception Timeout
 (** Raised by matchers when their deadline expires. *)

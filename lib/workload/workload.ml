@@ -69,36 +69,36 @@ let g1 tbl ~n =
   Digraph.Builder.add_edge b d cycle.((2 * n) - 1);
   Digraph.Builder.freeze b
 
-let make name graph table constrs =
-  { name; table; graph; constrs; schema = Schema.build graph constrs }
+let make ?pool name graph table constrs =
+  { name; table; graph; constrs; schema = Schema.build ?pool graph constrs }
 
-let imdb ?(seed = 42) ?(scale = 1.0) () =
+let imdb ?pool ?(seed = 42) ?(scale = 1.0) () =
   let table = Label.create_table () in
   let graph = Generators.imdb_like ~seed ~scale table in
   (* The paper's hand-written schema plus discovered constraints, as in
      §VII ("degree bounds, label frequencies and data semantics"). *)
   let constrs = a0 table @ Discovery.discover ~max_bound:60 graph in
-  make "IMDbG" graph table constrs
+  make ?pool "IMDbG" graph table constrs
 
-let dbpedia ?(seed = 43) ?(scale = 1.0) () =
+let dbpedia ?pool ?(seed = 43) ?(scale = 1.0) () =
   let table = Label.create_table () in
   let graph = Generators.dbpedia_like ~seed ~scale table in
   (* Knowledge-graph in-degrees concentrate on popular classes; a higher
      bound cut-off is needed for edge coverage (the paper's example bound
      on IMDb is itself 104). *)
-  make "DBpediaG" graph table
+  make ?pool "DBpediaG" graph table
     (Discovery.discover ~max_bound:250 ~max_constraints:20_000 graph)
 
-let web ?(seed = 44) ?(scale = 1.0) () =
+let web ?pool ?(seed = 44) ?(scale = 1.0) () =
   let table = Label.create_table () in
   let graph = Generators.web_like ~seed ~scale table in
-  make "WebBG" graph table
+  make ?pool "WebBG" graph table
     (Discovery.discover ~max_bound:64 ~max_constraints:100_000 graph)
 
-let all ?seed ?scale () =
-  [ imdb ?seed ?scale (); dbpedia ?seed ?scale (); web ?seed ?scale () ]
+let all ?pool ?seed ?scale () =
+  [ imdb ?pool ?seed ?scale (); dbpedia ?pool ?seed ?scale (); web ?pool ?seed ?scale () ]
 
-let align ds queries =
+let align ?pool ds queries =
   let pairs =
     List.concat_map
       (fun q ->
@@ -112,4 +112,4 @@ let align ds queries =
   else
     { ds with
       constrs = ds.constrs @ zeros;
-      schema = Schema.extend ds.schema zeros }
+      schema = Schema.extend ?pool ds.schema zeros }

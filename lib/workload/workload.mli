@@ -17,20 +17,21 @@ type dataset = {
   schema : Schema.t;
 }
 
-val imdb : ?seed:int -> ?scale:float -> unit -> dataset
+val imdb : ?pool:Bpq_util.Pool.t -> ?seed:int -> ?scale:float -> unit -> dataset
 (** {!Bpq_graph.Generators.imdb_like} with the paper's constraint set
-    {!a0} plus discovered degree bounds. *)
+    {!a0} plus discovered degree bounds.  [pool] parallelises the schema's
+    index build (the dataset is identical for every pool size). *)
 
-val dbpedia : ?seed:int -> ?scale:float -> unit -> dataset
+val dbpedia : ?pool:Bpq_util.Pool.t -> ?seed:int -> ?scale:float -> unit -> dataset
 (** DBpedia-like graph with discovered constraints. *)
 
-val web : ?seed:int -> ?scale:float -> unit -> dataset
+val web : ?pool:Bpq_util.Pool.t -> ?seed:int -> ?scale:float -> unit -> dataset
 (** Web-like graph with discovered constraints. *)
 
-val all : ?seed:int -> ?scale:float -> unit -> dataset list
+val all : ?pool:Bpq_util.Pool.t -> ?seed:int -> ?scale:float -> unit -> dataset list
 (** The three datasets above — the paper's experimental triple. *)
 
-val align : dataset -> Pattern.t list -> dataset
+val align : ?pool:Bpq_util.Pool.t -> dataset -> Pattern.t list -> dataset
 (** Extend the dataset's schema with the vacuous bound-0 constraints for
     the query edges whose label pairs never occur in the graph
     ({!Bpq_access.Discovery.absent_pair_bounds}).  This mirrors the

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "bpq"
     [ ("prng", Test_prng.suite);
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("graph", Test_graph.suite);
       ("pattern", Test_pattern.suite);
       ("io", Test_io.suite);

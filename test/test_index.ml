@@ -161,6 +161,119 @@ let build_many_matches_build =
           !agree)
         constrs batch)
 
+(* A deliberately messy world: duplicate (parallel) edges, bidirectional
+   pairs and self-loops — the shapes the CSR freeze collapses and the
+   delta path has to renormalise. *)
+let messy_world seed =
+  let module Prng = Bpq_util.Prng in
+  let r = Prng.create ((seed * 31) + 7) in
+  let tbl = Label.create_table () in
+  let labels =
+    Array.init (3 + Prng.int r 3) (fun i -> Label.intern tbl (Printf.sprintf "L%d" i))
+  in
+  let b = Digraph.Builder.create tbl in
+  let n = 12 + Prng.int r 20 in
+  for _ = 1 to n do
+    ignore (Digraph.Builder.add_node b (Prng.pick r labels) Value.Null)
+  done;
+  for _ = 1 to 3 * n do
+    let s = Prng.int r n and d = Prng.int r n in
+    Digraph.Builder.add_edge b s d;
+    if Prng.bool r then Digraph.Builder.add_edge b d s;
+    if Prng.int r 4 = 0 then Digraph.Builder.add_edge b s d (* duplicate *)
+  done;
+  for _ = 1 to 1 + (n / 6) do
+    let v = Prng.int r n in
+    Digraph.Builder.add_edge b v v
+  done;
+  (tbl, Digraph.Builder.freeze b, labels, r)
+
+let random_constr r labels =
+  let module Prng = Bpq_util.Prng in
+  let target = Prng.pick r labels in
+  let source =
+    List.filter
+      (fun l -> l <> target)
+      (List.init (Prng.int r 3) (fun _ -> Prng.pick r labels))
+  in
+  Constr.make ~source ~target ~bound:1000
+
+let same_buckets a b =
+  let agree = ref (Index.n_keys a = Index.n_keys b) in
+  let check x y =
+    Index.iter x (fun key bucket ->
+        let sort arr = List.sort compare (Array.to_list arr) in
+        if sort bucket <> sort (Index.lookup y key) then agree := false)
+  in
+  check a b;
+  check b a;
+  !agree
+
+let build_many_matches_build_messy =
+  Helpers.qcheck ~count:60 "build_many equals build on multi-edge/self-loop graphs"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, labels, r = messy_world seed in
+      let constrs =
+        List.init 6 (fun _ -> random_constr r labels) |> List.sort_uniq Constr.compare
+      in
+      let batch = Index.build_many g constrs in
+      let pool = Bpq_util.Pool.create 3 in
+      let batch_par = Index.build_many ~pool g constrs in
+      Bpq_util.Pool.shutdown pool;
+      List.for_all2
+        (fun c ((c', idx), (c'', idx_par)) ->
+          Constr.equal c c' && Constr.equal c c''
+          && same_buckets (Index.build g c) idx
+          && same_buckets idx idx_par)
+        constrs
+        (List.combine batch batch_par))
+
+let delta_matches_rebuild_edge_cases =
+  Helpers.qcheck ~count:60
+    "apply_delta equals rebuild under self-loops and fresh target nodes"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let module Prng = Bpq_util.Prng in
+      let _, g, labels, r = messy_world seed in
+      let c = random_constr r labels in
+      let idx = Index.build g c in
+      let n = Digraph.n_nodes g in
+      let existing =
+        let acc = ref [] in
+        Digraph.iter_edges g (fun s t -> acc := (s, t) :: !acc);
+        !acc
+      in
+      (* Fresh nodes n and n+1 both carry the target label (the type-1
+         path must pick them up even with no incident edge for n+1's
+         twin), n+2 carries a random label. *)
+      let delta =
+        { Digraph.added_nodes =
+            [ (c.Constr.target, Value.Null);
+              (c.Constr.target, Value.Null);
+              (Prng.pick r labels, Value.Null) ];
+          added_edges =
+            [ (Prng.int r n, Prng.int r n);
+              (Prng.int r n, Prng.int r n) (* possibly a duplicate *);
+              (let v = Prng.int r n in
+               (v, v));
+              (* self-loop on an existing node *)
+              (n, n);
+              (* self-loop on a fresh target-labeled node *)
+              (n, n + 1);
+              (* edge between fresh nodes *)
+              (Prng.int r n, n + 2);
+              (n + 2, Prng.int r n) ];
+          removed_edges =
+            (* A few real edges, plus an edge that may not exist (removal
+               of a non-edge must be a no-op). *)
+            (Prng.int r n, Prng.int r n)
+            :: List.filteri (fun i _ -> i < 5) existing }
+      in
+      let g' = Digraph.apply_delta g delta in
+      Index.apply_delta idx ~old_graph:g ~new_graph:g' delta;
+      same_buckets idx (Index.build g' c))
+
 let test_copy_is_independent () =
   let tbl, g = movie_world () in
   let c = Constr.make ~source:[ Label.intern tbl "movie" ] ~target:(Label.intern tbl "actor") ~bound:5 in
@@ -190,5 +303,7 @@ let suite =
     lookup_matches_naive;
     incremental_matches_rebuild;
     build_many_matches_build;
+    build_many_matches_build_messy;
+    delta_matches_rebuild_edge_cases;
     Alcotest.test_case "copy is independent" `Quick test_copy_is_independent;
     Alcotest.test_case "type-1 delta adds new nodes" `Quick test_type1_delta_adds_new_nodes ]

@@ -106,7 +106,6 @@ let test_table_cells () =
   Alcotest.(check string) "us" "5.0us" (Table.cell_time 5e-6);
   Alcotest.(check string) "ms" "12.00ms" (Table.cell_time 0.012);
   Alcotest.(check string) "s" "4.50s" (Table.cell_time 4.5);
-  Alcotest.(check string) "n/a" "n/a" (Table.cell_time (-1.0));
   Alcotest.(check string) "ratio" "1.30e-03" (Table.cell_ratio 0.0013)
 
 (* Timer *)
@@ -128,6 +127,31 @@ let test_timer_time () =
   Helpers.check_int "result" 42 x;
   Helpers.check_true "non-negative" (elapsed >= 0.0)
 
+(* The stride adapts to slow per-iteration work: with ~1ms of work per
+   [expired] call and a 50ms budget, the deadline must trip within a small
+   multiple of the budget (the old fixed 4096-call stride would have taken
+   seconds to notice). *)
+let test_timer_adaptive_stride () =
+  let busy_ms until_s =
+    let start = Timer.now () in
+    while Timer.now () -. start < until_s do
+      ignore (Sys.opaque_identity (Hashtbl.hash start))
+    done
+  in
+  let budget = 0.05 in
+  let d = Timer.deadline_after budget in
+  let start = Timer.now () in
+  let tripped = ref false in
+  let i = ref 0 in
+  while (not !tripped) && !i < 1000 do
+    busy_ms 0.001;
+    if Timer.expired d then tripped := true;
+    incr i
+  done;
+  let elapsed = Timer.now () -. start in
+  Helpers.check_true "tripped" !tripped;
+  Helpers.check_true "overshoot bounded" (elapsed < 8.0 *. budget)
+
 let suite =
   [ Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
     Alcotest.test_case "vec get/set" `Quick test_vec_get_set;
@@ -142,4 +166,5 @@ let suite =
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table cells" `Quick test_table_cells;
     Alcotest.test_case "timer deadline" `Quick test_timer_deadline;
-    Alcotest.test_case "timer time" `Quick test_timer_time ]
+    Alcotest.test_case "timer time" `Quick test_timer_time;
+    Alcotest.test_case "timer adaptive stride" `Quick test_timer_adaptive_stride ]
