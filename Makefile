@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast clean check-tree ci
+.PHONY: all build test bench-fast bench-micro clean check-tree ci
 
 all: build
 
@@ -14,6 +14,14 @@ test:
 # cut-offs); BPQ_JOBS=1 forces a sequential run for comparison.
 bench-fast:
 	BENCH_FAST=1 dune exec bench/main.exe
+
+# Kernel microbenches (edge-probe, index-lookup, tuple-enum, match-verify)
+# on a small IMDb-like graph; jq validates the JSON artefact so CI fails
+# on malformed output.
+bench-micro:
+	BENCH_FAST=1 dune exec bench/main.exe -- micro --json _bench
+	jq -e '.kernels | length >= 4' _bench/BENCH_micro.json >/dev/null
+	@echo "bench-micro: _bench/BENCH_micro.json OK"
 
 clean:
 	dune clean

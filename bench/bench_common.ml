@@ -49,6 +49,57 @@ let section title =
 
 let subsection title = Printf.printf "\n--- %s ---\n%!" title
 
+(* --json DIR support: every section that renders tables also accumulates
+   them as JSON; the driver writes one BENCH_<exp>.json per section with
+   the tables, the run parameters, and any extra fields the section
+   pushed (e.g. the micro section's per-kernel numbers). *)
+
+module Json = Json_out
+
+let json_dir : string option ref = ref None
+let json_tables : Json.t list ref = ref []
+let json_extra : (string * Json.t) list ref = ref []
+
+let begin_section_json () =
+  json_tables := [];
+  json_extra := []
+
+let table_json t =
+  Json.Obj
+    [ ("headers", Json.Arr (List.map (fun h -> Json.Str h) (Table.headers t)));
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun row -> Json.Arr (List.map (fun c -> Json.Str c) row))
+             (Table.rows t)) ) ]
+
+(* Drop-in for [Table.print] that also records the table for --json. *)
+let print_table t =
+  Table.print t;
+  json_tables := table_json t :: !json_tables
+
+let push_json_field name v = json_extra := (name, v) :: !json_extra
+
+let write_section_json exp elapsed =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let obj =
+      Json.Obj
+        ([ ("exp", Json.Str exp);
+           ("scale", Json.Float base_scale);
+           ("fast", Json.Bool fast);
+           ("jobs", Json.Int (Pool.size pool));
+           ("elapsed_s", Json.Float elapsed);
+           ("tables", Json.Arr (List.rev !json_tables)) ]
+        @ List.rev !json_extra)
+    in
+    let path = Filename.concat dir ("BENCH_" ^ exp ^ ".json") in
+    let oc = open_out path in
+    output_string oc (Json.to_string obj);
+    output_char oc '\n';
+    close_out oc
+
 (* Timed run with the bench cut-off.  A run that hits the cut-off reports
    the real elapsed time at the cut (always >= the configured timeout, up
    to deadline-check slack) — no sentinel values. *)

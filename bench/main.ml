@@ -35,7 +35,7 @@ let exp1_percentage () =
           string_of_int (pct Actualized.Subgraph);
           string_of_int (pct Actualized.Simulation) ])
     dataset_names;
-  Table.print table
+  print_table table
 
 (* ------------------------------------------------------------------ *)
 (* Fig 5 (a,e,i): evaluation time vs |G|                               *)
@@ -120,7 +120,7 @@ let fig5_vary_g () =
             :: string_of_int (Digraph.size graph)
             :: List.map (fun (_, t) -> cell_avg t) results))
         scales;
-      Table.print table)
+      print_table table)
     dataset_names
 
 (* ------------------------------------------------------------------ *)
@@ -152,7 +152,7 @@ let fig5_vary_q () =
         Table.add_row table
           (string_of_int n :: List.map (fun (_, t) -> cell_avg t) results)
       done;
-      Table.print table)
+      print_table table)
     dataset_names
 
 (* ------------------------------------------------------------------ *)
@@ -214,7 +214,7 @@ let fig5_vary_a () =
                 cell_avg (get "bVF2");
                 cell_avg (get "bSim") ])
           steps;
-        Table.print table
+        print_table table
       end)
     dataset_names
 
@@ -270,7 +270,7 @@ let fig5_data_size () =
         Table.add_row table
           [ string_of_int n; cell sub_acc; cell sim_acc; cell sub_idx; cell sim_idx ]
       done;
-      Table.print table)
+      print_table table)
     dataset_names
 
 (* ------------------------------------------------------------------ *)
@@ -310,7 +310,7 @@ let fig6_instance () =
               [ name; m_at 0.6; m_at 0.7; m_at 0.8; m_at 0.9; m_at 0.95; m_at 1.0; ratio ]
           end)
         dataset_names;
-      Table.print table)
+      print_table table)
     [ "subgraph"; "simulation" ]
 
 (* ------------------------------------------------------------------ *)
@@ -336,7 +336,7 @@ let exp3_efficiency () =
           max_over (fun q -> ignore (Ebchk.check Actualized.Simulation q ds.W.constrs));
           max_over (fun q -> ignore (Qplan.generate Actualized.Simulation q ds.W.constrs)) ])
     dataset_names;
-  Table.print table
+  print_table table
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -358,7 +358,7 @@ let abl_plan_refinement () =
     [ "distinct-values (paper Example 6)";
       string_of_int (Plan.node_bound refined);
       string_of_int (Plan.edge_bound refined) ];
-  Table.print table
+  print_table table
 
 let abl_candidate_restriction () =
   section "ABL-cand — matching on G_Q with vs without the fetched candidate sets";
@@ -393,7 +393,7 @@ let abl_candidate_restriction () =
             Table.cell_time (Stats.mean !without) ]
       end)
     dataset_names;
-  Table.print table
+  print_table table
 
 let abl_incremental () =
   section "ABL-incr — index maintenance: local repair vs rebuild (per single-edge update)";
@@ -435,7 +435,7 @@ let abl_incremental () =
   Table.add_row table [ "incremental index repair (Δ-local)"; Table.cell_time (Stats.mean !repair) ];
   Table.add_row table [ "index rebuild from scratch (O(|E|))"; Table.cell_time (Stats.mean !rebuild) ];
   Table.add_row table [ "bounded re-evaluation of Q0"; Table.cell_time (Stats.mean !reeval) ];
-  Table.print table
+  print_table table
 
 let abl_distributed () =
   section "ABL-dist — sharded execution: per-shard traffic for Q0 (simulated workers)";
@@ -455,14 +455,14 @@ let abl_distributed () =
           string_of_int (Array.fold_left max 0 stats.items_per_shard);
           Printf.sprintf "%.2f" (Distributed.balance stats) ])
     [ 1; 2; 4; 8; 16 ];
-  Table.print table
+  print_table table
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
-  section "MICRO — bechamel micro-benchmarks of the core algorithms";
+let bechamel () =
+  section "BECHAMEL — bechamel micro-benchmarks of the core algorithms";
   let open Bechamel in
   let ds = W.imdb ~scale:0.02 () in
   let q0 = W.q0 ds.W.table in
@@ -512,11 +512,33 @@ let micro () =
       in
       Table.add_row table [ name; cell ])
     results;
-  Table.print table
+  print_table table
 
 (* ------------------------------------------------------------------ *)
 
+(* CLI: positional arguments select sections by name (same ids as
+   BENCH_ONLY — `bench micro` runs just the kernel microbenches), and
+   `--json DIR` writes a BENCH_<section>.json per section alongside the
+   text tables. *)
 let () =
+  let sections_cli = ref [] in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+     | "--json" ->
+       if !i + 1 >= Array.length argv then begin
+         prerr_endline "bench: --json requires a directory argument";
+         exit 2
+       end;
+       incr i;
+       Bench_common.json_dir := Some argv.(!i)
+     | s when String.length s > 0 && s.[0] = '-' ->
+       Printf.eprintf "bench: unknown option %S (usage: bench [SECTION...] [--json DIR])\n" s;
+       exit 2
+     | s -> sections_cli := s :: !sections_cli);
+    incr i
+  done;
   Printf.printf "bpq benchmark harness (BENCH_SCALE=%.2f%s, timeout %.0fs, jobs %d)\n"
     base_scale
     (if fast then ", FAST" else "")
@@ -533,17 +555,36 @@ let () =
       ("abl-cand", abl_candidate_restriction);
       ("abl-incr", abl_incremental);
       ("abl-dist", abl_distributed);
-      ("micro", micro) ]
+      ("micro", Micro_kernels.run);
+      ("bechamel", bechamel) ]
+  in
+  let wanted =
+    match (List.rev !sections_cli, Sys.getenv_opt "BENCH_ONLY") with
+    | [], Some names -> String.split_on_char ',' names
+    | [], None -> []
+    | cli, _ -> cli
   in
   let selected =
-    match Sys.getenv_opt "BENCH_ONLY" with
-    | Some names ->
-      let wanted = String.split_on_char ',' names in
+    if wanted = [] then steps
+    else begin
+      List.iter
+        (fun w ->
+          if not (List.mem_assoc w steps) then begin
+            Printf.eprintf "bench: unknown section %S (known: %s)\n" w
+              (String.concat ", " (List.map fst steps));
+            exit 2
+          end)
+        wanted;
       List.filter (fun (n, _) -> List.mem n wanted) steps
-    | None -> steps
+    end
   in
+  (match !Bench_common.json_dir with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | Some _ | None -> ());
   List.iter
-    (fun (_, f) ->
+    (fun (name, f) ->
+      Bench_common.begin_section_json ();
       let (), elapsed = Timer.time f in
-      Printf.printf "(section took %s)\n%!" (Table.cell_time elapsed))
+      Printf.printf "(section took %s)\n%!" (Table.cell_time elapsed);
+      Bench_common.write_section_json name elapsed)
     selected

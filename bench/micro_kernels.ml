@@ -1,0 +1,231 @@
+(* Per-kernel microbenchmarks: the `bench micro` subcommand.
+
+   Times the four hot kernels in isolation — edge-probe, index-lookup,
+   tuple-enumeration, match-verify — on the IMDb-like generator, and
+   compares the current data layout against the *seed* layout
+   (re-implemented here verbatim: packed-int `Hashtbl` edge set,
+   `(int list, Vec.t) Hashtbl` index buckets with a polymorphic sort per
+   lookup, list-building tuple recursion).  Emits the numbers as a text
+   table and, under --json, as a "kernels" array in BENCH_micro.json so
+   the perf trajectory is regression-guarded across PRs. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+open Bench_common
+module W = Bpq_workload.Workload
+module Vec = Bpq_util.Vec
+module Json = Json_out
+
+(* Adaptive per-batch timer: doubles the repetition count until the batch
+   runs long enough to trust the clock, then reports seconds per call. *)
+let time_per_call ?(min_time = 0.2) f =
+  f ();
+  (* warm caches and any lazy state *)
+  let rec go reps =
+    let start = Timer.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let elapsed = Timer.now () -. start in
+    if elapsed >= min_time then elapsed /. float_of_int reps else go (2 * reps)
+  in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Seed layouts, re-implemented for comparison                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed's edge set: one `(int, unit) Hashtbl` keyed [src * n + dst],
+   probed with the polymorphic hash on every [has_edge]. *)
+let seed_edge_tbl g =
+  let n = Digraph.n_nodes g in
+  let tbl : (int, unit) Hashtbl.t = Hashtbl.create (max 16 (Digraph.n_edges g)) in
+  Digraph.iter_nodes g (fun s ->
+      Digraph.iter_out g s (fun d -> Hashtbl.replace tbl ((s * n) + d) ()));
+  (tbl, n)
+
+(* The seed's index buckets: `(int list, Vec.t) Hashtbl` keyed by sorted
+   node lists, with `List.sort compare` on every lookup and a `to_array`
+   copy per hit set. *)
+let seed_index_tbl idx =
+  let tbl : (int list, Vec.t) Hashtbl.t = Hashtbl.create 256 in
+  Index.iter idx (fun key hits -> Hashtbl.replace tbl key (Vec.of_array hits));
+  tbl
+
+let seed_index_lookup tbl key =
+  match Hashtbl.find_opt tbl (List.sort compare key) with
+  | Some vec -> Vec.to_array vec
+  | None -> [||]
+
+(* The seed's tuple enumeration: build each tuple as a fresh list. *)
+let seed_iter_tuples (cmat : int array array) anchors yield =
+  let arrays = List.map (fun (_, u) -> cmat.(u)) anchors in
+  let rec go acc = function
+    | [] -> yield (List.rev acc)
+    | arr :: rest -> Array.iter (fun v -> go (v :: acc) rest) arr
+  in
+  if List.for_all (fun arr -> Array.length arr > 0) arrays then go [] arrays
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let n_probes = 4096
+
+(* Mixed probe set: hits (sampled real edges) and likely-misses (random
+   pairs), interleaved — both branches of the search get exercised. *)
+let edge_probe_sample g =
+  let rng = Prng.create 2015 in
+  let n = Digraph.n_nodes g in
+  let kth_out s k =
+    let res = ref (-1) and i = ref 0 in
+    Digraph.iter_out g s (fun d ->
+        if !i = k then res := d;
+        incr i);
+    !res
+  in
+  Array.init n_probes (fun i ->
+      if i land 1 = 0 then (Prng.int rng n, Prng.int rng n)
+      else begin
+        let s = ref (Prng.int rng n) in
+        while Digraph.out_degree g !s = 0 do
+          s := Prng.int rng n
+        done;
+        let k = Prng.int rng (Digraph.out_degree g !s) in
+        (!s, kth_out !s k)
+      end)
+
+let bench_edge_probe g =
+  let pairs = edge_probe_sample g in
+  let sink = ref 0 in
+  let fresh () =
+    Array.iter (fun (s, d) -> if Digraph.has_edge g s d then incr sink) pairs
+  in
+  let tbl, n = seed_edge_tbl g in
+  let seed () =
+    Array.iter (fun (s, d) -> if Hashtbl.mem tbl ((s * n) + d) then incr sink) pairs
+  in
+  let t_new = time_per_call fresh /. float_of_int n_probes in
+  let t_seed = time_per_call seed /. float_of_int n_probes in
+  ignore !sink;
+  (t_new, Some t_seed)
+
+(* Lookup keys drawn from the index's own key universe, so every probe
+   hits a bucket (the seed pays its per-lookup key sort and copy). *)
+let bench_index_lookup idx =
+  let keys = ref [] in
+  Index.iter idx (fun key _ -> keys := key :: !keys);
+  let universe = Array.of_list !keys in
+  let rng = Prng.create 99 in
+  let sample =
+    Array.init n_probes (fun _ -> universe.(Prng.int rng (Array.length universe)))
+  in
+  let tuples = Array.map Array.of_list sample in
+  let sink = ref 0 in
+  let fresh () =
+    Array.iter (fun tuple -> Index.lookup_tuple_iter idx tuple (fun w -> sink := !sink + w)) tuples
+  in
+  let tbl = seed_index_tbl idx in
+  let seed () =
+    Array.iter
+      (fun key -> Array.iter (fun w -> sink := !sink + w) (seed_index_lookup tbl key))
+      sample
+  in
+  let t_new = time_per_call fresh /. float_of_int n_probes in
+  let t_seed = time_per_call seed /. float_of_int n_probes in
+  ignore !sink;
+  (t_new, Some t_seed)
+
+let bench_tuple_enum () =
+  let rng = Prng.create 7 in
+  let cmat = Array.init 3 (fun _ -> Array.init 40 (fun _ -> Prng.int rng 1_000_000)) in
+  let anchors = [ ((), 0); ((), 1); ((), 2) ] in
+  let tuples = 40 * 40 * 40 in
+  let sink = ref 0 in
+  let fresh () =
+    Exec.iter_tuples cmat anchors (fun t -> sink := !sink + t.(0) + t.(1) + t.(2))
+  in
+  let seed () =
+    seed_iter_tuples cmat anchors (fun t -> sink := !sink + List.fold_left ( + ) 0 t)
+  in
+  let t_new = time_per_call fresh /. float_of_int tuples in
+  let t_seed = time_per_call seed /. float_of_int tuples in
+  ignore !sink;
+  (t_new, Some t_seed)
+
+(* Match verification on the bounded subgraph G_Q of the paper's Q0 — the
+   stage the bitset/resolved-adjacency VF2 state serves.  No seed arm
+   (the matcher rewrite is not re-implementable in a few lines); the
+   absolute number is the regression guard. *)
+let bench_match_verify schema plan =
+  let r = Exec.run schema plan in
+  let sink = ref 0 in
+  let fresh () =
+    sink :=
+      !sink
+      + Bpq_matcher.Vf2.count_matches ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+  in
+  let t_new = time_per_call fresh in
+  ignore !sink;
+  (t_new, None)
+
+(* ------------------------------------------------------------------ *)
+
+let cell_ns s = Printf.sprintf "%.0fns" (s *. 1e9)
+
+let run () =
+  section "MICRO — kernel times, current layout vs seed layout (IMDb-like generator)";
+  let scale = if fast then 0.02 else 0.1 in
+  let ds = W.imdb ~scale () in
+  let g = ds.W.graph in
+  let a0 = W.a0 ds.W.table in
+  let schema = Schema.build g a0 in
+  let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 ds.W.table) a0 in
+  (* The busiest type-(2) index (1-node keys) plus the (year,award)->movie
+     2-node-key index: the two packed-key fast paths. *)
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) -> compare (Index.n_keys b) (Index.n_keys a))
+      (List.map (fun c -> (c, Schema.index_of schema c)) a0)
+  in
+  let pick arity =
+    List.find_map
+      (fun ((c : Constr.t), idx) ->
+        if List.length c.source = arity && Index.n_keys idx > 0 then Some idx else None)
+      ranked
+  in
+  let kernels =
+    [ ("edge-probe", bench_edge_probe g) ]
+    @ (match pick 1 with
+       | Some idx -> [ ("index-lookup", bench_index_lookup idx) ]
+       | None -> [])
+    @ (match pick 2 with
+       | Some idx -> [ ("index-lookup-2key", bench_index_lookup idx) ]
+       | None -> [])
+    @ [ ("tuple-enum", bench_tuple_enum ());
+        ("match-verify", bench_match_verify schema plan) ]
+  in
+  let table = Table.create [ "kernel"; "current"; "seed layout"; "speedup" ] in
+  let json =
+    List.map
+      (fun (name, (t_new, t_seed)) ->
+        let speedup = Option.map (fun s -> s /. t_new) t_seed in
+        Table.add_row table
+          [ name;
+            cell_ns t_new;
+            (match t_seed with Some s -> cell_ns s | None -> "-");
+            (match speedup with Some r -> Printf.sprintf "%.1fx" r | None -> "-") ];
+        Json.Obj
+          ([ ("name", Json.Str name); ("new_ns", Json.Float (t_new *. 1e9)) ]
+          @ (match t_seed with
+             | Some s -> [ ("seed_ns", Json.Float (s *. 1e9)) ]
+             | None -> [])
+          @ (match speedup with Some r -> [ ("speedup", Json.Float r) ] | None -> [])))
+      kernels
+  in
+  print_table table;
+  push_json_field "graph"
+    (Json.Obj
+       [ ("nodes", Json.Int (Digraph.n_nodes g)); ("edges", Json.Int (Digraph.n_edges g)) ]);
+  push_json_field "kernels" (Json.Arr json)

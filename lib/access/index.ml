@@ -1,74 +1,234 @@
 open Bpq_graph
 module Vec = Bpq_util.Vec
 
+(* Bucket keys are S-labeled node sets.  The labels in S are distinct, so
+   every key is a set of distinct node ids; almost all constraints in
+   practice have |S| <= 2.  Keys of arity <= 2 pack into one immediate int
+   (sort-free: a 2-set is ordered with a single min/max), hashed with a
+   Fibonacci/avalanche mix instead of the polymorphic [Hashtbl.hash] that
+   boxed the old [int list] keys.  Arity >= 3 spills to a boxed table of
+   sorted id lists with an FNV-style rolling hash. *)
+
+let half_width = 31
+let half_mask = (1 lsl half_width) - 1
+
+(* Node ids are dense array indices, so they fit 31 bits on any graph this
+   process can hold; two of them pack into one 63-bit OCaml int. *)
+let pack2 a b = if a < b then (a lsl half_width) lor b else (b lsl half_width) lor a
+let unpack2 k = (k lsr half_width, k land half_mask)
+
+module Int_key = struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  (* splitmix64-style avalanche; cheap and well-distributed for packed
+     pair keys whose low bits correlate. *)
+  let hash x =
+    let x = x * 0x9E3779B97F4A7C1 in
+    let x = x lxor (x lsr 29) in
+    let x = x * 0xBF58476D1CE4E5 in
+    x lxor (x lsr 32)
+end
+
+module Int_tbl = Hashtbl.Make (Int_key)
+
+module List_key = struct
+  type t = int list
+
+  let rec equal a b =
+    match (a, b) with
+    | [], [] -> true
+    | x :: a, y :: b -> x = y && equal a b
+    | _ -> false
+
+  (* FNV-1a over the elements (offset basis truncated to OCaml's 63-bit
+     int range). *)
+  let hash l =
+    List.fold_left (fun h v -> (h lxor v) * 0x100000001B3) 0x3BF29CE484222325 l
+    land max_int
+end
+
+module List_tbl = Hashtbl.Make (List_key)
+
+type buckets =
+  | Packed of Vec.t Int_tbl.t  (* arity <= 2: int-packed keys *)
+  | Spill of Vec.t List_tbl.t  (* arity >= 3: sorted id lists *)
+
 type t = {
   constr : Constr.t;
-  buckets : (int list, Vec.t) Hashtbl.t;
+  arity : int;
+  buckets : buckets;
 }
 
 let constr t = t.constr
 
-(* All S-labeled sets drawn from the distinct neighbours of [w], as sorted
-   key lists.  Because the labels in S are distinct, picking one neighbour
-   per label always yields distinct nodes. *)
-let contributions g (c : Constr.t) w =
-  let groups =
-    List.map
-      (fun s ->
-        Array.to_list
-          (Array.of_seq
-             (Seq.filter (fun v -> Digraph.label g v = s)
-                (Array.to_seq (Digraph.neighbours g w)))))
-      c.source
-  in
-  if List.exists (fun grp -> grp = []) groups then []
-  else begin
-    let rec product acc = function
-      | [] -> [ List.sort compare acc ]
-      | grp :: rest ->
-        List.concat_map (fun v -> product (v :: acc) rest) grp
-    in
-    product [] groups
-  end
+let create_shell (c : Constr.t) =
+  let arity = Constr.arity c in
+  { constr = c;
+    arity;
+    buckets = (if arity <= 2 then Packed (Int_tbl.create 256) else Spill (List_tbl.create 256)) }
 
-let bucket_for t key =
-  match Hashtbl.find_opt t.buckets key with
+(* ---------------- key normalisation ---------------- *)
+
+let sorted_spill_key vs = List.sort Int.compare vs
+
+(* The packed key for a caller-supplied list, sort-free for the hot
+   arities.  Returns [None] when the key shape cannot possibly be indexed
+   (wrong arity for this constraint) — such lookups find nothing, matching
+   the old behaviour of probing with an arbitrary list. *)
+let packed_of_list t vs =
+  match (t.arity, vs) with
+  | 0, [] -> Some 0
+  | 1, [ v ] -> Some v
+  | 2, [ a; b ] -> Some (pack2 a b)
+  | _ -> None
+
+let packed_of_tuple t (vs : int array) =
+  if Array.length vs <> t.arity then None
+  else
+    match t.arity with
+    | 0 -> Some 0
+    | 1 -> Some vs.(0)
+    | 2 -> Some (pack2 vs.(0) vs.(1))
+    | _ -> None
+
+let find_list t vs =
+  match t.buckets with
+  | Packed tbl ->
+    (match packed_of_list t vs with
+     | Some key -> Int_tbl.find_opt tbl key
+     | None -> None)
+  | Spill tbl ->
+    if List.length vs = t.arity then List_tbl.find_opt tbl (sorted_spill_key vs)
+    else None
+
+let find_tuple t (vs : int array) =
+  match t.buckets with
+  | Packed tbl ->
+    (match packed_of_tuple t vs with
+     | Some key -> Int_tbl.find_opt tbl key
+     | None -> None)
+  | Spill tbl ->
+    if Array.length vs = t.arity then begin
+      let copy = Array.copy vs in
+      Bpq_util.Int_sort.sort copy;
+      List_tbl.find_opt tbl (Array.to_list copy)
+    end
+    else None
+
+(* ---------------- bucket access ---------------- *)
+
+let packed_bucket tbl key =
+  match Int_tbl.find_opt tbl key with
   | Some vec -> vec
   | None ->
     let vec = Vec.create ~capacity:2 () in
-    Hashtbl.replace t.buckets key vec;
+    Int_tbl.replace tbl key vec;
     vec
 
+let spill_bucket tbl key =
+  match List_tbl.find_opt tbl key with
+  | Some vec -> vec
+  | None ->
+    let vec = Vec.create ~capacity:2 () in
+    List_tbl.replace tbl key vec;
+    vec
+
+(* ---------------- contributions ---------------- *)
+
+(* All S-labeled sets drawn from the distinct neighbours of [w]: one node
+   per source label (labels in S are distinct, so the sets are).  [f]
+   receives each key in this index's native representation via [push]. *)
+let iter_contribution_keys t g w ~packed ~spilled =
+  let c = t.constr in
+  match (t.arity, c.source) with
+  | 0, _ -> packed 0
+  | 1, [ s ] ->
+    Digraph.iter_neighbours g w (fun v -> if Digraph.label g v = s then packed v)
+  | 2, [ s1; s2 ] ->
+    (* One pass over the merged-neighbour row splits the two groups. *)
+    let g1 = Vec.create ~capacity:4 () and g2 = Vec.create ~capacity:4 () in
+    Digraph.iter_neighbours g w (fun v ->
+        let l = Digraph.label g v in
+        if l = s1 then Vec.push g1 v
+        else if l = s2 then Vec.push g2 v);
+    Vec.iter (fun a -> Vec.iter (fun b -> packed (pack2 a b)) g2) g1
+  | _, source ->
+    let groups =
+      List.map
+        (fun s ->
+          let grp = Vec.create ~capacity:4 () in
+          Digraph.iter_neighbours g w (fun v ->
+              if Digraph.label g v = s then Vec.push grp v);
+          grp)
+        source
+    in
+    if not (List.exists Vec.is_empty groups) then begin
+      let rec product acc = function
+        | [] -> spilled (sorted_spill_key acc)
+        | grp :: rest -> Vec.iter (fun v -> product (v :: acc) rest) grp
+      in
+      product [] groups
+    end
+
 let add_contributions t g w =
-  List.iter (fun key -> Vec.push (bucket_for t key) w) (contributions g t.constr w)
+  match t.buckets with
+  | Packed tbl ->
+    iter_contribution_keys t g w
+      ~packed:(fun key -> Vec.push (packed_bucket tbl key) w)
+      ~spilled:(fun _ -> assert false)
+  | Spill tbl ->
+    iter_contribution_keys t g w
+      ~packed:(fun _ -> assert false)
+      ~spilled:(fun key -> Vec.push (spill_bucket tbl key) w)
+
+let swap_remove vec w =
+  (* Swap-remove the first occurrence; buckets are small (<= N). *)
+  let len = Vec.length vec in
+  let rec find i = if i >= len then -1 else if Vec.get vec i = w then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    Vec.set vec i (Vec.get vec (len - 1));
+    ignore (Vec.pop vec)
+  end
 
 let remove_contributions t g w =
-  let remove_from key =
-    match Hashtbl.find_opt t.buckets key with
-    | None -> ()
-    | Some vec ->
-      (* Swap-remove the first occurrence; buckets are small (<= N). *)
-      let len = Vec.length vec in
-      let rec find i = if i >= len then -1 else if Vec.get vec i = w then i else find (i + 1) in
-      let i = find 0 in
-      if i >= 0 then begin
-        Vec.set vec i (Vec.get vec (len - 1));
-        ignore (Vec.pop vec)
-      end;
-      if Vec.is_empty vec then Hashtbl.remove t.buckets key
-  in
-  List.iter remove_from (contributions g t.constr w)
+  match t.buckets with
+  | Packed tbl ->
+    iter_contribution_keys t g w
+      ~packed:(fun key ->
+        match Int_tbl.find_opt tbl key with
+        | None -> ()
+        | Some vec ->
+          swap_remove vec w;
+          if Vec.is_empty vec then Int_tbl.remove tbl key)
+      ~spilled:(fun _ -> assert false)
+  | Spill tbl ->
+    iter_contribution_keys t g w
+      ~packed:(fun _ -> assert false)
+      ~spilled:(fun key ->
+        match List_tbl.find_opt tbl key with
+        | None -> ()
+        | Some vec ->
+          swap_remove vec w;
+          if Vec.is_empty vec then List_tbl.remove tbl key)
+
+(* ---------------- build ---------------- *)
 
 let fill t g =
   let c = t.constr in
   if Constr.is_type1 c then begin
     let vec = Vec.of_array (Digraph.nodes_with_label g c.target) in
-    if not (Vec.is_empty vec) then Hashtbl.replace t.buckets [] vec
+    if not (Vec.is_empty vec) then
+      match t.buckets with
+      | Packed tbl -> Int_tbl.replace tbl 0 vec
+      | Spill _ -> assert false
   end
   else Digraph.iter_label g c.target (fun w -> add_contributions t g w)
 
 let build g (c : Constr.t) =
-  let t = { constr = c; buckets = Hashtbl.create 256 } in
+  let t = create_shell c in
   fill t g;
   t
 
@@ -77,9 +237,7 @@ let build_many ?(pool = Bpq_util.Pool.sequential) g constrs =
      set of tasks each of which writes only its own shells' buckets, so
      the tasks run on the pool with no shared mutation and the result is
      identical for every pool size. *)
-  let shells =
-    List.map (fun c -> (c, { constr = c; buckets = Hashtbl.create 256 })) constrs
-  in
+  let shells = List.map (fun c -> (c, create_shell c)) constrs in
   (* Single-source type-(2) constraints with the same target label share
      one scan over that label's nodes; everything else fills solo. *)
   let type2_by_target : (Bpq_graph.Label.t, (Bpq_graph.Label.t * t) list ref) Hashtbl.t =
@@ -96,20 +254,20 @@ let build_many ?(pool = Bpq_util.Pool.sequential) g constrs =
       | [] | _ :: _ :: _ -> solo := shell :: !solo)
     shells;
   let scan_group target group () =
-    let by_source : (Bpq_graph.Label.t, t list) Hashtbl.t = Hashtbl.create 8 in
+    let by_source : (Bpq_graph.Label.t, Vec.t Int_tbl.t list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun (s, shell) ->
+        let tbl = match shell.buckets with Packed tbl -> tbl | Spill _ -> assert false in
         let prev = Option.value ~default:[] (Hashtbl.find_opt by_source s) in
-        Hashtbl.replace by_source s (shell :: prev))
+        Hashtbl.replace by_source s (tbl :: prev))
       !group;
     Digraph.iter_label g target (fun w ->
-        Array.iter
-          (fun v ->
+        (* The merged-neighbour CSR row, not a per-node allocate+sort. *)
+        Digraph.iter_neighbours g w (fun v ->
             match Hashtbl.find_opt by_source (Digraph.label g v) with
             | None -> ()
-            | Some group_shells ->
-              List.iter (fun shell -> Vec.push (bucket_for shell [ v ]) w) group_shells)
-          (Digraph.neighbours g w))
+            | Some tables ->
+              List.iter (fun tbl -> Vec.push (packed_bucket tbl v) w) tables))
   in
   let tasks =
     Array.of_list
@@ -121,29 +279,87 @@ let build_many ?(pool = Bpq_util.Pool.sequential) g constrs =
   Bpq_util.Pool.run_all pool tasks;
   shells
 
+(* ---------------- lookups ---------------- *)
+
 let lookup t vs =
-  match Hashtbl.find_opt t.buckets (List.sort compare vs) with
+  match find_list t vs with
   | Some vec -> Vec.to_array vec
   | None -> [||]
 
 let lookup_count t vs =
-  match Hashtbl.find_opt t.buckets (List.sort compare vs) with
+  match find_list t vs with
   | Some vec -> Vec.length vec
   | None -> 0
 
-let max_bucket t =
-  Hashtbl.fold (fun _ vec acc -> max acc (Vec.length vec)) t.buckets 0
+let lookup_iter t vs f =
+  match find_list t vs with
+  | Some vec -> Vec.iter f vec
+  | None -> ()
 
+let fold t vs f init =
+  match find_list t vs with
+  | Some vec ->
+    let acc = ref init in
+    Vec.iter (fun v -> acc := f !acc v) vec;
+    !acc
+  | None -> init
+
+let lookup_tuple_iter t vs f =
+  match find_tuple t vs with
+  | Some vec -> Vec.iter f vec
+  | None -> ()
+
+let lookup_tuple t vs =
+  match find_tuple t vs with
+  | Some vec -> Vec.to_array vec
+  | None -> [||]
+
+(* ---------------- whole-index traversal ---------------- *)
+
+let fold_buckets t f init =
+  match t.buckets with
+  | Packed tbl ->
+    Int_tbl.fold
+      (fun key vec acc ->
+        let key_list =
+          match t.arity with
+          | 0 -> []
+          | 1 -> [ key ]
+          | _ ->
+            let a, b = unpack2 key in
+            [ a; b ]
+        in
+        f key_list vec acc)
+      tbl init
+  | Spill tbl -> List_tbl.fold f tbl init
+
+let max_bucket t = fold_buckets t (fun _ vec acc -> max acc (Vec.length vec)) 0
 let satisfied t = max_bucket t <= t.constr.bound
-let n_keys t = Hashtbl.length t.buckets
 
-let size t =
-  Hashtbl.fold (fun _ vec acc -> acc + 1 + Vec.length vec) t.buckets 0
+let n_keys t =
+  match t.buckets with
+  | Packed tbl -> Int_tbl.length tbl
+  | Spill tbl -> List_tbl.length tbl
+
+let size t = fold_buckets t (fun _ vec acc -> acc + 1 + Vec.length vec) 0
 
 let copy t =
-  let buckets = Hashtbl.create (Hashtbl.length t.buckets) in
-  Hashtbl.iter (fun key vec -> Hashtbl.replace buckets key (Vec.of_array (Vec.to_array vec))) t.buckets;
-  { constr = t.constr; buckets }
+  let buckets =
+    match t.buckets with
+    | Packed tbl ->
+      let fresh = Int_tbl.create (max 16 (Int_tbl.length tbl)) in
+      Int_tbl.iter (fun key vec -> Int_tbl.replace fresh key (Vec.of_array (Vec.to_array vec))) tbl;
+      Packed fresh
+    | Spill tbl ->
+      let fresh = List_tbl.create (max 16 (List_tbl.length tbl)) in
+      List_tbl.iter (fun key vec -> List_tbl.replace fresh key (Vec.of_array (Vec.to_array vec))) tbl;
+      Spill fresh
+  in
+  { t with buckets }
+
+let iter t f = fold_buckets t (fun key vec () -> f key (Vec.to_array vec)) ()
+
+(* ---------------- incremental maintenance ---------------- *)
 
 let apply_delta t ~old_graph ~new_graph (delta : Digraph.delta) =
   let target = t.constr.target in
@@ -167,8 +383,9 @@ let apply_delta t ~old_graph ~new_graph (delta : Digraph.delta) =
     (fun i (l, _) -> if l = target then Hashtbl.replace affected (n_old + i) ())
     delta.added_nodes;
   if Constr.is_type1 t.constr then
+    let tbl = match t.buckets with Packed tbl -> tbl | Spill _ -> assert false in
     Hashtbl.iter
-      (fun v () -> if v >= n_old then Vec.push (bucket_for t []) v)
+      (fun v () -> if v >= n_old then Vec.push (packed_bucket tbl 0) v)
       affected
   else
     Hashtbl.iter
@@ -176,5 +393,3 @@ let apply_delta t ~old_graph ~new_graph (delta : Digraph.delta) =
         if v < n_old then remove_contributions t old_graph v;
         add_contributions t new_graph v)
       affected
-
-let iter t f = Hashtbl.iter (fun key vec -> f key (Vec.to_array vec)) t.buckets

@@ -11,7 +11,13 @@
 
     Indexes are mutable so they can be maintained incrementally under graph
     deltas (paper §II, "Maintaining access constraints"): only target-labeled
-    endpoints of changed edges need their contributions recomputed. *)
+    endpoints of changed edges need their contributions recomputed.
+
+    Keys of arity <= 2 — the overwhelming majority — are packed into a
+    single immediate int (a 2-set normalises with one min/max, no sort)
+    and hashed with an avalanche mix; only keys of three or more nodes
+    spill to a boxed sorted-list table.  Lookups therefore allocate
+    nothing on the fast path until the caller asks for an array copy. *)
 
 open Bpq_graph
 
@@ -36,11 +42,27 @@ val constr : t -> Constr.t
 
 val lookup : t -> int list -> int array
 (** [lookup idx vs] returns the common [l]-labeled neighbours of the node
-    set [vs] (order of [vs] irrelevant; it is sorted internally).  Returns
-    [[||]] when no such set was indexed.  The caller is responsible for
-    [vs] being S-labeled; an arbitrary key simply finds nothing. *)
+    set [vs] (order of [vs] irrelevant; keys of arity <= 2 are normalised
+    sort-free, larger keys are sorted internally).  Returns [[||]] when no
+    such set was indexed.  The caller is responsible for [vs] being
+    S-labeled; an arbitrary key simply finds nothing. *)
 
 val lookup_count : t -> int list -> int
+
+val lookup_iter : t -> int list -> (int -> unit) -> unit
+(** Like {!lookup} but yields the hits in bucket order without copying the
+    bucket into a fresh array — the form the executor consumes. *)
+
+val fold : t -> int list -> ('a -> int -> 'a) -> 'a -> 'a
+(** [fold idx vs f init] folds [f] over the hits of [vs], copy-free. *)
+
+val lookup_tuple : t -> int array -> int array
+(** Array-keyed {!lookup}: the key is the array's elements (read, never
+    retained, so callers may reuse the buffer across calls). *)
+
+val lookup_tuple_iter : t -> int array -> (int -> unit) -> unit
+(** Array-keyed {!lookup_iter} for the executor's tuple odometer: no list,
+    no copy, sort-free for arity <= 2. *)
 
 val max_bucket : t -> int
 (** The realised maximum cardinality over all S-labeled sets — the smallest

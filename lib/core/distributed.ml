@@ -40,6 +40,15 @@ let run t plan =
           let hits = base.Exec.lookup c key in
           items.(shard) <- items.(shard) + Array.length hits;
           hits);
+      lookup_iter =
+        (fun c tuple f ->
+          (* Listify the (reused) tuple buffer so placement hashes the
+             same (constraint, key) pair as the materialising lookup. *)
+          let shard = shard_of_key t c (Array.to_list tuple) in
+          lookups.(shard) <- lookups.(shard) + 1;
+          base.Exec.lookup_iter c tuple (fun w ->
+              items.(shard) <- items.(shard) + 1;
+              f w));
       probe_edge =
         (fun src dst ->
           let shard = shard_of_node t src in

@@ -1,6 +1,7 @@
 open Bpq_graph
 open Bpq_pattern
 open Bpq_access
+module Vec = Bpq_util.Vec
 
 type stats = {
   fetch_lookups : int;
@@ -27,18 +28,57 @@ type result = {
   trace : op_trace list;
 }
 
-(* Enumerate the cartesian product of the anchors' candidate arrays,
-   yielding each tuple as a key list (one concrete node per source label). *)
+(* Enumerate the cartesian product of the anchors' candidate arrays as an
+   index-array odometer: the yielded tuple (one concrete node per source
+   label, in anchor order) is a single reused buffer — callers must read
+   it, not retain it.  Lexicographic order, last position fastest, exactly
+   like the list-building recursion it replaces. *)
 let iter_tuples (cmat : int array array) anchors yield =
-  let arrays = List.map (fun (_, u) -> cmat.(u)) anchors in
-  let rec go acc = function
-    | [] -> yield (List.rev acc)
-    | arr :: rest -> Array.iter (fun v -> go (v :: acc) rest) arr
-  in
-  if List.for_all (fun arr -> Array.length arr > 0) arrays then go [] arrays
+  let k = List.length anchors in
+  let arrays = Array.make k [||] in
+  List.iteri (fun i (_, u) -> arrays.(i) <- cmat.(u)) anchors;
+  if not (Array.exists (fun arr -> Array.length arr = 0) arrays) then begin
+    let tuple = Array.make k 0 in
+    if k = 0 then yield tuple
+    else begin
+      let idx = Array.make k 0 in
+      for i = 0 to k - 1 do
+        tuple.(i) <- arrays.(i).(0)
+      done;
+      let rec loop () =
+        yield tuple;
+        (* Advance the odometer; digit [k-1] spins fastest. *)
+        let i = ref (k - 1) in
+        let rolled = ref false in
+        let continue_ = ref true in
+        while !continue_ do
+          if !i < 0 then begin
+            rolled := true;
+            continue_ := false
+          end
+          else begin
+            let p = idx.(!i) + 1 in
+            if p < Array.length arrays.(!i) then begin
+              idx.(!i) <- p;
+              tuple.(!i) <- arrays.(!i).(p);
+              continue_ := false
+            end
+            else begin
+              idx.(!i) <- 0;
+              tuple.(!i) <- arrays.(!i).(0);
+              decr i
+            end
+          end
+        done;
+        if not !rolled then loop ()
+      in
+      loop ()
+    end
+  end
 
 type source = {
   lookup : Constr.t -> int list -> int array;
+  lookup_iter : Constr.t -> int array -> (int -> unit) -> unit;
   probe_edge : int -> int -> bool;
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Value.t;
@@ -48,10 +88,55 @@ type source = {
 let source_of_schema schema =
   let g = Schema.graph schema in
   { lookup = (fun c key -> Index.lookup (Schema.index_of schema c) key);
+    lookup_iter =
+      (fun c tuple f -> Index.lookup_tuple_iter (Schema.index_of schema c) tuple f);
     probe_edge = Digraph.has_edge g;
     node_label = Digraph.label g;
     node_value = Digraph.value g;
     table = Digraph.label_table g }
+
+(* Membership in a sorted candidate row — every cmat row is sorted
+   distinct, so a binary search replaces the per-row hashtables. *)
+let mem_sorted (arr : int array) v =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) lsr 1 in
+    if arr.(mid) <= v then lo := mid else hi := mid
+  done;
+  !lo < !hi && arr.(!lo) = v
+
+(* Intersection of two sorted distinct arrays, sorted distinct. *)
+let intersect_sorted (a : int array) (b : int array) =
+  let out = Vec.create ~capacity:(min (Array.length a) (Array.length b) + 1) () in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then incr i
+    else if y < x then incr j
+    else begin
+      Vec.push out x;
+      incr i;
+      incr j
+    end
+  done;
+  Vec.to_array out
+
+(* G_Q node ids fit 31 bits (they are dense graph ids), so a directed edge
+   packs into one int for the dedup set. *)
+let pack_edge s d = (s lsl 31) lor d
+let unpack_edge k = (k lsr 31, k land ((1 lsl 31) - 1))
+
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  let hash x =
+    let x = x * 0x9E3779B97F4A7C1 in
+    let x = x lxor (x lsr 29) in
+    let x = x * 0xBF58476D1CE4E5 in
+    x lxor (x lsr 32)
+end)
 
 let run_with (src : source) (plan : Plan.t) =
   let q = plan.pattern in
@@ -63,48 +148,39 @@ let run_with (src : source) (plan : Plan.t) =
   List.iter
     (fun (f : Plan.fetch) ->
       let pred = Pattern.pred q f.unode in
-      let found = Hashtbl.create 64 in
-      let collect key =
+      (* Hits accumulate (with duplicates) into a vector; a monomorphic
+         sort_uniq then yields the same sorted distinct set the old
+         hashtable produced, without per-hit boxing. *)
+      let hits = Vec.create ~capacity:64 () in
+      let collect tuple =
         incr fetch_lookups;
-        let hits = src.lookup f.constr key in
-        fetched := !fetched + Array.length hits;
-        Array.iter
-          (fun w ->
-            if Predicate.eval pred (src.node_value w) then Hashtbl.replace found w ())
-          hits
+        src.lookup_iter f.constr tuple (fun w ->
+            incr fetched;
+            if Predicate.eval pred (src.node_value w) then Vec.push hits w)
       in
-      if f.anchors = [] then collect []
+      if f.anchors = [] then collect [||]
       else iter_tuples cmat f.anchors collect;
+      Vec.sort_uniq hits;
       let result =
         if fetched_yet.(f.unode) then
           (* Later fetches reduce the set: both are supersets of the true
              matches, so the intersection still is. *)
-          Array.of_seq
-            (Seq.filter (Hashtbl.mem found) (Array.to_seq cmat.(f.unode)))
-        else
-          Array.of_seq (Seq.map fst (Hashtbl.to_seq found))
+          intersect_sorted cmat.(f.unode) (Vec.to_array hits)
+        else Vec.to_array hits
       in
-      Array.sort compare result;
       cmat.(f.unode) <- result;
       fetched_yet.(f.unode) <- true;
       trace := { op = `Fetch f.unode; estimate = f.est; realized = Array.length result } :: !trace)
     plan.fetches;
   (* Edge verification.  A node may be candidate for several pattern nodes;
-     G_Q has one node per distinct graph node. *)
-  let membership =
-    Array.map
-      (fun arr ->
-        let set = Hashtbl.create (max 16 (Array.length arr)) in
-        Array.iter (fun v -> Hashtbl.replace set v ()) arr;
-        set)
-      cmat
-  in
+     G_Q has one node per distinct graph node.  Membership tests are binary
+     probes into the sorted candidate rows. *)
   let edge_lookups = ref 0 and edge_candidates = ref 0 in
-  let gq_edges = Hashtbl.create 256 in
+  let gq_edges = Int_tbl.create 256 in
   List.iter
     (fun (ec : Plan.edge_check) ->
       let u1, u2 = ec.edge in
-      let added_before = Hashtbl.length gq_edges in
+      let added_before = Int_tbl.length gq_edges in
       let other = if ec.target_side = u1 then u2 else u1 in
       let other_label = Pattern.label q other in
       (* Position of [other]'s component within each tuple. *)
@@ -116,31 +192,31 @@ let run_with (src : source) (plan : Plan.t) =
         in
         find 0 ec.anchors
       in
-      iter_tuples cmat ec.anchors (fun key ->
+      let row = cmat.(ec.target_side) in
+      iter_tuples cmat ec.anchors (fun tuple ->
           incr edge_lookups;
-          let hits = src.lookup ec.via key in
-          let v_other = List.nth key other_slot in
-          Array.iter
-            (fun w ->
-              if Hashtbl.mem membership.(ec.target_side) w then begin
+          let v_other = tuple.(other_slot) in
+          src.lookup_iter ec.via tuple (fun w ->
+              if mem_sorted row w then begin
                 incr edge_candidates;
                 let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
-                if src.probe_edge e_src e_dst then Hashtbl.replace gq_edges (e_src, e_dst) ()
-              end)
-            hits);
+                if src.probe_edge e_src e_dst then
+                  Int_tbl.replace gq_edges (pack_edge e_src e_dst) ()
+              end));
       trace :=
         { op = `Edge ec.edge;
           estimate = ec.est;
-          realized = Hashtbl.length gq_edges - added_before }
+          realized = Int_tbl.length gq_edges - added_before }
         :: !trace)
     plan.edge_checks;
-  (* Assemble G_Q. *)
-  let to_gq = Hashtbl.create 256 in
+  (* Assemble G_Q.  First-occurrence order over the candidate rows fixes
+     the node numbering, exactly as before. *)
+  let to_gq = Int_tbl.create 256 in
   let order = ref [] and count = ref 0 in
   Array.iter
     (Array.iter (fun v ->
-         if not (Hashtbl.mem to_gq v) then begin
-           Hashtbl.replace to_gq v !count;
+         if not (Int_tbl.mem to_gq v) then begin
+           Int_tbl.replace to_gq v !count;
            order := v :: !order;
            incr count
          end))
@@ -150,12 +226,13 @@ let run_with (src : source) (plan : Plan.t) =
   Array.iter
     (fun v -> ignore (Digraph.Builder.add_node b (src.node_label v) (src.node_value v)))
     from_gq;
-  Hashtbl.iter
-    (fun (e_src, e_dst) () ->
-      Digraph.Builder.add_edge b (Hashtbl.find to_gq e_src) (Hashtbl.find to_gq e_dst))
+  Int_tbl.iter
+    (fun packed () ->
+      let e_src, e_dst = unpack_edge packed in
+      Digraph.Builder.add_edge b (Int_tbl.find to_gq e_src) (Int_tbl.find to_gq e_dst))
     gq_edges;
   let gq = Digraph.Builder.freeze b in
-  let candidates_gq = Array.map (Array.map (Hashtbl.find to_gq)) cmat in
+  let candidates_gq = Array.map (Array.map (Int_tbl.find to_gq)) cmat in
   { gq;
     from_gq;
     candidates_gq;
@@ -165,7 +242,7 @@ let run_with (src : source) (plan : Plan.t) =
         fetched = !fetched;
         edge_lookups = !edge_lookups;
         edge_candidates = !edge_candidates;
-        edges_added = Hashtbl.length gq_edges };
+        edges_added = Int_tbl.length gq_edges };
     trace = List.rev !trace }
 
 let run schema plan = run_with (source_of_schema schema) plan

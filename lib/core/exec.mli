@@ -62,7 +62,13 @@ val run : Schema.t -> Plan.t -> result
 
 type source = {
   lookup : Constr.t -> int list -> int array;
-      (** The index lookup of the named constraint. *)
+      (** The index lookup of the named constraint (materialising form,
+          kept for backends and diagnostics). *)
+  lookup_iter : Constr.t -> int array -> (int -> unit) -> unit;
+      (** Copy-free lookup: the key is an array tuple in anchor order,
+          read during the call and never retained (the executor reuses one
+          odometer buffer for every tuple).  This is the form the hot loop
+          drives. *)
   probe_edge : int -> int -> bool;  (** Directed-edge membership. *)
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Bpq_graph.Value.t;
@@ -72,3 +78,12 @@ type source = {
 val source_of_schema : Schema.t -> source
 
 val run_with : source -> Plan.t -> result
+
+(**/**)
+
+val iter_tuples : int array array -> ('a * int) list -> (int array -> unit) -> unit
+(** Exposed for the microbench harness and property tests: enumerate the
+    cartesian product of [cmat] rows selected by the anchors' second
+    components, lexicographically, yielding one {e reused} tuple buffer.
+    Yields nothing if any selected row is empty; yields a single empty
+    tuple for an empty anchor list. *)

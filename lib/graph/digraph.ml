@@ -1,5 +1,14 @@
 module Vec = Bpq_util.Vec
+module Int_sort = Bpq_util.Int_sort
 
+(* Frozen layout: every CSR row (out, in, merged-neighbour) is sorted
+   ascending, which buys three things at once:
+   - parallel edges collapse at freeze with a row-local dedup instead of a
+     graph-wide hashtable;
+   - [has_edge] is a branch-light binary search over the out row — no
+     [edge_set] hashtable, no per-probe hashing;
+   - [neighbours] is a constant-time slice of a merged CSR computed once
+     at freeze, instead of a per-call allocate-and-sort. *)
 type t = {
   table : Label.table;
   labels : int array;
@@ -8,9 +17,10 @@ type t = {
   out_adj : int array;
   in_off : int array;
   in_adj : int array;
+  nbr_off : int array;
+  nbr_adj : int array;  (* union of out/in rows, sorted distinct *)
   by_label_off : int array;
   by_label : int array;
-  edge_set : (int, unit) Hashtbl.t;
   n_edges : int;
 }
 
@@ -21,6 +31,7 @@ module Builder = struct
     mutable values : Value.t array;
     srcs : Vec.t;
     dsts : Vec.t;
+    mutable frozen : bool;
   }
 
   let create ?(node_hint = 64) table =
@@ -28,15 +39,19 @@ module Builder = struct
       labels = Vec.create ~capacity:node_hint ();
       values = Array.make (max node_hint 1) Value.Null;
       srcs = Vec.create ();
-      dsts = Vec.create () }
+      dsts = Vec.create ();
+      frozen = false }
 
   let n_nodes b = Vec.length b.labels
 
   let add_node b lbl v =
+    if b.frozen then invalid_arg "Digraph.Builder.add_node: builder already frozen";
     let id = Vec.length b.labels in
     Vec.push b.labels lbl;
-    if id = Array.length b.values then begin
-      let values = Array.make (2 * id) Value.Null in
+    if id >= Array.length b.values then begin
+      (* Doubling from the live length, not the hint, so over-hinted
+         builders don't keep growing an already oversized store. *)
+      let values = Array.make (2 * max 1 id) Value.Null in
       Array.blit b.values 0 values 0 id;
       b.values <- values
     end;
@@ -44,6 +59,7 @@ module Builder = struct
     id
 
   let add_edge b src dst =
+    if b.frozen then invalid_arg "Digraph.Builder.add_edge: builder already frozen";
     let n = n_nodes b in
     if src < 0 || src >= n || dst < 0 || dst >= n then
       invalid_arg "Digraph.Builder.add_edge: unknown endpoint";
@@ -51,47 +67,122 @@ module Builder = struct
     Vec.push b.dsts dst
 
   (* Counting sort of [keys] into CSR offsets over [n] buckets. *)
-  let csr n keys payloads =
-    let m = Array.length keys in
+  let csr n keys nkeys payloads =
     let off = Array.make (n + 1) 0 in
-    for i = 0 to m - 1 do
+    for i = 0 to nkeys - 1 do
       off.(keys.(i) + 1) <- off.(keys.(i) + 1) + 1
     done;
     for i = 1 to n do
       off.(i) <- off.(i) + off.(i - 1)
     done;
-    let adj = Array.make m 0 in
+    let adj = Array.make (max 1 nkeys) 0 in
     let cursor = Array.copy off in
-    for i = 0 to m - 1 do
+    for i = 0 to nkeys - 1 do
       let k = keys.(i) in
       adj.(cursor.(k)) <- payloads.(i);
       cursor.(k) <- cursor.(k) + 1
     done;
-    (off, adj)
+    (off, if nkeys = Array.length adj then adj else Array.sub adj 0 nkeys)
+
+  (* Sort each CSR row and drop duplicate entries, compacting [adj] and
+     rewriting [off] in place.  Returns the compacted length. *)
+  let sort_dedup_rows n off adj =
+    let write = ref 0 in
+    let row_start = ref 0 in
+    for v = 0 to n - 1 do
+      let lo = !row_start and hi = off.(v + 1) in
+      row_start := hi;
+      let len = hi - lo in
+      Int_sort.sort_range adj lo len;
+      let kept = Int_sort.dedup_range adj lo len in
+      if lo <> !write then Array.blit adj lo adj !write kept;
+      off.(v) <- !write;
+      write := !write + kept
+    done;
+    off.(n) <- !write;
+    !write
 
   let freeze b =
+    if b.frozen then invalid_arg "Digraph.Builder.freeze: builder already frozen";
+    b.frozen <- true;
     let n = n_nodes b in
     let labels = Vec.to_array b.labels in
     let values = Array.sub b.values 0 n in
-    (* Deduplicate edges via the membership table. *)
     let raw = Vec.length b.srcs in
-    let edge_set = Hashtbl.create (max 16 raw) in
-    let srcs = Vec.create ~capacity:raw () and dsts = Vec.create ~capacity:raw () in
-    for i = 0 to raw - 1 do
-      let s = Vec.get b.srcs i and d = Vec.get b.dsts i in
-      let key = (s * n) + d in
-      if not (Hashtbl.mem edge_set key) then begin
-        Hashtbl.replace edge_set key ();
-        Vec.push srcs s;
-        Vec.push dsts d
-      end
+    (* Out CSR from the raw multi-edge list; rows sorted, duplicates
+       collapse row-locally. *)
+    let out_off, out_adj = csr n (Vec.unsafe_data b.srcs) raw (Vec.unsafe_data b.dsts) in
+    let m = sort_dedup_rows n out_off out_adj in
+    let out_adj = if m = Array.length out_adj then out_adj else Array.sub out_adj 0 m in
+    (* In CSR from the deduplicated edges.  Filling dst buckets while
+       scanning sources in ascending order leaves every in row sorted. *)
+    let in_off = Array.make (n + 1) 0 in
+    for i = 0 to m - 1 do
+      in_off.(out_adj.(i) + 1) <- in_off.(out_adj.(i) + 1) + 1
     done;
-    let src_arr = Vec.to_array srcs and dst_arr = Vec.to_array dsts in
-    let out_off, out_adj = csr n src_arr dst_arr in
-    let in_off, in_adj = csr n dst_arr src_arr in
+    for i = 1 to n do
+      in_off.(i) <- in_off.(i) + in_off.(i - 1)
+    done;
+    let in_adj = Array.make (max 1 m) 0 in
+    let cursor = Array.copy in_off in
+    for v = 0 to n - 1 do
+      for i = out_off.(v) to out_off.(v + 1) - 1 do
+        let w = out_adj.(i) in
+        in_adj.(cursor.(w)) <- v;
+        cursor.(w) <- cursor.(w) + 1
+      done
+    done;
+    let in_adj = if m = Array.length in_adj then in_adj else Array.sub in_adj 0 m in
+    (* Merged-neighbour CSR: sorted union of each node's out and in rows. *)
+    let nbr_off = Array.make (n + 1) 0 in
+    let nbr_adj = Array.make (max 1 (2 * m)) 0 in
+    let cursor = ref 0 in
+    for v = 0 to n - 1 do
+      nbr_off.(v) <- !cursor;
+      let i = ref out_off.(v) and j = ref in_off.(v) in
+      let ihi = out_off.(v + 1) and jhi = in_off.(v + 1) in
+      while !i < ihi || !j < jhi do
+        let x =
+          if !j >= jhi then begin
+            let x = out_adj.(!i) in
+            incr i;
+            x
+          end
+          else if !i >= ihi then begin
+            let x = in_adj.(!j) in
+            incr j;
+            x
+          end
+          else begin
+            let a = out_adj.(!i) and b = in_adj.(!j) in
+            if a < b then begin
+              incr i;
+              a
+            end
+            else if b < a then begin
+              incr j;
+              b
+            end
+            else begin
+              incr i;
+              incr j;
+              a
+            end
+          end
+        in
+        if !cursor = nbr_off.(v) || nbr_adj.(!cursor - 1) <> x then begin
+          nbr_adj.(!cursor) <- x;
+          incr cursor
+        end
+      done
+    done;
+    nbr_off.(n) <- !cursor;
+    let nbr_adj =
+      if !cursor = Array.length nbr_adj then nbr_adj else Array.sub nbr_adj 0 !cursor
+    in
     let nlabels = Label.count b.table in
     let ids = Array.init n (fun i -> i) in
-    let by_label_off, by_label = csr nlabels labels ids in
+    let by_label_off, by_label = csr nlabels labels n ids in
     { table = b.table;
       labels;
       values;
@@ -99,10 +190,11 @@ module Builder = struct
       out_adj;
       in_off;
       in_adj;
+      nbr_off;
+      nbr_adj;
       by_label_off;
       by_label;
-      edge_set;
-      n_edges = Array.length src_arr }
+      n_edges = m }
 end
 
 let label_table g = g.table
@@ -138,20 +230,25 @@ let fold_in g v f init =
 let out_neighbours g v = Array.sub g.out_adj g.out_off.(v) (out_degree g v)
 let in_neighbours g v = Array.sub g.in_adj g.in_off.(v) (in_degree g v)
 
-let neighbours g v =
-  let vec = Vec.create ~capacity:(degree g v + 1) () in
-  iter_out g v (fun w -> Vec.push vec w);
-  iter_in g v (fun w -> Vec.push vec w);
-  Vec.sort_uniq vec;
-  Vec.to_array vec
+let n_neighbours g v = g.nbr_off.(v + 1) - g.nbr_off.(v)
+let neighbours g v = Array.sub g.nbr_adj g.nbr_off.(v) (n_neighbours g v)
+let iter_neighbours g v f = iter_range g.nbr_adj g.nbr_off.(v) g.nbr_off.(v + 1) f
 
-let has_edge g src dst = Hashtbl.mem g.edge_set ((src * n_nodes g) + dst)
+(* Branch-light binary search for [dst] in the sorted out row of [src].
+   Rows are typically short (mean degree), so the loop is a handful of
+   well-predicted iterations over one cache line. *)
+let has_edge g src dst =
+  let adj = g.out_adj in
+  let lo = ref g.out_off.(src) and hi = ref g.out_off.(src + 1) in
+  (* [mid] stays inside the row, itself inside [adj] — unsafe reads keep
+     the loop to a compare and a shift per halving. *)
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get adj mid <= dst then lo := mid else hi := mid
+  done;
+  !lo < !hi && Array.unsafe_get adj !lo = dst
+
 let adjacent g u v = has_edge g u v || has_edge g v u
-
-let iter_neighbours g v f =
-  (* Out-neighbours first, then in-neighbours not already out-neighbours. *)
-  iter_out g v (fun w -> f w);
-  iter_in g v (fun w -> if not (has_edge g v w) then f w)
 
 let nodes_with_label g l =
   if l < 0 || l + 1 >= Array.length g.by_label_off then [||]

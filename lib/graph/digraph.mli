@@ -2,15 +2,21 @@
 
     Graphs are constructed through a mutable {!Builder} and then frozen into
     an immutable compressed-sparse-row representation with:
-    - forward and reverse adjacency (both directions are needed because the
-      paper's notion of neighbour is direction-agnostic);
+    - forward and reverse adjacency, every row sorted ascending (both
+      directions are needed because the paper's notion of neighbour is
+      direction-agnostic);
+    - a merged-neighbour CSR (the sorted distinct union of each node's out
+      and in rows), so neighbourhood retrieval is a slice, not a per-call
+      allocate-and-sort;
     - nodes grouped by label (the retrieval side of type-(1) access
       constraints, and candidate enumeration in the matchers);
-    - an O(1) directed-edge membership structure (the probe side of edge
-      verification in query plans).
+    - directed-edge membership as a binary search over the sorted out row
+      (the probe side of edge verification in query plans) — no auxiliary
+      edge hashtable.
 
     Node identifiers are dense integers [0 .. n_nodes - 1] in insertion
-    order.  Parallel edges are collapsed at freeze time. *)
+    order.  Parallel edges are collapsed at freeze time by the row-local
+    sort-and-dedup. *)
 
 type t
 
@@ -27,7 +33,11 @@ module Builder : sig
       endpoints must already exist. *)
 
   val n_nodes : t -> int
+
   val freeze : t -> graph
+  (** Freezes the builder into the immutable CSR form.  A builder can be
+      frozen only once; a second [freeze] (or any mutation after freezing)
+      raises [Invalid_argument]. *)
 end
 
 (** {1 Structure access} *)
@@ -56,19 +66,24 @@ val fold_out : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 val fold_in : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
 val out_neighbours : t -> int -> int array
-(** Fresh array; prefer the iterators in hot paths. *)
+(** Fresh array, sorted ascending; prefer the iterators in hot paths. *)
 
 val in_neighbours : t -> int -> int array
 
+val n_neighbours : t -> int -> int
+(** Number of distinct neighbours in either direction (O(1)). *)
+
 val neighbours : t -> int -> int array
-(** Distinct neighbours in either direction, sorted ascending (fresh
-    array). *)
+(** Distinct neighbours in either direction, sorted ascending — a copy of
+    the merged-neighbour CSR row (no per-call sort). *)
 
 val iter_neighbours : t -> int -> (int -> unit) -> unit
-(** Visits each distinct neighbour exactly once. *)
+(** Visits each distinct neighbour exactly once, ascending, without
+    allocating. *)
 
 val has_edge : t -> int -> int -> bool
-(** O(1) directed-edge membership. *)
+(** Directed-edge membership: binary search over the sorted out row,
+    O(log out_degree). *)
 
 val adjacent : t -> int -> int -> bool
 (** [has_edge u v || has_edge v u]. *)

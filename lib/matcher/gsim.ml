@@ -103,7 +103,7 @@ let naive ?candidates g q =
       Array.map
         (fun sim ->
           let arr = Array.of_seq (Seq.map fst (Hashtbl.to_seq sim)) in
-          Array.sort compare arr;
+          Int_sort.sort arr;
           arr)
         sims
     in

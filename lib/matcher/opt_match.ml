@@ -24,7 +24,26 @@ let initial_candidates g q u =
       if Predicate.eval (Pattern.pred q u) (Digraph.value g v) then acc := v :: !acc);
   Array.of_list !acc
 
-let semijoin schema t2 q cand u u' =
+(* Scratch state shared by the semijoin passes of one reduction: a bitset
+   over the graph's node ids plus the list of set bits, so clearing costs
+   O(marked), not O(|V|). *)
+type scratch = { marks : Bpq_util.Bitset.t; marked : Bpq_util.Vec.t }
+
+let make_scratch g =
+  { marks = Bpq_util.Bitset.create (Digraph.n_nodes g);
+    marked = Bpq_util.Vec.create ~capacity:64 () }
+
+let scratch_mark s w =
+  if not (Bpq_util.Bitset.mem s.marks w) then begin
+    Bpq_util.Bitset.add s.marks w;
+    Bpq_util.Vec.push s.marked w
+  end
+
+let scratch_reset s =
+  Bpq_util.Vec.iter (fun w -> Bpq_util.Bitset.remove s.marks w) s.marked;
+  Bpq_util.Vec.clear s.marked
+
+let semijoin schema t2 q scratch cand u u' =
   (* Shrink cand.(u') to indexed neighbours of cand.(u), when a type-(2)
      index exists and the pass cannot blow up the work. *)
   match Hashtbl.find_opt t2 (Pattern.label q u, Pattern.label q u') with
@@ -35,11 +54,11 @@ let semijoin schema t2 q cand u u' =
     if budget = 0 || budget > 4 * Array.length dst then false
     else begin
       let idx = Schema.index_of schema c in
-      let reachable = Hashtbl.create (max 16 budget) in
-      Array.iter
-        (fun v -> Array.iter (fun w -> Hashtbl.replace reachable w ()) (Index.lookup idx [ v ]))
-        src;
-      let kept = Array.of_seq (Seq.filter (Hashtbl.mem reachable) (Array.to_seq dst)) in
+      Array.iter (fun v -> Index.lookup_iter idx [ v ] (scratch_mark scratch)) src;
+      let kept =
+        Array.of_seq (Seq.filter (Bpq_util.Bitset.mem scratch.marks) (Array.to_seq dst))
+      in
+      scratch_reset scratch;
       if Array.length kept < Array.length dst then begin
         cand.(u') <- kept;
         true
@@ -52,11 +71,12 @@ let reduced_candidates schema q =
   let t2 = type2_map schema in
   let nq = Pattern.n_nodes q in
   let cand = Array.init nq (initial_candidates g q) in
+  let scratch = make_scratch g in
   let pass () =
     List.fold_left
       (fun changed (u, u') ->
-        let a = semijoin schema t2 q cand u u' in
-        let b = semijoin schema t2 q cand u' u in
+        let a = semijoin schema t2 q scratch cand u u' in
+        let b = semijoin schema t2 q scratch cand u' u in
         changed || a || b)
       false (Pattern.edges q)
   in

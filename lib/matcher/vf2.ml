@@ -4,12 +4,29 @@ open Bpq_pattern
 
 exception Stop
 
-let compute_order q base_count =
+(* Pattern adjacency pre-resolved into int arrays: [compute_order],
+   [consistent] and the anchor scan run many times per match attempt, and
+   the pattern's adjacency lists never change during a search. *)
+type resolved = {
+  children : int array array;
+  parents : int array array;
+  nbrs : int array array;
+}
+
+let resolve q =
+  let nq = Pattern.n_nodes q in
+  { children = Array.init nq (fun u -> Array.of_list (Pattern.children q u));
+    parents = Array.init nq (fun u -> Array.of_list (Pattern.parents q u));
+    nbrs = Array.init nq (fun u -> Array.of_list (Pattern.neighbours q u)) }
+
+let compute_order q radj base_count =
   let nq = Pattern.n_nodes q in
   let order = Array.make nq 0 in
   let selected = Array.make nq false in
   let matched_neighbours u =
-    List.length (List.filter (fun u' -> selected.(u')) (Pattern.neighbours q u))
+    let count = ref 0 in
+    Array.iter (fun u' -> if selected.(u') then incr count) radj.nbrs.(u);
+    !count
   in
   for i = 0 to nq - 1 do
     let best = ref (-1) in
@@ -35,13 +52,13 @@ let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g 
   let nq = Pattern.n_nodes q in
   if nq = 0 then yield [||]
   else begin
+    let n = Digraph.n_nodes g in
+    let radj = resolve q in
+    (* Candidate membership and the used-set are bitsets over the data
+       graph's dense node ids — a probe is two loads and a mask, versus
+       hashing on every VF2 state expansion. *)
     let cand_sets =
-      Option.map
-        (Array.map (fun arr ->
-             let set = Hashtbl.create (max 16 (Array.length arr)) in
-             Array.iter (fun v -> Hashtbl.replace set v ()) arr;
-             set))
-        candidates
+      Option.map (Array.map (fun arr -> Bitset.of_array n arr)) candidates
     in
     let base_count u =
       if blind then Pattern.n_nodes q - Pattern.out_degree q u - Pattern.in_degree q u
@@ -50,31 +67,44 @@ let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g 
         | Some c -> Array.length c.(u)
         | None -> Digraph.count_label g (Pattern.label q u)
     in
-    let order = compute_order q base_count in
+    let order = compute_order q radj base_count in
     let mapping = Array.make nq (-1) in
-    let used = Hashtbl.create 64 in
+    let used = Bitset.create n in
     let node_ok u v =
       Digraph.label g v = Pattern.label q u
       && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
       && Digraph.out_degree g v >= Pattern.out_degree q u
       && Digraph.in_degree g v >= Pattern.in_degree q u
-      && (match cand_sets with None -> true | Some cs -> Hashtbl.mem cs.(u) v)
+      && (match cand_sets with None -> true | Some cs -> Bitset.mem cs.(u) v)
     in
     let consistent u v =
-      List.for_all
-        (fun u' -> mapping.(u') < 0 || Digraph.has_edge g v mapping.(u'))
-        (Pattern.children q u)
-      && List.for_all
-           (fun u' -> mapping.(u') < 0 || Digraph.has_edge g mapping.(u') v)
-           (Pattern.parents q u)
+      (* Plain counted loops over the resolved adjacency, no list cells. *)
+      let ok = ref true in
+      let ch = radj.children.(u) in
+      let i = ref 0 in
+      let nc = Array.length ch in
+      while !ok && !i < nc do
+        let m = mapping.(ch.(!i)) in
+        if m >= 0 && not (Digraph.has_edge g v m) then ok := false;
+        incr i
+      done;
+      let pa = radj.parents.(u) in
+      let np = Array.length pa in
+      let j = ref 0 in
+      while !ok && !j < np do
+        let m = mapping.(pa.(!j)) in
+        if m >= 0 && not (Digraph.has_edge g m v) then ok := false;
+        incr j
+      done;
+      !ok
     in
     let try_assign u v k =
       if Timer.expired deadline then raise Timer.Timeout;
-      if (not (Hashtbl.mem used v)) && node_ok u v && consistent u v then begin
+      if (not (Bitset.mem used v)) && node_ok u v && consistent u v then begin
         mapping.(u) <- v;
-        Hashtbl.replace used v ();
+        Bitset.add used v;
         k ();
-        Hashtbl.remove used v;
+        Bitset.remove used v;
         mapping.(u) <- -1
       end
     in
@@ -82,28 +112,31 @@ let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g 
        pattern neighbour when one exists (the cheapest such anchor), else
        from the label universe / supplied candidate array. *)
     let enumerate u k =
-      let anchor =
-        List.fold_left
-          (fun best u' ->
-            if mapping.(u') < 0 then best
-            else
-              let d = Digraph.degree g mapping.(u') in
-              match best with
-              | Some (_, db) when db <= d -> best
-              | Some _ | None -> Some (u', d))
-          None (Pattern.neighbours q u)
-      in
-      match anchor with
-      | Some (u', _) ->
+      let anchor = ref (-1) in
+      let anchor_deg = ref max_int in
+      Array.iter
+        (fun u' ->
+          let m = mapping.(u') in
+          if m >= 0 then begin
+            let d = Digraph.degree g m in
+            if d < !anchor_deg then begin
+              anchor := u';
+              anchor_deg := d
+            end
+          end)
+        radj.nbrs.(u);
+      if !anchor >= 0 then begin
+        let u' = !anchor in
         let v' = mapping.(u') in
         if Pattern.has_edge q u' u then Digraph.iter_out g v' (fun v -> try_assign u v k)
         else Digraph.iter_in g v' (fun v -> try_assign u v k)
-      | None ->
-        (match candidates with
-         | Some c -> Array.iter (fun v -> try_assign u v k) c.(u)
-         | None ->
-           if blind then Digraph.iter_nodes g (fun v -> try_assign u v k)
-           else Digraph.iter_label g (Pattern.label q u) (fun v -> try_assign u v k))
+      end
+      else
+        match candidates with
+        | Some c -> Array.iter (fun v -> try_assign u v k) c.(u)
+        | None ->
+          if blind then Digraph.iter_nodes g (fun v -> try_assign u v k)
+          else Digraph.iter_label g (Pattern.label q u) (fun v -> try_assign u v k)
     in
     let rec step i () = if i = nq then yield mapping else enumerate order.(i) (step (i + 1)) in
     step 0 ()

@@ -1,0 +1,43 @@
+(* Fixed-capacity bitset over dense non-negative int ids.
+
+   32 bits per word: OCaml ints carry 63 usable bits, so a 64-bit stride
+   would need [1 lsl 63], which does not exist; 32 keeps the index math a
+   shift and a mask.  Membership is two loads and a mask — the whole point
+   versus the [(int, unit) Hashtbl.t] sets it replaces in the matchers. *)
+
+type t = { words : int array; capacity : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make ((n + 31) / 32) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let mem t i = t.words.(i lsr 5) land (1 lsl (i land 31)) <> 0
+let add t i = t.words.(i lsr 5) <- t.words.(i lsr 5) lor (1 lsl (i land 31))
+
+let remove t i =
+  t.words.(i lsr 5) <- t.words.(i lsr 5) land lnot (1 lsl (i land 31))
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let of_array n arr =
+  let t = create n in
+  Array.iter (fun i -> add t i) arr;
+  t
+
+let count t =
+  let popcount x =
+    let c = ref 0 and v = ref x in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr c
+    done;
+    !c
+  in
+  Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter t f =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done

@@ -1,0 +1,30 @@
+(** Fixed-capacity bitset over dense non-negative int identifiers.
+
+    The matchers track "node already used" / "node is a candidate of u"
+    over graph node ids; these are dense int universes, for which a bitset
+    probe (two loads and a mask) beats a hashtable by an order of
+    magnitude.  Indices must satisfy [0 <= i < capacity]; out-of-range
+    access raises [Invalid_argument] via the underlying array bounds
+    check. *)
+
+type t
+
+val create : int -> t
+(** [create n] — all bits clear, capacity [n]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Clear every bit (O(capacity/32)). *)
+
+val of_array : int -> int array -> t
+(** [of_array n arr] — capacity [n], bits of [arr] set. *)
+
+val count : t -> int
+(** Number of set bits. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Visit set bits ascending. *)

@@ -1,0 +1,82 @@
+(* In-place monomorphic sorting of int array ranges.
+
+   [Stdlib.Array.sort compare] calls the polymorphic comparator through a
+   closure per comparison; on the CSR freeze and candidate-set hot paths
+   that indirection dominates.  This is a plain median-of-three quicksort
+   with an insertion-sort cutoff, specialised to immediate ints (every
+   comparison compiles to a register compare).  Recursion always descends
+   into the smaller partition, so stack depth is O(log n) even on
+   adversarial inputs. *)
+
+let insertion_cutoff = 14
+
+let insertion arr lo hi =
+  for i = lo + 1 to hi do
+    let x = arr.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && arr.(!j) > x do
+      arr.(!j + 1) <- arr.(!j);
+      decr j
+    done;
+    arr.(!j + 1) <- x
+  done
+
+let swap arr i j =
+  let t = arr.(i) in
+  arr.(i) <- arr.(j);
+  arr.(j) <- t
+
+(* Median of arr.(lo), arr.(mid), arr.(hi), left in arr.(mid). *)
+let median3 arr lo hi =
+  let mid = lo + ((hi - lo) / 2) in
+  if arr.(mid) < arr.(lo) then swap arr mid lo;
+  if arr.(hi) < arr.(mid) then begin
+    swap arr hi mid;
+    if arr.(mid) < arr.(lo) then swap arr mid lo
+  end;
+  arr.(mid)
+
+let rec qsort arr lo hi =
+  if hi - lo >= insertion_cutoff then begin
+    let pivot = median3 arr lo hi in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while arr.(!i) < pivot do incr i done;
+      while arr.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        swap arr !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    (* Recurse into the smaller side first, loop on the larger. *)
+    if !j - lo < hi - !i then begin
+      qsort arr lo !j;
+      qsort arr !i hi
+    end
+    else begin
+      qsort arr !i hi;
+      qsort arr lo !j
+    end
+  end
+  else insertion arr lo hi
+
+let sort_range arr pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length arr then
+    invalid_arg "Int_sort.sort_range";
+  if len > 1 then qsort arr pos (pos + len - 1)
+
+let sort arr = if Array.length arr > 1 then qsort arr 0 (Array.length arr - 1)
+
+let dedup_range arr pos len =
+  if len <= 1 then len
+  else begin
+    let w = ref (pos + 1) in
+    for r = pos + 1 to pos + len - 1 do
+      if arr.(r) <> arr.(!w - 1) then begin
+        arr.(!w) <- arr.(r);
+        incr w
+      end
+    done;
+    !w - pos
+  end

@@ -1,0 +1,17 @@
+(** In-place monomorphic sorting of int arrays.
+
+    Replacement for [Array.sort compare] on int data: the polymorphic
+    comparator is a closure call per comparison, which dominates the CSR
+    freeze and candidate-set paths.  All functions sort ascending, in
+    place, with O(log n) auxiliary stack and no heap allocation. *)
+
+val sort : int array -> unit
+
+val sort_range : int array -> int -> int -> unit
+(** [sort_range arr pos len] sorts the slice [arr.(pos) .. arr.(pos+len-1)].
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val dedup_range : int array -> int -> int -> int
+(** [dedup_range arr pos len] compacts consecutive duplicates in the (already
+    sorted) slice towards [pos] and returns the deduplicated length.  Slice
+    contents beyond the returned length are unspecified. *)

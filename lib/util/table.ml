@@ -2,6 +2,8 @@ type t = { headers : string list; mutable rows : string list list }
 
 let create headers = { headers; rows = [] }
 let add_row t row = t.rows <- row :: t.rows
+let headers t = t.headers
+let rows t = List.rev t.rows
 
 let pad cell width = cell ^ String.make (width - String.length cell) ' '
 

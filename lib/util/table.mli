@@ -12,6 +12,12 @@ val create : string list -> t
 val add_row : t -> string list -> unit
 (** Rows shorter than the header are padded with empty cells. *)
 
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order (padding not applied) — machine-readable
+    export, e.g. the bench harness's [--json] files. *)
+
 val render : t -> string
 (** Render with a header rule and two-space column gaps. *)
 

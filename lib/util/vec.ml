@@ -48,15 +48,7 @@ let unsafe_data t = t.data
 
 let sort_uniq t =
   if t.len > 1 then begin
-    let sub = Array.sub t.data 0 t.len in
-    Array.sort compare sub;
-    let w = ref 1 in
-    for r = 1 to t.len - 1 do
-      if sub.(r) <> sub.(!w - 1) then begin
-        sub.(!w) <- sub.(r);
-        incr w
-      end
-    done;
-    Array.blit sub 0 t.data 0 !w;
-    t.len <- !w
+    (* Monomorphic in-place sort: no copy, no polymorphic comparator. *)
+    Int_sort.sort_range t.data 0 t.len;
+    t.len <- Int_sort.dedup_range t.data 0 t.len
   end

@@ -183,6 +183,32 @@ let test_predicate_value_cap () =
      = Some 0);
   Helpers.check_true "true predicate" (cap Predicate.true_ = None)
 
+(* The odometer tuple enumerator must yield exactly what the seed's
+   list-building recursion yielded, in the same (lexicographic) order —
+   fetch/edge-check traversal order is answer-visible via the stats. *)
+let iter_tuples_matches_recursion =
+  Helpers.qcheck ~count:100 "iter_tuples equals the list-recursion oracle"
+    QCheck2.Gen.(
+      pair (int_range 1 500) (list_size (int_range 0 4) (int_range 0 3)))
+    (fun (seed, row_sizes) ->
+      let module Prng = Bpq_util.Prng in
+      let r = Prng.create seed in
+      let cmat =
+        Array.of_list
+          (List.map (fun len -> Array.init len (fun _ -> Prng.int r 100)) row_sizes)
+      in
+      let anchors = List.mapi (fun i _ -> ((), i)) row_sizes in
+      let got = ref [] in
+      Exec.iter_tuples cmat anchors (fun tuple -> got := Array.to_list tuple :: !got);
+      let want = ref [] in
+      let arrays = List.map (fun (_, u) -> cmat.(u)) anchors in
+      let rec go acc = function
+        | [] -> want := List.rev acc :: !want
+        | arr :: rest -> Array.iter (fun v -> go (v :: acc) rest) arr
+      in
+      if List.for_all (fun arr -> Array.length arr > 0) arrays then go [] arrays;
+      List.rev !got = List.rev !want)
+
 let suite =
   [ Alcotest.test_case "G_Q is a subgraph" `Quick test_gq_is_subgraph;
     Alcotest.test_case "G_Q within bounds" `Quick test_gq_within_bounds;
@@ -196,4 +222,5 @@ let suite =
     pipeline_soundness_subgraph;
     pipeline_soundness_simulation;
     gq_bounds_hold;
+    iter_tuples_matches_recursion;
     Alcotest.test_case "predicate value cap" `Quick test_predicate_value_cap ]

@@ -92,6 +92,37 @@ let test_self_loop () =
   Helpers.check_int "degree counts both directions" 2 (Digraph.degree g 0);
   Helpers.check_true "neighbours includes self" (Digraph.neighbours g 0 = [| 0 |])
 
+let test_builder_freeze_twice_rejected () =
+  let tbl = Label.create_table () in
+  let b = Digraph.Builder.create tbl in
+  ignore (Digraph.Builder.add_node b (Label.intern tbl "A") Value.Null);
+  ignore (Digraph.Builder.freeze b);
+  Alcotest.check_raises "freeze twice"
+    (Invalid_argument "Digraph.Builder.freeze: builder already frozen") (fun () ->
+      ignore (Digraph.Builder.freeze b));
+  Alcotest.check_raises "add_node after freeze"
+    (Invalid_argument "Digraph.Builder.add_node: builder already frozen") (fun () ->
+      ignore (Digraph.Builder.add_node b (Label.intern tbl "A") Value.Null));
+  Alcotest.check_raises "add_edge after freeze"
+    (Invalid_argument "Digraph.Builder.add_edge: builder already frozen") (fun () ->
+      Digraph.Builder.add_edge b 0 0)
+
+(* A node_hint far above the real node count must not leak an oversized
+   values array (or stale slots) into the frozen graph. *)
+let test_builder_node_hint_overshoot () =
+  let tbl = Label.create_table () in
+  let b = Digraph.Builder.create ~node_hint:1000 tbl in
+  for i = 0 to 2 do
+    ignore (Digraph.Builder.add_node b (Label.intern tbl "A") (Value.Int i))
+  done;
+  Digraph.Builder.add_edge b 0 2;
+  let g = Digraph.Builder.freeze b in
+  Helpers.check_int "nodes" 3 (Digraph.n_nodes g);
+  for i = 0 to 2 do
+    Helpers.check_true "value kept" (Digraph.value g i = Value.Int i)
+  done;
+  Helpers.check_true "edge kept" (Digraph.has_edge g 0 2)
+
 let test_builder_rejects_bad_edge () =
   let tbl = Label.create_table () in
   let b = Digraph.Builder.create tbl in
@@ -160,6 +191,65 @@ let delta_matches_rebuild =
         removed_edges;
       !ok)
 
+(* Sorted-CSR oracle: random multi-edge/self-loop edge lists, checked
+   against the raw pair set the builder consumed. *)
+let sorted_csr_matches_oracle =
+  Helpers.qcheck ~count:80 "sorted-CSR has_edge/iter_neighbours match a naive oracle"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let module Prng = Bpq_util.Prng in
+      let r = Prng.create seed in
+      let tbl = Label.create_table () in
+      let n = 1 + Prng.int r 25 in
+      let nodes = List.init n (fun i -> ("L" ^ string_of_int (i mod 3), Value.Null)) in
+      (* Duplicates, mutual pairs and self-loops on purpose. *)
+      let edges =
+        List.concat
+          (List.init (3 * n) (fun _ ->
+               let s = Prng.int r n and d = Prng.int r n in
+               let e = [ (s, d) ] in
+               let e = if Prng.int r 3 = 0 then (s, d) :: e else e in
+               let e = if Prng.bool r then (d, s) :: e else e in
+               if Prng.int r 5 = 0 then (s, s) :: e else e))
+      in
+      let g = Helpers.graph tbl nodes edges in
+      let distinct = List.sort_uniq compare edges in
+      let module PSet = Set.Make (struct
+        type t = int * int
+
+        let compare = compare
+      end) in
+      let eset = PSet.of_list distinct in
+      let ok = ref (Digraph.n_edges g = List.length distinct) in
+      (* Membership, exhaustively over all pairs. *)
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if Digraph.has_edge g s d <> PSet.mem (s, d) eset then ok := false
+        done
+      done;
+      for v = 0 to n - 1 do
+        (* Out rows: sorted, distinct, exactly the oracle's successors. *)
+        let row = Array.to_list (Digraph.out_neighbours g v) in
+        let want_out =
+          List.filter_map (fun (s, d) -> if s = v then Some d else None) distinct
+          |> List.sort_uniq Int.compare
+        in
+        if row <> want_out then ok := false;
+        (* Undirected neighbourhood: sorted distinct union of both rows;
+           iter_neighbours and the materialised array must agree. *)
+        let want_nbrs =
+          List.sort_uniq Int.compare
+            (List.filter_map (fun (s, d) -> if s = v then Some d else None) distinct
+            @ List.filter_map (fun (s, d) -> if d = v then Some s else None) distinct)
+        in
+        if Array.to_list (Digraph.neighbours g v) <> want_nbrs then ok := false;
+        if Digraph.n_neighbours g v <> List.length want_nbrs then ok := false;
+        let iterated = ref [] in
+        Digraph.iter_neighbours g v (fun w -> iterated := w :: !iterated);
+        if List.rev !iterated <> want_nbrs then ok := false
+      done;
+      !ok)
+
 let suite =
   [ Alcotest.test_case "counts" `Quick test_counts;
     Alcotest.test_case "labels and values" `Quick test_labels_and_values;
@@ -172,6 +262,9 @@ let suite =
     Alcotest.test_case "empty graph" `Quick test_empty_graph;
     Alcotest.test_case "self loop" `Quick test_self_loop;
     Alcotest.test_case "builder rejects bad edge" `Quick test_builder_rejects_bad_edge;
+    Alcotest.test_case "builder freeze-twice rejected" `Quick test_builder_freeze_twice_rejected;
+    Alcotest.test_case "builder node_hint overshoot" `Quick test_builder_node_hint_overshoot;
+    sorted_csr_matches_oracle;
     csr_consistency;
     edge_membership_agrees;
     delta_matches_rebuild ]

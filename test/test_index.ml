@@ -274,6 +274,86 @@ let delta_matches_rebuild_edge_cases =
       Index.apply_delta idx ~old_graph:g ~new_graph:g' delta;
       same_buckets idx (Index.build g' c))
 
+(* Keys of >= 2 nodes pack into one int; >= 3 spill to boxed list keys.
+   Both paths must behave identically to the definition. *)
+let test_spill_arity3 () =
+  let tbl = Label.create_table () in
+  (* 0:a 1:b 2:c 3:t 4:t 5:a — t3 touches a0,b1,c2; t4 touches a5,b1,c2. *)
+  let g =
+    Helpers.graph tbl
+      [ ("a", Value.Null); ("b", Value.Null); ("c", Value.Null); ("t", Value.Null);
+        ("t", Value.Null); ("a", Value.Null) ]
+      [ (3, 0); (3, 1); (3, 2); (4, 5); (4, 1); (4, 2) ]
+  in
+  let l s = Label.intern tbl s in
+  let c = Constr.make ~source:[ l "a"; l "b"; l "c" ] ~target:(l "t") ~bound:4 in
+  let idx = Index.build g c in
+  Helpers.check_true "t3 under (a0,b1,c2)" (Index.lookup idx [ 0; 1; 2 ] = [| 3 |]);
+  Helpers.check_true "t4 under (a5,b1,c2)" (Index.lookup idx [ 5; 1; 2 ] = [| 4 |]);
+  Helpers.check_true "key order irrelevant" (Index.lookup idx [ 2; 0; 1 ] = [| 3 |]);
+  Helpers.check_int "count" 1 (Index.lookup_count idx [ 1; 2; 5 ]);
+  Helpers.check_true "missing key" (Index.lookup idx [ 0; 1; 5 ] = [||]);
+  Helpers.check_true "wrong arity finds nothing" (Index.lookup idx [ 0; 1 ] = [||]);
+  let via_iter = ref [] in
+  Index.lookup_tuple_iter idx [| 2; 1; 0 |] (fun w -> via_iter := w :: !via_iter);
+  Helpers.check_true "tuple iter, unsorted key" (!via_iter = [ 3 ])
+
+let spill_lookup_matches_naive =
+  Helpers.qcheck ~count:60 "arity-3 (spilled) lookup equals naive scan"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let tbl, g = random_world seed in
+      let labels = Array.of_list (Label.all tbl) in
+      let r = Bpq_util.Prng.create (seed + 7) in
+      (* 4 labels in random_world: three distinct sources + the target. *)
+      match Array.to_list labels with
+      | [ s1; s2; s3; target ] ->
+        let c = Constr.make ~source:[ s1; s2; s3 ] ~target ~bound:1000 in
+        let idx = Index.build g c in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let vs =
+            List.filter_map
+              (fun s ->
+                let candidates = Digraph.nodes_with_label g s in
+                if Array.length candidates = 0 then None
+                else Some (Bpq_util.Prng.pick r candidates))
+              [ s1; s2; s3 ]
+          in
+          if List.length vs = 3 then begin
+            let got = List.sort compare (Array.to_list (Index.lookup idx vs)) in
+            let want = List.sort compare (naive_common_neighbours g vs target) in
+            if got <> want then ok := false;
+            if Index.lookup_count idx vs <> List.length want then ok := false
+          end
+        done;
+        !ok
+      | _ -> QCheck2.assume_fail ())
+
+(* The copy-free forms must report exactly what [lookup] materialises,
+   for packed and spilled keys alike. *)
+let iter_forms_match_lookup =
+  Helpers.qcheck ~count:60 "lookup_iter/fold/lookup_tuple agree with lookup"
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let _, g, labels, r = messy_world seed in
+      let c = random_constr r labels in
+      let idx = Index.build g c in
+      let ok = ref true in
+      Index.iter idx (fun key want ->
+          let want = Array.to_list want in
+          let got_iter = ref [] in
+          Index.lookup_iter idx key (fun w -> got_iter := w :: !got_iter);
+          if List.rev !got_iter <> want then ok := false;
+          let got_fold = Index.fold idx key (fun acc w -> w :: acc) [] in
+          if List.rev got_fold <> want then ok := false;
+          let tuple = Array.of_list key in
+          if Array.to_list (Index.lookup_tuple idx tuple) <> want then ok := false;
+          let got_tuple_iter = ref [] in
+          Index.lookup_tuple_iter idx tuple (fun w -> got_tuple_iter := w :: !got_tuple_iter);
+          if List.rev !got_tuple_iter <> want then ok := false);
+      !ok)
+
 let test_copy_is_independent () =
   let tbl, g = movie_world () in
   let c = Constr.make ~source:[ Label.intern tbl "movie" ] ~target:(Label.intern tbl "actor") ~bound:5 in
@@ -305,5 +385,8 @@ let suite =
     build_many_matches_build;
     build_many_matches_build_messy;
     delta_matches_rebuild_edge_cases;
+    Alcotest.test_case "spill path (arity 3)" `Quick test_spill_arity3;
+    spill_lookup_matches_naive;
+    iter_forms_match_lookup;
     Alcotest.test_case "copy is independent" `Quick test_copy_is_independent;
     Alcotest.test_case "type-1 delta adds new nodes" `Quick test_type1_delta_adds_new_nodes ]

@@ -67,6 +67,97 @@ let vec_sort_uniq_model =
       Vec.sort_uniq v;
       Array.to_list (Vec.to_array v) = List.sort_uniq compare xs)
 
+(* Int_sort *)
+
+let int_sort_model =
+  Helpers.qcheck "Int_sort.sort matches List.sort on int arrays"
+    QCheck2.Gen.(list (int_range (-50) 50))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      Int_sort.sort arr;
+      Array.to_list arr = List.sort Int.compare xs)
+
+let int_sort_range_model =
+  Helpers.qcheck "sort_range + dedup_range sort only the slice"
+    QCheck2.Gen.(pair (list_size (int_range 0 30) (int_bound 10)) (int_bound 5))
+    (fun (xs, before) ->
+      (* Slice [before, before+len) of a larger array: the surrounding
+         elements must come out untouched. *)
+      let sentinel = -999 in
+      let len = List.length xs in
+      let arr = Array.make (before + len + 3) sentinel in
+      List.iteri (fun i x -> arr.(before + i) <- x) xs;
+      Int_sort.sort_range arr before len;
+      let sorted_ok =
+        Array.to_list (Array.sub arr before len) = List.sort Int.compare xs
+      in
+      let kept = Int_sort.dedup_range arr before len in
+      let dedup_ok =
+        Array.to_list (Array.sub arr before kept) = List.sort_uniq Int.compare xs
+      in
+      let untouched = ref true in
+      Array.iteri
+        (fun i x -> if (i < before || i >= before + len) && x <> sentinel then untouched := false)
+        arr;
+      sorted_ok && dedup_ok && !untouched)
+
+(* Bitset *)
+
+let test_bitset_basics () =
+  let b = Bitset.create 70 in
+  Helpers.check_false "fresh empty" (Bitset.mem b 0);
+  Bitset.add b 0;
+  Bitset.add b 31;
+  Bitset.add b 32;
+  Bitset.add b 69;
+  Helpers.check_true "word boundary 31" (Bitset.mem b 31);
+  Helpers.check_true "word boundary 32" (Bitset.mem b 32);
+  Helpers.check_int "count" 4 (Bitset.count b);
+  Bitset.remove b 31;
+  Helpers.check_false "removed" (Bitset.mem b 31);
+  Helpers.check_int "count after remove" 3 (Bitset.count b);
+  let seen = ref [] in
+  Bitset.iter b (fun i -> seen := i :: !seen);
+  Helpers.check_true "iter ascending" (List.rev !seen = [ 0; 32; 69 ]);
+  Bitset.clear b;
+  Helpers.check_int "cleared" 0 (Bitset.count b)
+
+let bitset_model =
+  Helpers.qcheck "bitset behaves like a bool-array model"
+    QCheck2.Gen.(list (pair bool (int_bound 99)))
+    (fun ops ->
+      let n = 100 in
+      let b = Bitset.create n in
+      let model = Array.make n false in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add b i;
+            model.(i) <- true
+          end
+          else begin
+            Bitset.remove b i;
+            model.(i) <- false
+          end)
+        ops;
+      let agree = ref true in
+      for i = 0 to n - 1 do
+        if Bitset.mem b i <> model.(i) then agree := false
+      done;
+      let model_count = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 model in
+      let members = Array.to_list (Array.of_seq (Seq.filter (Bitset.mem b) (Seq.init n Fun.id))) in
+      let iterated = ref [] in
+      Bitset.iter b (fun i -> iterated := i :: !iterated);
+      !agree && Bitset.count b = model_count && List.rev !iterated = members)
+
+let bitset_of_array =
+  Helpers.qcheck "of_array marks exactly the listed elements"
+    QCheck2.Gen.(list (int_bound 63))
+    (fun xs ->
+      let b = Bitset.of_array 64 (Array.of_list xs) in
+      List.for_all (Bitset.mem b) xs
+      && Bitset.count b = List.length (List.sort_uniq Int.compare xs))
+
 (* Stats *)
 
 let test_stats_basics () =
@@ -161,6 +252,11 @@ let suite =
     Alcotest.test_case "vec clear/iter/exists" `Quick test_vec_clear_iter_exists;
     vec_model;
     vec_sort_uniq_model;
+    int_sort_model;
+    int_sort_range_model;
+    Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+    bitset_model;
+    bitset_of_array;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "table render" `Quick test_table_render;
