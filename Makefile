@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache clean check-tree ci
 
 all: build
 
@@ -22,6 +22,15 @@ bench-micro:
 	BENCH_FAST=1 dune exec bench/main.exe -- micro --json _bench
 	jq -e '.kernels | length >= 4' _bench/BENCH_micro.json >/dev/null
 	@echo "bench-micro: _bench/BENCH_micro.json OK"
+
+# Cross-query caching experiment: cold vs warm serving of a template
+# workload.  jq gates on the invariants, not the timings: answers must be
+# byte-identical with caching on/off/at capacity 1/pooled, and the warm
+# pass must actually hit the result tier (rate 0 means the cache is dead).
+bench-cache:
+	BENCH_FAST=1 dune exec bench/main.exe -- cache --json _bench
+	jq -e '.cache.identical and .cache.warm_hit_rate > 0' _bench/BENCH_cache.json >/dev/null
+	@echo "bench-cache: _bench/BENCH_cache.json OK"
 
 clean:
 	dune clean

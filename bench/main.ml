@@ -458,6 +458,98 @@ let abl_distributed () =
   print_table table
 
 (* ------------------------------------------------------------------ *)
+(* Cross-query caching: cold vs warm serving                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving scenario of DESIGN.md's "Caching & serving": one template
+   (Q0 with a parameterized year window), many instantiations, asked
+   repeatedly.  Three passes over the same workload: uncached (plan +
+   evaluate from scratch each time), cold (empty Qcache — populates all
+   three tiers), warm (same cache — the result tier answers).  Answers
+   must be byte-identical across all of them, at capacity 1, and across
+   pool sizes. *)
+let exp_cache () =
+  section "CACHE — plan/fetch/result tiers: cold vs warm serving of a template workload";
+  let ds = dataset "IMDbG" base_scale in
+  let t0 = W.t0 ds.W.table in
+  let windows = if fast then 4 else 8 in
+  let bindings =
+    List.init windows (fun i ->
+        [ ("lo", Value.Int (2003 + i)); ("hi", Value.Int (2003 + i + 2)) ])
+  in
+  let queries = List.map (Template.instantiate t0) bindings in
+  let schema = ds.W.schema in
+  let eval_uncached q =
+    match Bounded_eval.plan_for Actualized.Subgraph schema q with
+    | None -> None
+    | Some plan -> Some (Bounded_eval.bvf2_matches schema plan)
+  in
+  let eval_cached c q =
+    match Qcache.eval c Actualized.Subgraph schema q with
+    | Some (Qcache.Matches ms) -> Some ms
+    | Some (Qcache.Relation _) -> None
+    | None -> None
+  in
+  let timed_pass f = Timer.time (fun () -> List.map f queries) in
+  let baseline = List.map eval_uncached queries in
+  let _, uncached_s = timed_pass eval_uncached in
+  let cache = Qcache.create () in
+  let cold_answers, cold_s = timed_pass (eval_cached cache) in
+  let warmed = Qcache.stats cache in
+  let warm_answers, warm_s = timed_pass (eval_cached cache) in
+  let final = Qcache.stats cache in
+  (* Byte-identity: cold, warm, a capacity-1 cache, and a pooled batch
+     must all reproduce the uncached answers exactly. *)
+  let tiny = Qcache.create ~plan_capacity:1 ~fetch_capacity:1 ~result_capacity:1 () in
+  let tiny_answers = List.map (eval_cached tiny) queries in
+  let pooled_cache = Qcache.create () in
+  let pooled =
+    Batch.eval_patterns ~pool ~cache:pooled_cache Actualized.Subgraph schema queries
+    |> List.map (function
+         | _, Some (Batch.Answer (Batch.Matches ms, _)) -> Some ms
+         | _ -> None)
+  in
+  let identical =
+    List.for_all2 ( = ) baseline cold_answers
+    && List.for_all2 ( = ) baseline warm_answers
+    && List.for_all2 ( = ) baseline tiny_answers
+    && List.for_all2 ( = ) baseline pooled
+  in
+  let warm_result_hits = final.Qcache.result_hits - warmed.Qcache.result_hits in
+  let warm_hit_rate = float_of_int warm_result_hits /. float_of_int windows in
+  let rate h m = if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m) in
+  let fetch_hit_rate = rate final.Qcache.fetch_hits final.Qcache.fetch_misses in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else Float.infinity in
+  let table = Table.create [ "pass"; "wall"; "plan hits/misses"; "result hits"; "note" ] in
+  Table.add_row table
+    [ "uncached"; Table.cell_time uncached_s; "-"; "-";
+      Printf.sprintf "%d queries, fresh plan each" windows ];
+  Table.add_row table
+    [ "cold"; Table.cell_time cold_s;
+      Printf.sprintf "%d/%d" warmed.Qcache.plan_hits warmed.Qcache.plan_misses;
+      string_of_int warmed.Qcache.result_hits;
+      Printf.sprintf "fetch hit rate %.2f" fetch_hit_rate ];
+  Table.add_row table
+    [ "warm"; Table.cell_time warm_s;
+      Printf.sprintf "%d/%d" final.Qcache.plan_hits final.Qcache.plan_misses;
+      string_of_int final.Qcache.result_hits;
+      Printf.sprintf "%.1fx over cold" speedup ];
+  print_table table;
+  Printf.printf "  identical answers (uncached/cold/warm/capacity-1/pooled): %b\n%!" identical;
+  push_json_field "cache"
+    (Json.Obj
+       [ ("uncached_s", Json.Float uncached_s);
+         ("cold_s", Json.Float cold_s);
+         ("warm_s", Json.Float warm_s);
+         ("speedup", Json.Float speedup);
+         ("warm_hit_rate", Json.Float warm_hit_rate);
+         ("fetch_hit_rate", Json.Float fetch_hit_rate);
+         ("plan_hits", Json.Int final.Qcache.plan_hits);
+         ("plan_misses", Json.Int final.Qcache.plan_misses);
+         ("result_hits", Json.Int final.Qcache.result_hits);
+         ("identical", Json.Bool identical) ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -555,6 +647,7 @@ let () =
       ("abl-cand", abl_candidate_restriction);
       ("abl-incr", abl_incremental);
       ("abl-dist", abl_distributed);
+      ("cache", exp_cache);
       ("micro", Micro_kernels.run);
       ("bechamel", bechamel) ]
   in

@@ -172,6 +172,35 @@ let run_cmd =
              ~doc:"Evaluate batched queries on N domains (default: \\$BPQ_JOBS or the \
                    recommended domain count; 1 forces sequential evaluation).")
   in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"MB"
+             ~doc:"Cross-query cache budget in megabytes — plan, fetch and result tiers \
+                   (default 64; 0 disables caching).")
+  in
+  let cache_stats =
+    Arg.(value & flag
+         & info [ "cache-stats" ] ~doc:"Print cache hit/miss/eviction counters after evaluation.")
+  in
+  let print_cache_stats cache =
+    let s = Qcache.stats cache in
+    let t = Bpq_util.Table.create [ "tier"; "hits"; "misses"; "evictions"; "other" ] in
+    Bpq_util.Table.add_row t
+      [ "plan"; string_of_int s.Qcache.plan_hits; string_of_int s.Qcache.plan_misses; "-"; "" ];
+    Bpq_util.Table.add_row t
+      [ "fetch";
+        string_of_int s.Qcache.fetch_hits;
+        string_of_int s.Qcache.fetch_misses;
+        string_of_int s.Qcache.fetch_evictions;
+        Printf.sprintf "%d bypasses" s.Qcache.fetch_bypasses ];
+    Bpq_util.Table.add_row t
+      [ "result";
+        string_of_int s.Qcache.result_hits;
+        string_of_int s.Qcache.result_misses;
+        "-";
+        Printf.sprintf "%d stale" s.Qcache.result_stale ];
+    Bpq_util.Table.print t
+  in
   let print_matches matches =
     List.iter
       (fun m ->
@@ -187,8 +216,14 @@ let run_cmd =
           (String.concat " " (List.map string_of_int (Array.to_list vs))))
       sim
   in
-  let run_single semantics g schema a q limit fallback explain =
-    match Qplan.generate semantics q a with
+  let run_single semantics g schema a q limit fallback explain cache =
+    let plan =
+      match cache with
+      | Some c -> Qcache.plan_for c semantics schema q
+      | None -> Qplan.generate semantics q a
+    in
+    let fetch = Option.map Qcache.fetch_tier cache in
+    match plan with
     | Some plan when explain ->
       let analysis = Explain.analyze schema plan in
       print_string analysis.report;
@@ -196,13 +231,13 @@ let run_cmd =
     | Some plan ->
       (match semantics with
        | Actualized.Subgraph ->
-         let matches, stats = Bounded_eval.bvf2_with_stats schema plan in
+         let matches, stats = Bounded_eval.bvf2_with_stats ?cache:fetch schema plan in
          let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
          print_matches matches;
          Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
            (List.length matches) (Exec.accessed stats) (Digraph.size g)
        | Actualized.Simulation ->
-         let sim, stats = Bounded_eval.bsim_with_stats schema plan in
+         let sim, stats = Bounded_eval.bsim_with_stats ?cache:fetch schema plan in
          print_relation sim;
          Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
            (Bpq_matcher.Gsim.relation_size sim)
@@ -226,8 +261,10 @@ let run_cmd =
   (* Several -q files: plan and evaluate them as one batch on the pool.
      Answers are printed in command-line order and are identical to a
      sequential (--jobs 1) run. *)
-  let run_batch pool semantics g schema queries limit fallback =
-    let outcomes = Batch.eval_patterns ~pool ?limit semantics schema (List.map snd queries) in
+  let run_batch pool semantics g schema queries limit fallback cache =
+    let outcomes =
+      Batch.eval_patterns ~pool ?cache ?limit semantics schema (List.map snd queries)
+    in
     let status = ref 0 in
     List.iter2
       (fun (path, q) (_, outcome) ->
@@ -258,11 +295,12 @@ let run_cmd =
       queries outcomes;
     !status
   in
-  let run semantics graph patterns constraints limit fallback explain jobs =
+  let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats =
     let tbl = Label.create_table () in
     let g = Graph_io.load tbl graph in
     let queries = List.map (fun path -> (path, Pattern_parser.load tbl path)) patterns in
     let a = parse_constraints tbl constraints in
+    let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     let schema = Schema.build ~pool g a in
@@ -274,23 +312,28 @@ let run_cmd =
         (Schema.violations schema);
       2
     end
-    else
-      match queries with
-      | [ (_, q) ] -> run_single semantics g schema a q limit fallback explain
-      | _ when explain ->
-        List.iter
-          (fun (path, q) ->
-            Printf.printf "== %s ==\n" path;
-            match Qplan.generate semantics q a with
-            | Some plan -> print_string (Explain.analyze schema plan).Explain.report
-            | None -> print_endline "# not effectively bounded (see `bpq check`)")
-          queries;
-        0
-      | _ -> run_batch pool semantics g schema queries limit fallback
+    else begin
+      let status =
+        match queries with
+        | [ (_, q) ] -> run_single semantics g schema a q limit fallback explain cache
+        | _ when explain ->
+          List.iter
+            (fun (path, q) ->
+              Printf.printf "== %s ==\n" path;
+              match Qplan.generate semantics q a with
+              | Some plan -> print_string (Explain.analyze schema plan).Explain.report
+              | None -> print_endline "# not effectively bounded (see `bpq check`)")
+            queries;
+          0
+        | _ -> run_batch pool semantics g schema queries limit fallback cache
+      in
+      if cache_stats then Option.iter print_cache_stats cache;
+      status
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
     Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_arg $ limit
-          $ fallback $ explain $ jobs)
+          $ fallback $ explain $ jobs $ cache_mb $ cache_stats)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in

@@ -4,12 +4,20 @@ type t = {
   graph : Digraph.t;
   entries : (Constr.t * Index.t) list;  (* in build order *)
   by_constr : (Constr.t, Index.t) Hashtbl.t;  (* O(1) index_of *)
+  stamp : int;  (* identifies the constraint set, see [stamp] below *)
 }
 
-let make graph entries =
+(* Process-wide stamp supply; Atomic because schemas may be built from
+   pool workers. *)
+let next_stamp = Atomic.make 0
+
+let make ?stamp graph entries =
   let by_constr = Hashtbl.create (max 16 (List.length entries)) in
   List.iter (fun (c, idx) -> Hashtbl.replace by_constr c idx) entries;
-  { graph; entries; by_constr }
+  let stamp =
+    match stamp with Some s -> s | None -> Atomic.fetch_and_add next_stamp 1
+  in
+  { graph; entries; by_constr; stamp }
 
 (* Deduplicate while preserving the caller's order, which [restrict]
    exposes. *)
@@ -22,6 +30,7 @@ let dedup constrs =
 let build ?pool graph constrs = make graph (Index.build_many ?pool graph (dedup constrs))
 
 let graph t = t.graph
+let stamp t = t.stamp
 let constraints t = List.map fst t.entries
 let cardinality t = List.length t.entries
 let total_length t = List.fold_left (fun acc (c, _) -> acc + Constr.length c) 0 t.entries
@@ -74,4 +83,7 @@ let apply_delta t delta =
         (c, idx))
       t.entries
   in
-  make new_graph entries
+  (* The constraint set is unchanged, so the stamp carries over: plans
+     generated under this schema stay valid after the delta (results do
+     not — the result cache invalidates by label generation instead). *)
+  make ~stamp:t.stamp new_graph entries

@@ -18,6 +18,15 @@ val build : ?pool:Bpq_util.Pool.t -> Digraph.t -> Constr.t list -> t
 val graph : t -> Digraph.t
 val constraints : t -> Constr.t list
 
+val stamp : t -> int
+(** Generation stamp identifying the schema's {e constraint set}: fresh
+    for every {!build}, {!extend} and {!restrict}, but preserved across
+    {!apply_delta} (a delta changes the graph and repairs the indexes, not
+    the constraints) — so a plan cached under a stamp stays valid along
+    the whole delta lineage of the schema it was generated for.  Two
+    schemas built independently never share a stamp, even with equal
+    constraint lists (conservative: a stamp never aliases). *)
+
 val cardinality : t -> int
 (** [‖A‖], the number of constraints. *)
 

@@ -23,29 +23,45 @@ let answer_size = function
 let plan_all ?(pool = Pool.sequential) semantics constrs patterns =
   Pool.map_list pool (fun q -> (q, Qplan.generate semantics q constrs)) patterns
 
-let eval ?(pool = Pool.sequential) ?timeout ?limit schema items =
+let answer_of_qcache = function
+  | Qcache.Matches ms -> Matches ms
+  | Qcache.Relation sim -> Relation sim
+
+let eval ?(pool = Pool.sequential) ?cache ?timeout ?limit schema items =
   Pool.map_list pool
     (fun it ->
       (* The deadline is private to this item: deadlines are mutable and
-         must never cross domains. *)
+         must never cross domains.  The cache is shared — it shards itself
+         per domain, so workers never contend (see Qcache). *)
       let deadline = Option.map Timer.deadline_after timeout in
       let start = Timer.now () in
       match
-        match it.semantics with
-        | Actualized.Subgraph ->
-          Matches (Bounded_eval.bvf2_matches ?deadline ?limit schema it.plan)
-        | Actualized.Simulation -> Relation (Bounded_eval.bsim ?deadline schema it.plan)
+        match cache with
+        | Some c -> answer_of_qcache (Qcache.eval_plan c ?deadline ?limit schema it.plan)
+        | None ->
+          (match it.semantics with
+           | Actualized.Subgraph ->
+             Matches (Bounded_eval.bvf2_matches ?deadline ?limit schema it.plan)
+           | Actualized.Simulation -> Relation (Bounded_eval.bsim ?deadline schema it.plan))
       with
       | answer -> Answer (answer, Timer.now () -. start)
       | exception Timer.Timeout -> Timeout (Timer.now () -. start))
     items
 
-let eval_patterns ?pool ?timeout ?limit semantics schema patterns =
-  let planned = plan_all ?pool semantics (Schema.constraints schema) patterns in
+let eval_patterns ?pool ?cache ?timeout ?limit semantics schema patterns =
+  let planned =
+    match cache with
+    | Some c ->
+      Pool.map_list
+        (Option.value pool ~default:Pool.sequential)
+        (fun q -> (q, Qcache.plan_for c semantics schema q))
+        patterns
+    | None -> plan_all ?pool semantics (Schema.constraints schema) patterns
+  in
   let items =
     List.filter_map (fun (_, p) -> Option.map (item semantics) p) planned
   in
-  let outcomes = ref (eval ?pool ?timeout ?limit schema items) in
+  let outcomes = ref (eval ?pool ?cache ?timeout ?limit schema items) in
   List.map
     (fun (q, p) ->
       match p with

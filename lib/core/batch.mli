@@ -46,12 +46,23 @@ val plan_all :
     effectively bounded).  Order matches the input. *)
 
 val eval :
-  ?pool:Pool.t -> ?timeout:float -> ?limit:int -> Schema.t -> item list -> outcome list
+  ?pool:Pool.t ->
+  ?cache:Qcache.t ->
+  ?timeout:float ->
+  ?limit:int ->
+  Schema.t ->
+  item list ->
+  outcome list
 (** Evaluate every item through its bounded plan ([timeout] is a
-    per-item cut-off in seconds; [limit] caps subgraph match counts). *)
+    per-item cut-off in seconds; [limit] caps subgraph match counts).
+    [cache] routes evaluation through {!Qcache.eval_plan} — result and
+    fetch tiers — and is safe to share across the pool's workers (it
+    shards itself per domain); answers stay identical to the uncached,
+    sequential run. *)
 
 val eval_patterns :
   ?pool:Pool.t ->
+  ?cache:Qcache.t ->
   ?timeout:float ->
   ?limit:int ->
   Actualized.semantics ->
@@ -59,4 +70,6 @@ val eval_patterns :
   Pattern.t list ->
   (Pattern.t * outcome option) list
 (** {!plan_all} + {!eval} in one call; [None] marks patterns that are
-    not effectively bounded under the schema. *)
+    not effectively bounded under the schema.  With [cache], planning
+    goes through the plan tier ({!Qcache.plan_for}), so repeated shapes
+    are planned once. *)

@@ -3,29 +3,29 @@ open Bpq_matcher
 
 let plan_for semantics schema q = Qplan.generate semantics q (Schema.constraints schema)
 
-let run_exec schema plan = Exec.run schema plan
+let run_exec ?cache schema plan = Exec.run ?cache schema plan
 
-let bvf2_with_stats ?deadline schema plan =
-  let r = run_exec schema plan in
+let bvf2_with_stats ?deadline ?cache schema plan =
+  let r = run_exec ?cache schema plan in
   let matches =
     Vf2.matches ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
   (List.map (Array.map (fun v -> r.from_gq.(v))) matches, r.stats)
 
-let bvf2_matches ?deadline ?limit schema plan =
-  let r = run_exec schema plan in
+let bvf2_matches ?deadline ?limit ?cache schema plan =
+  let r = run_exec ?cache schema plan in
   let matches =
     Vf2.matches ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
   List.map (Array.map (fun v -> r.from_gq.(v))) matches
 
-let bvf2_count ?deadline ?limit schema plan =
-  let r = run_exec schema plan in
+let bvf2_count ?deadline ?limit ?cache schema plan =
+  let r = run_exec ?cache schema plan in
   Vf2.count_matches ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
 
-let bsim_with_stats ?deadline schema plan =
-  let r = run_exec schema plan in
+let bsim_with_stats ?deadline ?cache schema plan =
+  let r = run_exec ?cache schema plan in
   let sim = Gsim.run ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern in
   (Array.map (Array.map (fun v -> r.from_gq.(v))) sim, r.stats)
 
-let bsim ?deadline schema plan = fst (bsim_with_stats ?deadline schema plan)
+let bsim ?deadline ?cache schema plan = fst (bsim_with_stats ?deadline ?cache schema plan)

@@ -15,24 +15,42 @@ val plan_for : Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
 (** Convenience: {!Ebchk.check} + {!Qplan.generate} against the schema's
     constraint list. *)
 
+(** Every evaluator below accepts [?cache], a fetch-level lookup cache
+    (see {!Fetch_cache}); answers are byte-identical with the cache
+    absent, present, or at any capacity. *)
+
 (** {1 Subgraph queries (bVF2)} *)
 
 val bvf2_matches :
-  ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> int array list
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  ?cache:Fetch_cache.t ->
+  Schema.t ->
+  Plan.t ->
+  int array list
 (** All isomorphism matches, each as a pattern-indexed array of original
     node ids. *)
 
 val bvf2_count :
-  ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> int
+  ?deadline:Timer.deadline -> ?limit:int -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> int
 
 val bvf2_with_stats :
-  ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array list * Exec.stats
+  ?deadline:Timer.deadline ->
+  ?cache:Fetch_cache.t ->
+  Schema.t ->
+  Plan.t ->
+  int array list * Exec.stats
 
 (** {1 Simulation queries (bSim)} *)
 
-val bsim : ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array array
+val bsim :
+  ?deadline:Timer.deadline -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> int array array
 (** The maximum match relation as per-pattern-node sorted arrays of
     original node ids; all-empty when no simulation exists. *)
 
 val bsim_with_stats :
-  ?deadline:Timer.deadline -> Schema.t -> Plan.t -> int array array * Exec.stats
+  ?deadline:Timer.deadline ->
+  ?cache:Fetch_cache.t ->
+  Schema.t ->
+  Plan.t ->
+  int array array * Exec.stats

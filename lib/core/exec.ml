@@ -138,7 +138,19 @@ module Int_tbl = Hashtbl.Make (struct
     x lxor (x lsr 32)
 end)
 
-let run_with (src : source) (plan : Plan.t) =
+(* Route every lookup through the fetch cache; the closure re-binds the
+   underlying iterator per call so the cache can replay it on a miss.
+   The cache streams exactly the index bucket in bucket order, so the
+   executor's counters and candidate sets are identical with and without
+   it. *)
+let cached_source cache src =
+  { src with
+    lookup_iter =
+      (fun c tuple f ->
+        Fetch_cache.lookup_iter cache c tuple (fun k -> src.lookup_iter c tuple k) f) }
+
+let run_with ?cache (src : source) (plan : Plan.t) =
+  let src = match cache with None -> src | Some c -> cached_source c src in
   let q = plan.pattern in
   let nq = Pattern.n_nodes q in
   let cmat = Array.make nq [||] in
@@ -245,4 +257,4 @@ let run_with (src : source) (plan : Plan.t) =
         edges_added = Int_tbl.length gq_edges };
     trace = List.rev !trace }
 
-let run schema plan = run_with (source_of_schema schema) plan
+let run ?cache schema plan = run_with ?cache (source_of_schema schema) plan

@@ -48,10 +48,18 @@ type result = {
           material of {!Explain}. *)
 }
 
-val run : Schema.t -> Plan.t -> result
+val run : ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> result
 (** @raise Not_found if the plan references a constraint outside the
     schema (plans must be executed under the schema they were generated
-    for). *)
+    for).
+
+    [cache] memoises index lookups across calls (see {!Fetch_cache}); the
+    result — candidate sets, [G_Q], stats, trace — is byte-identical with
+    the cache absent, present, or at any capacity, because the cache
+    replays exactly the index buckets.  The cache must only ever be fed
+    lookups of one schema lineage (one {!Schema.build} and its
+    [apply_delta] descendants do {e not} share buckets — use a fresh cache
+    or {!Qcache}'s invalidation discipline). *)
 
 (** {1 Abstract data sources}
 
@@ -77,7 +85,7 @@ type source = {
 
 val source_of_schema : Schema.t -> source
 
-val run_with : source -> Plan.t -> result
+val run_with : ?cache:Fetch_cache.t -> source -> Plan.t -> result
 
 (**/**)
 

@@ -1,0 +1,49 @@
+(** Fetch-level LRU cache over access-index lookup results.
+
+    Overlapping queries fetch overlapping fragments of [G_Q]: every
+    instantiation of a template keys the same indexes with largely the
+    same anchor tuples.  This cache memoises raw {!Bpq_access.Index}
+    lookup results — {e before} predicate filtering, so one entry serves
+    every query shape — keyed by a single packed integer combining a
+    per-cache constraint identifier with the key tuple (2-node tuples are
+    normalised min/max first, matching the index's own key normalisation).
+
+    Packing is exact, never hashed: keys that do not fit the packed layout
+    (arity ≥ 3, node ids ≥ 2^23, or more than 2^14 distinct constraints)
+    bypass the cache and are answered by the underlying index directly, so
+    a cached lookup always streams exactly the bucket the index would.
+
+    A value is {e single-domain} state: under the domain pool each worker
+    owns its own cache ({!Qcache} hands them out per domain). *)
+
+open Bpq_access
+
+type t
+
+val create : capacity:int -> unit -> t
+(** [capacity] is the maximum number of cached buckets; [0] disables
+    storage (everything misses).  @raise Invalid_argument if negative. *)
+
+val capacity : t -> int
+
+val lookup_iter :
+  t -> Constr.t -> int array -> ((int -> unit) -> unit) -> (int -> unit) -> unit
+(** [lookup_iter t c tuple underlying f]: stream the lookup result of
+    [tuple] under constraint [c] to [f], from cache when present,
+    otherwise by running [underlying] (which must stream the index bucket
+    for exactly this (constraint, tuple) pair) and retaining its output.
+    [tuple] is read during the call and never retained — callers may reuse
+    the buffer, as the executor's odometer does.  Emission order is the
+    bucket order either way. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  bypasses : int;  (** Lookups whose key did not fit the packed layout. *)
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop all cached buckets (counters are kept, constraint ids survive). *)

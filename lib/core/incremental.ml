@@ -1,8 +1,15 @@
+open Bpq_util
 open Bpq_graph
 open Bpq_access
 open Bpq_pattern
 
 type answer = Matches of int array list | Relation of int array array
+
+type refresh_stats = {
+  reused_plan : bool;
+  fetch_hits : int;
+  fetch_misses : int;
+}
 
 type t = {
   semantics : Actualized.semantics;
@@ -10,56 +17,119 @@ type t = {
   plan : Plan.t;
   answer : answer;
   skipped : bool;
+  cache : Qcache.t option;
+  refresh : refresh_stats option;
 }
 
-let evaluate semantics schema plan =
+let evaluate ?cache semantics schema plan =
+  let fetch = Option.map Qcache.fetch_tier cache in
   match semantics with
-  | Actualized.Subgraph -> Matches (Bounded_eval.bvf2_matches schema plan)
-  | Actualized.Simulation -> Relation (Bounded_eval.bsim schema plan)
+  | Actualized.Subgraph -> Matches (Bounded_eval.bvf2_matches ?cache:fetch schema plan)
+  | Actualized.Simulation -> Relation (Bounded_eval.bsim ?cache:fetch schema plan)
 
-let create semantics schema q =
-  match Bounded_eval.plan_for semantics schema q with
+let create ?cache semantics schema q =
+  let plan =
+    match cache with
+    | Some c -> Qcache.plan_for c semantics schema q
+    | None -> Bounded_eval.plan_for semantics schema q
+  in
+  match plan with
   | None -> None
   | Some plan ->
     Some
-      { semantics; schema; plan; answer = evaluate semantics schema plan; skipped = false }
+      { semantics;
+        schema;
+        plan;
+        answer = evaluate ?cache semantics schema plan;
+        skipped = false;
+        cache;
+        refresh = None }
 
 let answer t = t.answer
 let schema t = t.schema
 let last_update_skipped t = t.skipped
+let last_refresh t = t.refresh
 
 (* A delta is irrelevant when no changed edge connects two pattern labels
-   and no added node carries a pattern label: matches and simulation pairs
-   only ever involve pattern-labeled nodes, and their witnessing edges run
-   between two of them. *)
+   and no added node can stand alone as a match: matches and simulation
+   pairs only ever involve pattern-labeled nodes, their witnessing edges
+   run between two of them, and a node with no new adjacency can only
+   enter the answer through a degree-zero pattern node. *)
 let irrelevant g q (delta : Digraph.delta) =
   let labels = Pattern.labels_used q in
-  let uses l = List.mem l labels in
+  let max_label = List.fold_left max (-1) labels in
+  let used = Bitset.of_array (max_label + 1) (Array.of_list labels) in
+  let uses l = l >= 0 && l <= max_label && Bitset.mem used l in
+  let n = Digraph.n_nodes g in
+  (* Materialised once per delta: probing the list with [List.nth] per
+     edge endpoint made this check quadratic in the delta size. *)
+  let added = Array.of_list delta.added_nodes in
+  (* A label of the existing endpoint [v], or of the fresh node the delta
+     introduces at position [v - n]; fresh endpoints beyond the delta's own
+     additions are malformed and treated as label-free (apply_delta will
+     reject them anyway). *)
+  let label_of v =
+    if v < n then Some (Digraph.label g v)
+    else if v - n < Array.length added then Some (fst added.(v - n))
+    else None
+  in
+  let endpoint_uses v = match label_of v with Some l -> uses l | None -> false in
   let edge_relevant (s, d) =
-    s < Digraph.n_nodes g && d < Digraph.n_nodes g
-    && uses (Digraph.label g s)
-    && uses (Digraph.label g d)
+    (* An edge between two pattern labels can create or destroy a
+       witnessing edge; one pattern-labeled fresh endpoint alone is enough
+       (the other side's label check is what the old-node case needs). *)
+    if s >= n || d >= n then endpoint_uses s || endpoint_uses d
+    else endpoint_uses s && endpoint_uses d
   in
-  (* Edges touching fresh nodes are conservatively relevant when the fresh
-     node's label is used. *)
-  let fresh_relevant (s, d) =
-    let fresh v =
-      v >= Digraph.n_nodes g
-      &&
-      let l, _ = List.nth delta.added_nodes (v - Digraph.n_nodes g) in
-      uses l
-    in
-    fresh s || fresh d
+  let isolated_label_added () =
+    (* Degree-zero pattern nodes match on label+predicate alone, so a bare
+       added node with such a label can enlarge the answer even with no
+       edges in the delta. *)
+    let pn = Pattern.n_nodes q in
+    let deg = Array.make pn 0 in
+    List.iter
+      (fun (u, v) ->
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1)
+      (Pattern.edges q);
+    let isolated = Array.make (max_label + 1) false in
+    let any = ref false in
+    for u = 0 to pn - 1 do
+      if deg.(u) = 0 then begin
+        let l = Pattern.label q u in
+        if l >= 0 && l <= max_label then begin
+          isolated.(l) <- true;
+          any := true
+        end
+      end
+    done;
+    !any
+    && Array.exists (fun (l, _) -> l >= 0 && l <= max_label && isolated.(l)) added
   in
-  List.for_all
-    (fun e -> not (edge_relevant e || fresh_relevant e))
-    (delta.added_edges @ delta.removed_edges)
+  List.for_all (fun e -> not (edge_relevant e)) delta.added_edges
+  && List.for_all (fun e -> not (edge_relevant e)) delta.removed_edges
+  && not (isolated_label_added ())
 
 let update t delta =
+  (* The cached plan is reused as-is across deltas: the constraint set is
+     delta-invariant, so no Ebchk re-check or re-planning happens here. *)
+  Option.iter (fun c -> Qcache.note_delta c (Schema.graph t.schema) delta) t.cache;
   if irrelevant (Schema.graph t.schema) t.plan.Plan.pattern delta then
     let schema = Schema.apply_delta t.schema delta in
     { t with schema; skipped = true }
   else begin
     let schema = Schema.apply_delta t.schema delta in
-    { t with schema; answer = evaluate t.semantics schema t.plan; skipped = false }
+    let before = Option.map Qcache.stats t.cache in
+    let answer = evaluate ?cache:t.cache t.semantics schema t.plan in
+    let refresh =
+      match (t.cache, before) with
+      | Some c, Some b ->
+        let a = Qcache.stats c in
+        Some
+          { reused_plan = true;
+            fetch_hits = a.Qcache.fetch_hits - b.Qcache.fetch_hits;
+            fetch_misses = a.Qcache.fetch_misses - b.Qcache.fetch_misses }
+      | _ -> Some { reused_plan = true; fetch_hits = 0; fetch_misses = 0 }
+    in
+    { t with schema; answer; skipped = false; refresh }
   end

@@ -18,8 +18,21 @@ type answer =
 
 type t
 
-val create : Actualized.semantics -> Schema.t -> Pattern.t -> t option
-(** [None] when the query is not effectively bounded under the schema. *)
+type refresh_stats = {
+  reused_plan : bool;
+      (** Always true today: the plan generated at {!create} serves every
+          refresh (the constraint set is delta-invariant, so no [Ebchk]
+          re-check or re-planning happens on update). *)
+  fetch_hits : int;  (** Fetch-cache hits during the refresh. *)
+  fetch_misses : int;  (** Fetch-cache misses during the refresh. *)
+}
+
+val create :
+  ?cache:Qcache.t -> Actualized.semantics -> Schema.t -> Pattern.t -> t option
+(** [None] when the query is not effectively bounded under the schema.
+    With [cache], planning goes through the plan tier and every
+    (re-)evaluation through the fetch tier; {!update} reports the delta to
+    the cache ({!Qcache.note_delta}) before repairing the schema. *)
 
 val answer : t -> answer
 (** The current answer (in current-graph node identifiers). *)
@@ -34,3 +47,8 @@ val update : t -> Digraph.delta -> t
 val last_update_skipped : t -> bool
 (** True when the most recent {!update} proved the delta irrelevant and
     reused the previous answer. *)
+
+val last_refresh : t -> refresh_stats option
+(** Statistics of the most recent {e relevant} update's re-evaluation
+    ([None] before the first one, and unchanged by skipped updates).
+    Fetch counters are zero when no [cache] was supplied to {!create}. *)

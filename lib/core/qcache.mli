@@ -1,0 +1,118 @@
+(** Cross-query caching for repeated-query serving.
+
+    Production workloads repeat the same pattern skeletons with different
+    parameters ({!Bpq_pattern.Template}); the paper's guarantee — a
+    bounded [G_Q] independent of [|G|] — makes the per-query work small,
+    and this module stops re-paying even that across queries.  Three
+    tiers, consulted top-down:
+
+    + {b plan cache} — [Ebchk.check] + [Qplan.generate] memoised per
+      pattern {e shape}: keyed by {!Bpq_access.Schema.stamp} plus an exact
+      structural key (labels and edges, predicates excluded), with a
+      second map keyed by the canonical {!Bpq_pattern.Pattern.fingerprint}
+      so renumbered isomorphic shapes share one planning run (the
+      canonical plan is renumbered through the canonical permutation on
+      reuse).  Negative results (not effectively bounded) are cached too.
+    + {b fetch cache} — a bounded LRU over raw index lookups
+      ({!Fetch_cache}), shared by every evaluation through this value, so
+      overlapping [G_Q] fragments are fetched once.
+    + {b result cache} — full answers keyed by schema stamp, the exact
+      pattern {e including} predicates, and the match limit; invalidated
+      by graph deltas through per-label generations ({!note_delta}), so a
+      delta only evicts answers whose patterns use an affected label —
+      irrelevant deltas keep entries warm.
+
+    {b Answer fidelity.}  For repeated shapes with unchanged node
+    numbering — every instantiation of one template, and any query asked
+    twice — answers are byte-identical to uncached evaluation at every
+    capacity, including 0 and 1 (pinned by the property tests).  When a
+    plan is borrowed across a {e nontrivial renumbering} of an isomorphic
+    shape, the borrowed plan may differ from the directly generated one in
+    tie-breaking; the answer is then the same match {e set} (any valid
+    plan yields [Q(G_Q) = Q(G)]) but subgraph matches may enumerate in a
+    different order than a cold run would produce.
+
+    {b Domain safety.}  One [Qcache.t] may be used from every worker of a
+    {!Bpq_util.Pool}: internally it keeps one shard (plan map, fetch LRU,
+    result map, counters) {e per domain}, created on first use under a
+    mutex and touched only by its owning domain afterwards — no locks on
+    the hot path, no cross-domain mutation.  {!stats} merges the shards'
+    counters.  {!note_delta} mutates shared invalidation state and must
+    not run concurrently with evaluations (apply deltas between serving
+    batches, as {!Incremental} does).
+
+    {b Lineage.}  A cache follows one schema lineage: a {!Bpq_access.Schema.build}
+    result and its [apply_delta] descendants.  Evaluating a superseded
+    ancestor through the same cache after {!note_delta} is unsupported
+    (the generations have moved on). *)
+
+open Bpq_util
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type t
+
+val create :
+  ?plan_capacity:int -> ?fetch_capacity:int -> ?result_capacity:int -> unit -> t
+(** Capacities are entry counts {e per domain shard} (defaults 4096 /
+    65536 / 1024).  Capacity 0 disables the corresponding tier. *)
+
+val of_megabytes : int -> t
+(** Size the tiers from a memory budget, the CLI's [--cache MB] knob: the
+    bulk goes to the fetch tier (≈ 384 bytes per cached bucket assumed),
+    a slice to results.  @raise Invalid_argument when [mb <= 0] (the CLI
+    maps 0 to "no cache"). *)
+
+type answer =
+  | Matches of int array list  (** Subgraph semantics. *)
+  | Relation of int array array  (** Simulation semantics. *)
+
+val plan_for : t -> Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
+(** Plan-tier [Bounded_eval.plan_for]: one [Ebchk] + [Qplan] run per
+    (stamp, shape, semantics), then cache hits.  [None] (not effectively
+    bounded) is cached as well. *)
+
+val eval_plan :
+  t -> ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> answer
+(** Result-tier + fetch-tier evaluation of an already-generated plan.
+    Raises [Timer.Timeout] like {!Bounded_eval} (nothing is stored then);
+    a result-cache hit returns without touching graph or indexes. *)
+
+val eval :
+  t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  Actualized.semantics ->
+  Schema.t ->
+  Pattern.t ->
+  answer option
+(** {!plan_for} + {!eval_plan}; [None] when not effectively bounded. *)
+
+val fetch_tier : t -> Fetch_cache.t
+(** The calling domain's fetch-cache shard — for passing to
+    {!Bounded_eval} / {!Exec} directly. *)
+
+val note_delta : t -> Digraph.t -> Digraph.delta -> unit
+(** [note_delta t g delta] — [g] is the {e pre-delta} graph.  Bumps the
+    generation of every label the delta can affect (labels of changed
+    edges' endpoints and of added nodes), which lazily invalidates result
+    entries whose pattern uses one of them, and clears the fetch tiers
+    (their buckets mirror index contents, which the delta repairs).  Plan
+    entries survive: the constraint set, and hence every plan, is
+    delta-invariant ({!Bpq_access.Schema.stamp}). *)
+
+type stats = {
+  plan_hits : int;
+  plan_misses : int;
+  fetch_hits : int;
+  fetch_misses : int;
+  fetch_evictions : int;
+  fetch_bypasses : int;
+  result_hits : int;
+  result_misses : int;
+  result_stale : int;  (** Entries found but invalidated by a delta. *)
+}
+
+val stats : t -> stats
+(** Counters summed over all domain shards. *)

@@ -70,6 +70,118 @@ let is_connected q =
 let labels_used q =
   List.sort_uniq compare (Array.to_list q.labels)
 
+(* --- Canonical structural fingerprint ---------------------------------- *)
+
+(* Colour refinement with canonical colour identifiers: round 0 colours
+   are the node labels themselves; each round maps every node to the
+   signature (colour, sorted successor colours, sorted predecessor
+   colours) and re-assigns colour ids by the *sorted order of distinct
+   signatures*, so the ids depend only on the multiset of signatures —
+   never on node numbering.  The fixpoint partition is therefore identical
+   for isomorphic patterns. *)
+let refine q =
+  let n = n_nodes q in
+  let color = Array.copy q.labels in
+  let distinct arr = List.length (List.sort_uniq compare (Array.to_list arr)) in
+  let classes = ref (distinct color) in
+  let stable = ref false in
+  while not !stable do
+    let sig_of v =
+      ( color.(v),
+        List.sort compare (List.map (fun w -> color.(w)) q.succ.(v)),
+        List.sort compare (List.map (fun w -> color.(w)) q.prede.(v)) )
+    in
+    let sigs = Array.init n sig_of in
+    let order = List.sort_uniq compare (Array.to_list sigs) in
+    let rank = Hashtbl.create (max 16 n) in
+    List.iteri (fun i s -> Hashtbl.replace rank s i) order;
+    Array.iteri (fun v s -> color.(v) <- Hashtbl.find rank s) sigs;
+    let classes' = List.length order in
+    stable := classes' = !classes;
+    classes := classes'
+  done;
+  color
+
+let canonical_budget = 50_000
+
+(* Encoding of the pattern under a placement [pos] (node -> canonical
+   slot): labels in slot order, then the sorted renumbered edge list.
+   Comparing encodings compares candidate canonical forms. *)
+let encode_under q (pos : int array) =
+  let n = n_nodes q in
+  let labels = Array.make n 0 in
+  Array.iteri (fun v p -> labels.(p) <- q.labels.(v)) pos;
+  let edges =
+    List.sort compare (List.map (fun (s, t) -> (pos.(s), pos.(t))) q.edge_list)
+  in
+  (Array.to_list labels, edges)
+
+let canonicalize q =
+  let n = n_nodes q in
+  let color = refine q in
+  (* Group nodes by refined colour; colours are already canonical ranks,
+     so iterating colours ascending fixes the slot range of each class. *)
+  let members = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    Hashtbl.replace members color.(v) (v :: (Option.value ~default:[] (Hashtbl.find_opt members color.(v))))
+  done;
+  let classes =
+    List.map
+      (fun c -> Hashtbl.find members c)
+      (List.sort_uniq compare (Array.to_list color))
+  in
+  let rec fact k = if k <= 1 then 1 else k * fact (k - 1) in
+  let orderings =
+    List.fold_left (fun acc cls -> acc * fact (List.length cls)) 1 classes
+  in
+  let place_identity () =
+    (* Deterministic fallback: within a class, slots by node id. *)
+    let pos = Array.make n 0 in
+    let slot = ref 0 in
+    List.iter
+      (List.iter (fun v ->
+           pos.(v) <- !slot;
+           incr slot))
+      classes;
+    pos
+  in
+  let best_pos =
+    if orderings = 1 || orderings > canonical_budget then place_identity ()
+    else begin
+      (* Exhaust the class-respecting placements and keep the minimal
+         encoding — the canonical representative of the isomorphism
+         class. *)
+      let best = ref None in
+      let pos = Array.make n (-1) in
+      let rec assign slot = function
+        | [] ->
+          let enc = encode_under q pos in
+          (match !best with
+           | Some (e, _) when compare e enc <= 0 -> ()
+           | _ -> best := Some (enc, Array.copy pos))
+        | cls :: rest ->
+          let k = List.length cls in
+          let rec go remaining i =
+            if remaining = [] then assign (slot + k) rest
+            else
+              List.iteri
+                (fun j v ->
+                  pos.(v) <- slot + i;
+                  go (List.filteri (fun j' _ -> j' <> j) remaining) (i + 1);
+                  pos.(v) <- -1)
+                remaining
+          in
+          go cls 0
+      in
+      assign 0 classes;
+      match !best with Some (_, p) -> p | None -> place_identity ()
+    end
+  in
+  let enc = encode_under q best_pos in
+  (Marshal.to_string (n, enc) [], best_pos)
+
+let fingerprint q = fst (canonicalize q)
+
 let to_string q =
   let buf = Buffer.create 128 in
   Array.iteri

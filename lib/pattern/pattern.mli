@@ -51,5 +51,28 @@ val is_connected : t -> bool
 val labels_used : t -> Label.t list
 (** Distinct labels, ascending. *)
 
+val canonicalize : t -> string * int array
+(** [(fp, perm)] where [fp] is a canonical structural fingerprint and
+    [perm] maps each pattern node to its slot in the canonical numbering.
+    The fingerprint covers labels and edges only — never predicates — so
+    every instantiation of one {!Template} skeleton shares it, and it is
+    invariant under renumbering: structurally isomorphic patterns (same
+    labels and edges up to a node permutation) produce equal fingerprints.
+    Canonicalisation runs colour refinement and then breaks remaining
+    symmetry exhaustively; for pathological patterns whose refined colour
+    classes admit more than {!canonical_budget} orderings it falls back to
+    breaking ties by node identifier, which keeps fingerprints
+    deterministic (and cache reuse sound) but may distinguish some
+    isomorphic renumberings.  Pattern sizes in this code base (≤ 8 nodes)
+    never hit the fallback unless the pattern is a large single-label
+    regular graph. *)
+
+val fingerprint : t -> string
+(** [fst (canonicalize t)]. *)
+
+val canonical_budget : int
+(** Symmetry-breaking search budget of {!canonicalize} (number of candidate
+    orderings examined before falling back). *)
+
 val to_string : t -> string
 (** Multi-line rendering for logs and error messages. *)

@@ -35,6 +35,20 @@ let q0 tbl =
        (l "country", Predicate.true_) |]
     [ (2, 0); (2, 1); (2, 3); (2, 4); (3, 5); (4, 5) ]
 
+let t0 tbl =
+  let l = Label.intern tbl in
+  let free = [] in
+  Template.create tbl
+    [| (l "award", free);
+       ( l "year",
+         [ { Template.op = Value.Ge; operand = Template.Param "lo" };
+           { Template.op = Value.Le; operand = Template.Param "hi" } ] );
+       (l "movie", free);
+       (l "actor", free);
+       (l "actress", free);
+       (l "country", free) |]
+    [ (2, 0); (2, 1); (2, 3); (2, 4); (3, 5); (4, 5) ]
+
 let a1 tbl =
   let l = Label.intern tbl in
   [ Constr.make ~source:[ l "B" ] ~target:(l "A") ~bound:2;

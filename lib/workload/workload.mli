@@ -49,6 +49,14 @@ val q0 : Label.table -> Pattern.t
 (** Fig. 1: award-winning 2011-2013 movie with first-billed actor and
     actress from the same country. *)
 
+val t0 : Label.table -> Template.t
+(** {!q0} as a parameterized template, the paper's §V "frequent query
+    load": the year window is [[lo, hi]].  Instantiating with
+    [lo = 2011, hi = 2013] yields a pattern structurally equal to {!q0},
+    and every instantiation shares one plan through the plan cache
+    ({!Bpq_core.Qcache}) — the skeleton fact {!Template.skeleton}
+    documents. *)
+
 (** {1 The simulation examples (Examples 2, 8-11)} *)
 
 val a1 : Label.table -> Constr.t list

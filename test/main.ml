@@ -19,6 +19,7 @@ let () =
       ("exec", Test_exec.suite);
       ("instance", Test_instance.suite);
       ("incremental", Test_incremental.suite);
+      ("qcache", Test_qcache.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);

@@ -143,11 +143,98 @@ let incremental_simulation_matches_recompute =
           Helpers.norm_sim rel = Helpers.norm_sim (Bpq_matcher.Gsim.run g' q)
         | Incremental.Matches _ -> false)
 
+let test_isolated_node_addition_is_relevant () =
+  (* A single-node pattern matches on label alone: adding a bare node with
+     that label must not be skipped as irrelevant (it creates a match with
+     no edges in the delta at all). *)
+  let ds, schema = world () in
+  let q = Helpers.pattern ds.table [ ("country", Bpq_pattern.Predicate.true_) ] [] in
+  match Incremental.create Actualized.Subgraph schema q with
+  | None -> Alcotest.fail "single-node query is bounded under A0"
+  | Some inc ->
+    let before = List.length (as_matches (Incremental.answer inc)) in
+    let delta =
+      { Digraph.empty_delta with
+        added_nodes = [ (Label.intern ds.table "country", Value.Null) ] }
+    in
+    let inc' = Incremental.update inc delta in
+    Helpers.check_false "node addition not skipped" (Incremental.last_update_skipped inc');
+    Helpers.check_int "new node matches" (before + 1)
+      (List.length (as_matches (Incremental.answer inc')));
+    (* The same bare addition with an unused label is still skipped. *)
+    let noise =
+      { Digraph.empty_delta with
+        added_nodes = [ (Label.intern ds.table "genre", Value.Null) ] }
+    in
+    Helpers.check_true "unused-label addition skipped"
+      (Incremental.last_update_skipped (Incremental.update inc' noise))
+
+let test_cached_incremental_and_refresh_stats () =
+  let ds, schema = world () in
+  let q0 = W.q0 ds.table in
+  let cache = Qcache.create () in
+  match Incremental.create ~cache Actualized.Subgraph schema q0 with
+  | None -> Alcotest.fail "Q0 bounded"
+  | Some inc ->
+    Helpers.check_true "no refresh before first relevant update"
+      (Incremental.last_refresh inc = None);
+    (match as_matches (Incremental.answer inc) with
+     | [] -> Alcotest.fail "need a seed match"
+     | m :: _ ->
+       let delta = { Digraph.empty_delta with removed_edges = [ (m.(3), m.(5)) ] } in
+       let inc' = Incremental.update inc delta in
+       Helpers.check_false "relevant" (Incremental.last_update_skipped inc');
+       (match Incremental.last_refresh inc' with
+        | None -> Alcotest.fail "refresh stats recorded"
+        | Some r ->
+          Helpers.check_true "plan reused, not re-planned" r.Incremental.reused_plan;
+          Helpers.check_true "refresh went through the fetch cache"
+            (r.Incremental.fetch_hits + r.Incremental.fetch_misses > 0));
+       let fresh =
+         Bpq_matcher.Vf2.matches (Schema.graph (Incremental.schema inc')) q0
+       in
+       Helpers.check_true "cached refresh equals recompute"
+         (Helpers.sort_matches (as_matches (Incremental.answer inc'))
+         = Helpers.sort_matches fresh))
+
+let irrelevant_check_linear_probe =
+  (* The fresh-node label probe used to be List.nth per endpoint; pin the
+     semantics on deltas that mix fresh and existing endpoints. *)
+  Helpers.qcheck ~count:30 "update with many fresh nodes equals recomputation"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let module Prng = Bpq_util.Prng in
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      match Incremental.create Actualized.Subgraph schema q with
+      | None -> true
+      | Some inc ->
+        let n = Digraph.n_nodes g in
+        let fresh = 5 in
+        let labels = Digraph.label g (Prng.int r n) in
+        let delta =
+          { Digraph.added_nodes = List.init fresh (fun _ -> (labels, Value.Null));
+            added_edges =
+              List.init fresh (fun i -> (Prng.int r n, n + i))
+              @ [ (Prng.int r n, Prng.int r n) ];
+            removed_edges = [] }
+        in
+        let inc' = Incremental.update inc delta in
+        let g' = Schema.graph (Incremental.schema inc') in
+        Helpers.sort_matches (as_matches (Incremental.answer inc'))
+        = Helpers.sort_matches (Bpq_matcher.Vf2.matches g' q))
+
 let suite =
   [ Alcotest.test_case "create and answer" `Quick test_create_and_answer;
     Alcotest.test_case "create refuses unbounded" `Quick test_create_refuses_unbounded;
     Alcotest.test_case "irrelevant delta skipped" `Quick test_irrelevant_delta_skipped;
     Alcotest.test_case "relevant delta updates answer" `Quick test_relevant_delta_updates_answer;
     Alcotest.test_case "addition creates matches" `Quick test_addition_creates_matches;
+    Alcotest.test_case "isolated node addition is relevant" `Quick
+      test_isolated_node_addition_is_relevant;
+    Alcotest.test_case "cached incremental and refresh stats" `Quick
+      test_cached_incremental_and_refresh_stats;
+    irrelevant_check_linear_probe;
     incremental_matches_recompute;
     incremental_simulation_matches_recompute ]

@@ -147,6 +147,111 @@ let expect_failure name src =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected parse failure")
 
+(* Canonical fingerprints *)
+
+module Prng = Bpq_util.Prng
+
+let shuffle r n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Prng.int r (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let random_pattern tbl r =
+  let n = 2 + Prng.int r 5 in
+  let labels =
+    Array.init n (fun _ -> Label.intern tbl (Printf.sprintf "L%d" (Prng.int r 3)))
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Prng.int r 4 = 0 then edges := (i, j) :: !edges
+    done
+  done;
+  let edges = if !edges = [] then [ (0, 1) ] else !edges in
+  Pattern.create tbl (Array.map (fun l -> (l, Predicate.true_)) labels) edges
+
+let permute_pattern tbl q perm =
+  let n = Pattern.n_nodes q in
+  let nodes = Array.make n (0, Predicate.true_) in
+  for u = 0 to n - 1 do
+    nodes.(perm.(u)) <- (Pattern.label q u, Pattern.pred q u)
+  done;
+  Pattern.create tbl nodes
+    (List.map (fun (s, t) -> (perm.(s), perm.(t))) (Pattern.edges q))
+
+let fingerprint_permutation_invariant =
+  Helpers.qcheck "fingerprint is invariant under node renumbering"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let r = Prng.create seed in
+      let q = random_pattern tbl r in
+      let perm = shuffle r (Pattern.n_nodes q) in
+      Pattern.fingerprint q = Pattern.fingerprint (permute_pattern tbl q perm))
+
+let canonical_perm_is_permutation =
+  Helpers.qcheck "canonicalize returns a valid permutation"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let r = Prng.create seed in
+      let q = random_pattern tbl r in
+      let _, pos = Pattern.canonicalize q in
+      let n = Pattern.n_nodes q in
+      Array.length pos = n
+      && List.sort_uniq compare (Array.to_list pos) = List.init n (fun i -> i))
+
+let fingerprint_ignores_predicates =
+  Helpers.qcheck "fingerprint ignores predicates"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let tbl = Label.create_table () in
+      let r = Prng.create seed in
+      let q = random_pattern tbl r in
+      let with_preds =
+        Pattern.create tbl
+          (Array.init (Pattern.n_nodes q) (fun u ->
+               ( Pattern.label q u,
+                 Predicate.atom Value.Ge (Value.Int (Prng.int r 100)) )))
+          (Pattern.edges q)
+      in
+      Pattern.fingerprint q = Pattern.fingerprint with_preds)
+
+let test_fingerprint_distinguishes () =
+  let tbl = Label.create_table () in
+  let path = Helpers.pattern tbl [ ("A", Predicate.true_); ("A", Predicate.true_); ("A", Predicate.true_) ] [ (0, 1); (1, 2) ] in
+  let triangle = Helpers.pattern tbl [ ("A", Predicate.true_); ("A", Predicate.true_); ("A", Predicate.true_) ] [ (0, 1); (1, 2); (2, 0) ] in
+  let relabeled = Helpers.pattern tbl [ ("A", Predicate.true_); ("A", Predicate.true_); ("B", Predicate.true_) ] [ (0, 1); (1, 2) ] in
+  Helpers.check_true "path vs triangle"
+    (Pattern.fingerprint path <> Pattern.fingerprint triangle);
+  Helpers.check_true "label change"
+    (Pattern.fingerprint path <> Pattern.fingerprint relabeled);
+  Helpers.check_true "reversed edge"
+    (Pattern.fingerprint relabeled
+    <> Pattern.fingerprint
+         (Helpers.pattern tbl [ ("A", Predicate.true_); ("A", Predicate.true_); ("B", Predicate.true_) ] [ (0, 1); (2, 1) ]))
+
+let test_template_instantiations_share_fingerprint () =
+  let tbl = Label.create_table () in
+  let l = Label.intern tbl in
+  let t =
+    Template.create tbl
+      [| (l "A", []);
+         (l "B", [ { Template.op = Value.Ge; operand = Template.Param "x" } ]) |]
+      [ (0, 1) ]
+  in
+  let q1 = Template.instantiate t [ ("x", Value.Int 1) ] in
+  let q2 = Template.instantiate t [ ("x", Value.Int 999) ] in
+  Helpers.check_true "instantiations share fingerprint"
+    (Pattern.fingerprint q1 = Pattern.fingerprint q2);
+  Helpers.check_true "skeleton shares fingerprint"
+    (Pattern.fingerprint (Template.skeleton t) = Pattern.fingerprint q1)
+
 let suite =
   [ Alcotest.test_case "predicate eval" `Quick test_predicate_eval;
     Alcotest.test_case "predicate string equality" `Quick test_predicate_string_equality;
@@ -165,4 +270,10 @@ let suite =
     expect_failure "parser rejects duplicate node" "n x A\nn x B\n";
     expect_failure "parser rejects unknown edge endpoint" "n x A\ne x y\n";
     expect_failure "parser rejects bad atom" "n x A >>3\n";
-    expect_failure "parser rejects unknown decl" "q x A\n" ]
+    expect_failure "parser rejects unknown decl" "q x A\n";
+    fingerprint_permutation_invariant;
+    canonical_perm_is_permutation;
+    fingerprint_ignores_predicates;
+    Alcotest.test_case "fingerprint distinguishes" `Quick test_fingerprint_distinguishes;
+    Alcotest.test_case "template instantiations share fingerprint" `Quick
+      test_template_instantiations_share_fingerprint ]

@@ -1,0 +1,193 @@
+(* The cross-query cache's contract: answers byte-identical to uncached
+   evaluation at every capacity, under pools, and across deltas; hit
+   counters that account for every tier. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+open Bpq_core
+module W = Bpq_workload.Workload
+module Pool = Bpq_util.Pool
+module Prng = Bpq_util.Prng
+
+let world () =
+  let ds = W.imdb ~scale:0.01 () in
+  let a0 = W.a0 ds.table in
+  (ds, Schema.build ds.graph a0)
+
+let uncached semantics schema q =
+  match Bounded_eval.plan_for semantics schema q with
+  | None -> None
+  | Some plan ->
+    Some
+      (match semantics with
+       | Actualized.Subgraph -> Qcache.Matches (Bounded_eval.bvf2_matches schema plan)
+       | Actualized.Simulation -> Qcache.Relation (Bounded_eval.bsim schema plan))
+
+let windows ds n =
+  let t0 = W.t0 ds.W.table in
+  List.init n (fun i ->
+      Template.instantiate t0
+        [ ("lo", Value.Int (2004 + i)); ("hi", Value.Int (2007 + i)) ])
+
+let test_template_plan_sharing () =
+  let ds, schema = world () in
+  let qs = windows ds 4 in
+  let c = Qcache.create () in
+  let first = List.map (fun q -> Qcache.eval c Actualized.Subgraph schema q) qs in
+  List.iter2
+    (fun q a ->
+      Helpers.check_true "matches uncached" (a = uncached Actualized.Subgraph schema q))
+    qs first;
+  let s = Qcache.stats c in
+  Helpers.check_int "one planning run for the template" 1 s.Qcache.plan_misses;
+  Helpers.check_int "other instantiations hit" 3 s.Qcache.plan_hits;
+  Helpers.check_int "all results were cold" 4 s.Qcache.result_misses;
+  Helpers.check_int "no result hits yet" 0 s.Qcache.result_hits;
+  Helpers.check_true "fetch buckets shared across instantiations"
+    (s.Qcache.fetch_hits > 0);
+  let second = List.map (fun q -> Qcache.eval c Actualized.Subgraph schema q) qs in
+  Helpers.check_true "warm answers byte-identical" (first = second);
+  let s' = Qcache.stats c in
+  Helpers.check_int "warm pass served by the result tier" 4
+    (s'.Qcache.result_hits - s.Qcache.result_hits)
+
+let test_capacity_extremes () =
+  let ds, schema = world () in
+  let qs = windows ds 3 in
+  let baseline = List.map (uncached Actualized.Subgraph schema) qs in
+  List.iter
+    (fun c ->
+      (* Two passes: the second exercises whatever survived eviction. *)
+      for _ = 1 to 2 do
+        List.iter2
+          (fun q b ->
+            Helpers.check_true "capacity never changes answers"
+              (Qcache.eval c Actualized.Subgraph schema q = b))
+          qs baseline
+      done)
+    [ Qcache.create ();
+      Qcache.create ~plan_capacity:1 ~fetch_capacity:1 ~result_capacity:1 ();
+      Qcache.create ~plan_capacity:0 ~fetch_capacity:0 ~result_capacity:0 () ]
+
+let test_negative_plan_cached () =
+  let tbl = Label.create_table () in
+  let g = W.g1 tbl ~n:3 in
+  let schema = Schema.build g (W.a1 tbl) in
+  let c = Qcache.create () in
+  Helpers.check_true "unbounded query yields None"
+    (Qcache.eval c Actualized.Simulation schema (W.q1 tbl) = None);
+  Helpers.check_true "still None on re-ask"
+    (Qcache.eval c Actualized.Simulation schema (W.q1 tbl) = None);
+  let s = Qcache.stats c in
+  Helpers.check_int "negative entry planned once" 1 s.Qcache.plan_misses;
+  Helpers.check_int "negative entry hit" 1 s.Qcache.plan_hits
+
+let test_delta_invalidation () =
+  let ds, schema = world () in
+  let q0 = W.q0 ds.table in
+  let c = Qcache.create () in
+  let first = Qcache.eval c Actualized.Subgraph schema q0 in
+  (* Irrelevant delta (genre-genre edge): bumps only the genre label, so
+     the q0 entry stays warm. *)
+  let genres = Digraph.nodes_with_label ds.graph (Label.intern ds.table "genre") in
+  let d1 = { Digraph.empty_delta with added_edges = [ (genres.(0), genres.(1)) ] } in
+  Qcache.note_delta c (Schema.graph schema) d1;
+  let schema1 = Schema.apply_delta schema d1 in
+  let s0 = Qcache.stats c in
+  let second = Qcache.eval c Actualized.Subgraph schema1 q0 in
+  let s1 = Qcache.stats c in
+  Helpers.check_int "irrelevant delta keeps the entry warm" 1
+    (s1.Qcache.result_hits - s0.Qcache.result_hits);
+  Helpers.check_true "warm answer unchanged" (second = first);
+  (* Relevant delta: destroy a match's actor->country edge.  The actor
+     and country generations move, the entry goes stale, and the refresh
+     agrees with uncached evaluation. *)
+  match first with
+  | Some (Qcache.Matches (m :: _)) ->
+    let d2 = { Digraph.empty_delta with removed_edges = [ (m.(3), m.(5)) ] } in
+    Qcache.note_delta c (Schema.graph schema1) d2;
+    let schema2 = Schema.apply_delta schema1 d2 in
+    let third = Qcache.eval c Actualized.Subgraph schema2 q0 in
+    let s2 = Qcache.stats c in
+    Helpers.check_int "relevant delta stales the entry" 1 s2.Qcache.result_stale;
+    Helpers.check_true "refresh equals uncached"
+      (third = uncached Actualized.Subgraph schema2 q0);
+    Helpers.check_true "answer actually changed" (third <> first)
+  | _ -> Alcotest.fail "expected q0 matches in the small world"
+
+let test_pool_identity () =
+  let ds, schema = world () in
+  let qs = windows ds 6 in
+  let answers l =
+    List.map
+      (fun (_, o) ->
+        match o with Some (Batch.Answer (a, _)) -> Some a | Some (Batch.Timeout _) | None -> None)
+      l
+  in
+  let baseline = answers (Batch.eval_patterns Actualized.Subgraph schema qs) in
+  let pool = Pool.create 3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let cache = Qcache.create () in
+  let cold = answers (Batch.eval_patterns ~pool ~cache Actualized.Subgraph schema qs) in
+  let warm = answers (Batch.eval_patterns ~pool ~cache Actualized.Subgraph schema qs) in
+  Helpers.check_true "pooled cached equals sequential uncached" (cold = baseline);
+  Helpers.check_true "warm pooled equals baseline" (warm = baseline)
+
+(* Random workloads with interleaved deltas, three cache capacities, both
+   semantics, every query asked twice per round (the re-ask rides the
+   result tier).  Everything must equal uncached evaluation byte for
+   byte. *)
+let cached_equals_uncached_across_deltas =
+  Helpers.qcheck ~count:20 "cached = uncached across capacities and interleaved deltas"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let schema = ref (Schema.build g constrs) in
+      let queries = List.init 3 (fun _ -> Qgen.from_walk r g) in
+      let caches =
+        [ Qcache.create ();
+          Qcache.create ~plan_capacity:1 ~fetch_capacity:1 ~result_capacity:1 ();
+          Qcache.create ~plan_capacity:0 ~fetch_capacity:0 ~result_capacity:0 () ]
+      in
+      let ok = ref true in
+      for _round = 1 to 3 do
+        List.iter
+          (fun q ->
+            List.iter
+              (fun semantics ->
+                let base = uncached semantics !schema q in
+                List.iter
+                  (fun c ->
+                    if Qcache.eval c semantics !schema q <> base then ok := false;
+                    if Qcache.eval c semantics !schema q <> base then ok := false)
+                  caches)
+              [ Actualized.Subgraph; Actualized.Simulation ])
+          queries;
+        let graph = Schema.graph !schema in
+        let n = Digraph.n_nodes graph in
+        let existing =
+          let acc = ref [] in
+          Digraph.iter_edges graph (fun s d -> acc := (s, d) :: !acc);
+          !acc
+        in
+        let delta =
+          { Digraph.added_nodes = [];
+            added_edges = [ (Prng.int r n, Prng.int r n) ];
+            removed_edges =
+              (match existing with
+               | [] -> []
+               | es -> [ List.nth es (Prng.int r (List.length es)) ]) }
+        in
+        List.iter (fun c -> Qcache.note_delta c graph delta) caches;
+        schema := Schema.apply_delta !schema delta
+      done;
+      !ok)
+
+let suite =
+  [ Alcotest.test_case "template plan sharing" `Quick test_template_plan_sharing;
+    Alcotest.test_case "capacity extremes" `Quick test_capacity_extremes;
+    Alcotest.test_case "negative plan cached" `Quick test_negative_plan_cached;
+    Alcotest.test_case "delta invalidation" `Quick test_delta_invalidation;
+    Alcotest.test_case "pool identity" `Quick test_pool_identity;
+    cached_equals_uncached_across_deltas ]

@@ -243,6 +243,89 @@ let test_timer_adaptive_stride () =
   Helpers.check_true "tripped" !tripped;
   Helpers.check_true "overshoot bounded" (elapsed < 8.0 *. budget)
 
+(* Lru *)
+
+let test_lru_basics () =
+  let l = Lru.create 2 in
+  Helpers.check_int "capacity" 2 (Lru.capacity l);
+  Helpers.check_int "empty" 0 (Lru.length l);
+  Lru.add l 1 10;
+  Lru.add l 2 20;
+  Helpers.check_true "find hit" (Lru.find l 1 = Some 10);
+  Lru.add l 3 30;
+  (* 1 was promoted by the find, so 2 is the LRU victim. *)
+  Helpers.check_true "victim gone" (Lru.find l 2 = None);
+  Helpers.check_true "promoted survives" (Lru.find l 1 = Some 10);
+  Helpers.check_true "newcomer present" (Lru.find l 3 = Some 30);
+  Helpers.check_int "one eviction" 1 (Lru.evictions l);
+  Helpers.check_int "full" 2 (Lru.length l)
+
+let test_lru_eviction_order () =
+  let l = Lru.create 3 in
+  Lru.add l 1 1;
+  Lru.add l 2 2;
+  Lru.add l 3 3;
+  Helpers.check_true "MRU first" (List.map fst (Lru.to_list l) = [ 3; 2; 1 ]);
+  ignore (Lru.find l 1);
+  Helpers.check_true "find promotes" (List.map fst (Lru.to_list l) = [ 1; 3; 2 ]);
+  Helpers.check_true "mem does not promote" (Lru.mem l 2);
+  Lru.add l 4 4;
+  Helpers.check_true "tail evicted" (List.map fst (Lru.to_list l) = [ 4; 1; 3 ]);
+  Lru.add l 3 33;
+  Helpers.check_true "re-add promotes in place"
+    (Lru.to_list l = [ (3, 33); (4, 4); (1, 1) ]);
+  Helpers.check_int "still one eviction" 1 (Lru.evictions l)
+
+let test_lru_capacity_zero () =
+  let l = Lru.create 0 in
+  Lru.add l 1 1;
+  Helpers.check_true "stores nothing" (Lru.find l 1 = None);
+  Helpers.check_int "empty" 0 (Lru.length l);
+  Helpers.check_int "no evictions" 0 (Lru.evictions l)
+
+let test_lru_clear () =
+  let l = Lru.create 4 in
+  List.iter (fun k -> Lru.add l k k) [ 1; 2; 3; 4 ];
+  Lru.clear l;
+  Helpers.check_int "cleared" 0 (Lru.length l);
+  Helpers.check_true "miss after clear" (Lru.find l 1 = None);
+  Lru.add l 5 5;
+  Helpers.check_true "usable after clear" (Lru.find l 5 = Some 5)
+
+(* Reference model: most-recent-first association list. *)
+let lru_model =
+  Helpers.qcheck "lru matches a list model"
+    QCheck2.Gen.(pair (int_range 1 6) (list (pair (int_bound 12) bool)))
+    (fun (cap, ops) ->
+      let l = Lru.create cap in
+      let model = ref [] in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | Some v ->
+          model := (k, v) :: List.remove_assoc k !model;
+          Some v
+        | None -> None
+      in
+      let model_add k v =
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > cap then
+          model := List.filteri (fun i _ -> i < cap) !model
+      in
+      List.for_all
+        (fun (k, is_add) ->
+          if is_add then begin
+            Lru.add l k (k * 7);
+            model_add k (k * 7);
+            true
+          end
+          else begin
+            let got = Lru.find l k and want = model_find k in
+            got = want
+          end)
+        ops
+      && Lru.to_list l = !model
+      && Lru.length l = List.length !model)
+
 let suite =
   [ Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
     Alcotest.test_case "vec get/set" `Quick test_vec_get_set;
@@ -254,6 +337,11 @@ let suite =
     vec_sort_uniq_model;
     int_sort_model;
     int_sort_range_model;
+    Alcotest.test_case "lru basics" `Quick test_lru_basics;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru capacity zero" `Quick test_lru_capacity_zero;
+    Alcotest.test_case "lru clear" `Quick test_lru_clear;
+    lru_model;
     Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
     bitset_model;
     bitset_of_array;
