@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro bench-cache clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache bench-intra clean check-tree ci
 
 all: build
 
@@ -31,6 +31,16 @@ bench-cache:
 	BENCH_FAST=1 dune exec bench/main.exe -- cache --json _bench
 	jq -e '.cache.identical and .cache.warm_hit_rate > 0' _bench/BENCH_cache.json >/dev/null
 	@echo "bench-cache: _bench/BENCH_cache.json OK"
+
+# Intra-query parallelism experiment: one heavy query on pools of
+# 1/2/4/8 domains.  Byte-identity of the answers across pool sizes and
+# cache on/off is unconditional; the 4-domain speedup gate only binds on
+# hosts that actually offer 4 domains (CI runners do, laptops throttled
+# to fewer cores skip it).
+bench-intra:
+	BENCH_FAST=1 dune exec bench/main.exe -- intra --json _bench
+	jq -e '.intra.identical and ((.intra.cpus < 4) or (.intra.speedup_4 >= 1.5))' _bench/BENCH_intra.json >/dev/null
+	@echo "bench-intra: _bench/BENCH_intra.json OK"
 
 clean:
 	dune clean

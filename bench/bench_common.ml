@@ -64,6 +64,30 @@ let begin_section_json () =
   json_tables := [];
   json_extra := []
 
+(* Run metadata stamped into every BENCH_*.json: enough to answer "which
+   commit, which machine, how many domains, what scale" when two artefact
+   files are compared long after the run. *)
+
+let hostname = try Unix.gethostname () with _ -> "unknown"
+
+let git_commit =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ ->
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let table_json t =
   Json.Obj
     [ ("headers", Json.Arr (List.map (fun h -> Json.Str h) (Table.headers t)));
@@ -84,9 +108,18 @@ let write_section_json exp elapsed =
   match !json_dir with
   | None -> ()
   | Some dir ->
+    let meta =
+      Json.Obj
+        [ ("git_commit", Json.Str git_commit);
+          ("jobs", Json.Int (Pool.size pool));
+          ("scale", Json.Float base_scale);
+          ("timestamp", Json.Str (iso8601 (Unix.time ())));
+          ("hostname", Json.Str hostname) ]
+    in
     let obj =
       Json.Obj
         ([ ("exp", Json.Str exp);
+           ("meta", meta);
            ("scale", Json.Float base_scale);
            ("fast", Json.Bool fast);
            ("jobs", Json.Int (Pool.size pool));

@@ -649,6 +649,7 @@ let () =
       ("abl-dist", abl_distributed);
       ("cache", exp_cache);
       ("micro", Micro_kernels.run);
+      ("intra", Intra_bench.run);
       ("bechamel", bechamel) ]
   in
   let wanted =

@@ -5,7 +5,8 @@
    compares the current data layout against the *seed* layout
    (re-implemented here verbatim: packed-int `Hashtbl` edge set,
    `(int list, Vec.t) Hashtbl` index buckets with a polymorphic sort per
-   lookup, list-building tuple recursion).  Emits the numbers as a text
+   lookup, list-building tuple recursion, naive input-order VF2), plus a
+   4-domain arm of the verification stage.  Emits the numbers as a text
    table and, under --json, as a "kernels" array in BENCH_micro.json so
    the perf trajectory is regression-guarded across PRs. *)
 
@@ -66,6 +67,43 @@ let seed_iter_tuples (cmat : int array array) anchors yield =
     | arr :: rest -> Array.iter (fun v -> go (v :: acc) rest) arr
   in
   if List.for_all (fun arr -> Array.length arr > 0) arrays then go [] arrays
+
+(* The seed's match verification: plain VF2 recursion in pattern-node
+   order — no fail-first ordering, no bitset used-set, no resolved
+   adjacency; injectivity by linear scan of the partial mapping and
+   consistency by [Digraph.has_edge] probes over the full edge list. *)
+let seed_count_matches g q (candidates : int array array) =
+  let open Bpq_pattern in
+  let nq = Pattern.n_nodes q in
+  let edges = Pattern.edges q in
+  let mapping = Array.make nq (-1) in
+  let used v = Array.exists (fun m -> m = v) mapping in
+  let consistent u v =
+    Digraph.label g v = Pattern.label q u
+    && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
+    && List.for_all
+         (fun (s, d) ->
+           if s = u && d <> u && mapping.(d) >= 0 then Digraph.has_edge g v mapping.(d)
+           else if d = u && s <> u && mapping.(s) >= 0 then
+             Digraph.has_edge g mapping.(s) v
+           else s <> u || d <> u || Digraph.has_edge g v v)
+         edges
+  in
+  let count = ref 0 in
+  let rec go u =
+    if u = nq then incr count
+    else
+      Array.iter
+        (fun v ->
+          if (not (used v)) && consistent u v then begin
+            mapping.(u) <- v;
+            go (u + 1);
+            mapping.(u) <- -1
+          end)
+        candidates.(u)
+  in
+  if nq = 0 then incr count else go 0;
+  !count
 
 (* ------------------------------------------------------------------ *)
 (* Kernels                                                             *)
@@ -154,21 +192,57 @@ let bench_tuple_enum () =
   ignore !sink;
   (t_new, Some t_seed)
 
-(* Match verification on the bounded subgraph G_Q of the paper's Q0 — the
-   stage the bitset/resolved-adjacency VF2 state serves.  No seed arm
-   (the matcher rewrite is not re-implementable in a few lines); the
-   absolute number is the regression guard. *)
+(* Match verification on the bounded subgraph G_Q — the stage the
+   bitset/resolved-adjacency VF2 state serves.  The seed arm is the
+   naive pre-rewrite matcher above; both arms must agree on the count
+   (checked), so the speedup column is apples-to-apples. *)
 let bench_match_verify schema plan =
   let r = Exec.run schema plan in
+  let expected =
+    Bpq_matcher.Vf2.count_matches ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+  in
+  let got = seed_count_matches r.gq plan.Plan.pattern r.candidates_gq in
+  if got <> expected then
+    failwith
+      (Printf.sprintf "match-verify: seed layout counted %d matches, current %d" got
+         expected);
   let sink = ref 0 in
   let fresh () =
     sink :=
       !sink
       + Bpq_matcher.Vf2.count_matches ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
+  let seed () = sink := !sink + seed_count_matches r.gq plan.Plan.pattern r.candidates_gq in
   let t_new = time_per_call fresh in
+  let t_seed = time_per_call seed in
   ignore !sink;
-  (t_new, None)
+  (t_new, Some t_seed)
+
+(* The same verification stage on 4 domains vs sequential: the "seed"
+   column is this PR's own sequential matcher, so the speedup cell reads
+   as the intra-query scaling factor.  Counts must be identical at both
+   pool sizes (the Vf2 determinism contract). *)
+let bench_match_verify_par schema plan =
+  let r = Exec.run schema plan in
+  let pool = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let seq () =
+    Bpq_matcher.Vf2.count_matches ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+  in
+  let par () =
+    Bpq_matcher.Vf2.count_matches ~pool ~candidates:r.candidates_gq r.gq
+      plan.Plan.pattern
+  in
+  let n_seq = seq () and n_par = par () in
+  if n_seq <> n_par then
+    failwith
+      (Printf.sprintf "match-verify-par4: parallel counted %d matches, sequential %d"
+         n_par n_seq);
+  let sink = ref 0 in
+  let t_par = time_per_call (fun () -> sink := !sink + par ()) in
+  let t_seq = time_per_call (fun () -> sink := !sink + seq ()) in
+  ignore !sink;
+  (t_par, Some t_seq)
 
 (* ------------------------------------------------------------------ *)
 
@@ -182,6 +256,14 @@ let run () =
   let a0 = W.a0 ds.W.table in
   let schema = Schema.build g a0 in
   let plan = Qplan.generate_exn Actualized.Subgraph (W.q0 ds.W.table) a0 in
+  (* The widened-window instantiation of the Q0 template: every year
+     qualifies, so G_Q and the verification search are heavy enough for
+     domain scaling to show (Q0 proper verifies in microseconds). *)
+  let wide =
+    Bpq_pattern.Template.instantiate (W.t0 ds.W.table)
+      [ ("lo", Value.Int 1900); ("hi", Value.Int 2100) ]
+  in
+  let wide_plan = Qplan.generate_exn Actualized.Subgraph wide a0 in
   (* The busiest type-(2) index (1-node keys) plus the (year,award)->movie
      2-node-key index: the two packed-key fast paths. *)
   let ranked =
@@ -204,7 +286,9 @@ let run () =
        | Some idx -> [ ("index-lookup-2key", bench_index_lookup idx) ]
        | None -> [])
     @ [ ("tuple-enum", bench_tuple_enum ());
-        ("match-verify", bench_match_verify schema plan) ]
+        ("match-verify", bench_match_verify schema plan);
+        ("match-verify-wide", bench_match_verify schema wide_plan);
+        ("match-verify-par4", bench_match_verify_par schema wide_plan) ]
   in
   let table = Table.create [ "kernel"; "current"; "seed layout"; "speedup" ] in
   let json =

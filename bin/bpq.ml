@@ -128,20 +128,29 @@ let plan_cmd =
          & info [ "assume-distinct-values" ]
              ~doc:"Cap type-(1) estimates by predicate value ranges (see Qplan docs).")
   in
-  let run semantics pattern constraints refine =
+  let graph_opt =
+    Arg.(value & opt (some file) None
+         & info [ "g"; "graph" ] ~docv:"FILE"
+             ~doc:"Data graph file; when given, the plan is ordered by the graph's \
+                   selectivity statistics and estimated realized cardinalities are printed.")
+  in
+  let run semantics pattern constraints refine graph =
     let tbl = Label.create_table () in
     let q = Pattern_parser.load tbl pattern in
     let a = parse_constraints tbl constraints in
-    match Qplan.generate ~assume_distinct_values:refine semantics q a with
+    let costs = Option.map (fun path -> Costs.of_graph (Graph_io.load tbl path)) graph in
+    match Qplan.generate ~assume_distinct_values:refine ?costs semantics q a with
     | None ->
       print_endline (Ebchk.report q (Ebchk.diagnose semantics q a));
       1
     | Some plan ->
-      print_string (Plan.to_string plan);
+      (match costs with
+       | None -> print_string (Plan.to_string plan)
+       | Some _ -> print_string (Explain.describe ?costs plan));
       0
   in
   Cmd.v (Cmd.info "plan" ~doc:"Print the worst-case-optimal query plan.")
-    Term.(const run $ semantics_arg $ pattern_arg $ constraints_arg $ refine)
+    Term.(const run $ semantics_arg $ pattern_arg $ constraints_arg $ refine $ graph_opt)
 
 (* run *)
 
@@ -169,8 +178,10 @@ let run_cmd =
   let jobs =
     Arg.(value & opt int (Pool.default_jobs ())
          & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Evaluate batched queries on N domains (default: \\$BPQ_JOBS or the \
-                   recommended domain count; 1 forces sequential evaluation).")
+             ~doc:"Evaluate on N domains — batched queries fan out across the pool, and \
+                   each query's own plan execution and match search parallelise on it too \
+                   (default: \\$BPQ_JOBS or the recommended domain count; 1 forces \
+                   sequential evaluation).  Answers are identical for every N.")
   in
   let cache_mb =
     Arg.(value & opt int 64
@@ -216,28 +227,30 @@ let run_cmd =
           (String.concat " " (List.map string_of_int (Array.to_list vs))))
       sim
   in
-  let run_single semantics g schema a q limit fallback explain cache =
+  let run_single pool costs semantics g schema a q limit fallback explain cache =
     let plan =
       match cache with
-      | Some c -> Qcache.plan_for c semantics schema q
-      | None -> Qplan.generate semantics q a
+      | Some c -> Qcache.plan_for c ~costs semantics schema q
+      | None -> Qplan.generate ~costs semantics q a
     in
     let fetch = Option.map Qcache.fetch_tier cache in
     match plan with
     | Some plan when explain ->
-      let analysis = Explain.analyze schema plan in
+      let analysis = Explain.analyze ~pool ~costs schema plan in
       print_string analysis.report;
       0
     | Some plan ->
       (match semantics with
        | Actualized.Subgraph ->
-         let matches, stats = Bounded_eval.bvf2_with_stats ?cache:fetch schema plan in
+         let matches, stats =
+           Bounded_eval.bvf2_with_stats ~pool ?cache:fetch schema plan
+         in
          let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
          print_matches matches;
          Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
            (List.length matches) (Exec.accessed stats) (Digraph.size g)
        | Actualized.Simulation ->
-         let sim, stats = Bounded_eval.bsim_with_stats ?cache:fetch schema plan in
+         let sim, stats = Bounded_eval.bsim_with_stats ~pool ?cache:fetch schema plan in
          print_relation sim;
          Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
            (Bpq_matcher.Gsim.relation_size sim)
@@ -263,7 +276,8 @@ let run_cmd =
      sequential (--jobs 1) run. *)
   let run_batch pool semantics g schema queries limit fallback cache =
     let outcomes =
-      Batch.eval_patterns ~pool ?cache ?limit semantics schema (List.map snd queries)
+      Batch.eval_patterns ~pool ~intra:pool ?cache ?limit semantics schema
+        (List.map snd queries)
     in
     let status = ref 0 in
     List.iter2
@@ -304,6 +318,7 @@ let run_cmd =
     let pool = Pool.create jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     let schema = Schema.build ~pool g a in
+    let costs = Costs.of_graph g in
     if not (Schema.satisfied schema) then begin
       prerr_endline "error: the graph does not satisfy the access constraints:";
       List.iter
@@ -315,13 +330,15 @@ let run_cmd =
     else begin
       let status =
         match queries with
-        | [ (_, q) ] -> run_single semantics g schema a q limit fallback explain cache
+        | [ (_, q) ] ->
+          run_single pool costs semantics g schema a q limit fallback explain cache
         | _ when explain ->
           List.iter
             (fun (path, q) ->
               Printf.printf "== %s ==\n" path;
-              match Qplan.generate semantics q a with
-              | Some plan -> print_string (Explain.analyze schema plan).Explain.report
+              match Qplan.generate ~costs semantics q a with
+              | Some plan ->
+                print_string (Explain.analyze ~pool ~costs schema plan).Explain.report
               | None -> print_endline "# not effectively bounded (see `bpq check`)")
             queries;
           0

@@ -27,28 +27,34 @@ let answer_of_qcache = function
   | Qcache.Matches ms -> Matches ms
   | Qcache.Relation sim -> Relation sim
 
-let eval ?(pool = Pool.sequential) ?cache ?timeout ?limit schema items =
+let eval ?(pool = Pool.sequential) ?intra ?cache ?timeout ?limit schema items =
   Pool.map_list pool
     (fun it ->
       (* The deadline is private to this item: deadlines are mutable and
          must never cross domains.  The cache is shared — it shards itself
-         per domain, so workers never contend (see Qcache). *)
+         per domain, so workers never contend (see Qcache).  [intra], when
+         given, additionally parallelises each item's own execution and
+         match search; answers stay byte-identical, so the two levels of
+         parallelism compose freely (nested submissions drain through the
+         same pool without deadlock). *)
       let deadline = Option.map Timer.deadline_after timeout in
       let start = Timer.now () in
       match
         match cache with
-        | Some c -> answer_of_qcache (Qcache.eval_plan c ?deadline ?limit schema it.plan)
+        | Some c ->
+          answer_of_qcache (Qcache.eval_plan c ?pool:intra ?deadline ?limit schema it.plan)
         | None ->
           (match it.semantics with
            | Actualized.Subgraph ->
-             Matches (Bounded_eval.bvf2_matches ?deadline ?limit schema it.plan)
-           | Actualized.Simulation -> Relation (Bounded_eval.bsim ?deadline schema it.plan))
+             Matches (Bounded_eval.bvf2_matches ?pool:intra ?deadline ?limit schema it.plan)
+           | Actualized.Simulation ->
+             Relation (Bounded_eval.bsim ?pool:intra ?deadline schema it.plan))
       with
       | answer -> Answer (answer, Timer.now () -. start)
       | exception Timer.Timeout -> Timeout (Timer.now () -. start))
     items
 
-let eval_patterns ?pool ?cache ?timeout ?limit semantics schema patterns =
+let eval_patterns ?pool ?intra ?cache ?timeout ?limit semantics schema patterns =
   let planned =
     match cache with
     | Some c ->
@@ -61,7 +67,7 @@ let eval_patterns ?pool ?cache ?timeout ?limit semantics schema patterns =
   let items =
     List.filter_map (fun (_, p) -> Option.map (item semantics) p) planned
   in
-  let outcomes = ref (eval ?pool ?cache ?timeout ?limit schema items) in
+  let outcomes = ref (eval ?pool ?intra ?cache ?timeout ?limit schema items) in
   List.map
     (fun (q, p) ->
       match p with

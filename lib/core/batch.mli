@@ -47,6 +47,7 @@ val plan_all :
 
 val eval :
   ?pool:Pool.t ->
+  ?intra:Pool.t ->
   ?cache:Qcache.t ->
   ?timeout:float ->
   ?limit:int ->
@@ -58,10 +59,14 @@ val eval :
     [cache] routes evaluation through {!Qcache.eval_plan} — result and
     fetch tiers — and is safe to share across the pool's workers (it
     shards itself per domain); answers stay identical to the uncached,
-    sequential run. *)
+    sequential run.  [intra] additionally parallelises each item's own
+    plan execution and match search ({!Exec} / {!Bpq_matcher.Vf2});
+    passing the same pool for both levels is safe — nested submissions
+    drain through it without deadlock. *)
 
 val eval_patterns :
   ?pool:Pool.t ->
+  ?intra:Pool.t ->
   ?cache:Qcache.t ->
   ?timeout:float ->
   ?limit:int ->

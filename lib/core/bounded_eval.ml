@@ -3,29 +3,31 @@ open Bpq_matcher
 
 let plan_for semantics schema q = Qplan.generate semantics q (Schema.constraints schema)
 
-let run_exec ?cache schema plan = Exec.run ?cache schema plan
+let run_exec ?pool ?cache schema plan = Exec.run ?pool ?cache schema plan
 
-let bvf2_with_stats ?deadline ?cache schema plan =
-  let r = run_exec ?cache schema plan in
+let bvf2_with_stats ?pool ?deadline ?cache schema plan =
+  let r = run_exec ?pool ?cache schema plan in
   let matches =
-    Vf2.matches ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+    Vf2.matches ?pool ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
   (List.map (Array.map (fun v -> r.from_gq.(v))) matches, r.stats)
 
-let bvf2_matches ?deadline ?limit ?cache schema plan =
-  let r = run_exec ?cache schema plan in
+let bvf2_matches ?pool ?deadline ?limit ?cache schema plan =
+  let r = run_exec ?pool ?cache schema plan in
   let matches =
-    Vf2.matches ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+    Vf2.matches ?pool ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
   List.map (Array.map (fun v -> r.from_gq.(v))) matches
 
-let bvf2_count ?deadline ?limit ?cache schema plan =
-  let r = run_exec ?cache schema plan in
-  Vf2.count_matches ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
+let bvf2_count ?pool ?deadline ?limit ?cache schema plan =
+  let r = run_exec ?pool ?cache schema plan in
+  Vf2.count_matches ?pool ?deadline ?limit ~candidates:r.candidates_gq r.gq
+    plan.Plan.pattern
 
-let bsim_with_stats ?deadline ?cache schema plan =
-  let r = run_exec ?cache schema plan in
+let bsim_with_stats ?pool ?deadline ?cache schema plan =
+  let r = run_exec ?pool ?cache schema plan in
   let sim = Gsim.run ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern in
   (Array.map (Array.map (fun v -> r.from_gq.(v))) sim, r.stats)
 
-let bsim ?deadline ?cache schema plan = fst (bsim_with_stats ?deadline ?cache schema plan)
+let bsim ?pool ?deadline ?cache schema plan =
+  fst (bsim_with_stats ?pool ?deadline ?cache schema plan)

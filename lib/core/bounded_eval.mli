@@ -16,12 +16,16 @@ val plan_for : Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
     constraint list. *)
 
 (** Every evaluator below accepts [?cache], a fetch-level lookup cache
-    (see {!Fetch_cache}); answers are byte-identical with the cache
-    absent, present, or at any capacity. *)
+    (see {!Fetch_cache}), and [?pool], which parallelises the plan
+    execution ({!Exec.run}) and — for bVF2 — the match search
+    ({!Vf2.matches}) within the single query; answers are byte-identical
+    with the cache absent, present, or at any capacity, and at every pool
+    size. *)
 
 (** {1 Subgraph queries (bVF2)} *)
 
 val bvf2_matches :
+  ?pool:Pool.t ->
   ?deadline:Timer.deadline ->
   ?limit:int ->
   ?cache:Fetch_cache.t ->
@@ -32,9 +36,16 @@ val bvf2_matches :
     node ids. *)
 
 val bvf2_count :
-  ?deadline:Timer.deadline -> ?limit:int -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> int
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  ?cache:Fetch_cache.t ->
+  Schema.t ->
+  Plan.t ->
+  int
 
 val bvf2_with_stats :
+  ?pool:Pool.t ->
   ?deadline:Timer.deadline ->
   ?cache:Fetch_cache.t ->
   Schema.t ->
@@ -44,11 +55,17 @@ val bvf2_with_stats :
 (** {1 Simulation queries (bSim)} *)
 
 val bsim :
-  ?deadline:Timer.deadline -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> int array array
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?cache:Fetch_cache.t ->
+  Schema.t ->
+  Plan.t ->
+  int array array
 (** The maximum match relation as per-pattern-node sorted arrays of
     original node ids; all-empty when no simulation exists. *)
 
 val bsim_with_stats :
+  ?pool:Pool.t ->
   ?deadline:Timer.deadline ->
   ?cache:Fetch_cache.t ->
   Schema.t ->

@@ -1,0 +1,118 @@
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+
+type t = { sel : Gstats.selectivity }
+
+let make sel = { sel }
+let of_graph g = make (Gstats.selectivity g)
+let selectivity t = t.sel
+
+(* Estimated realized candidates for a pattern node from label statistics
+   alone: the label population, capped by the distinct integer values the
+   predicate admits (an estimate, not a bound — several nodes may share a
+   value). *)
+let anchor_score t q u =
+  let base = float_of_int (Gstats.node_count t.sel (Pattern.label q u)) in
+  match Predicate.value_cap (Pattern.pred q u) with
+  | Some cap -> Float.min base (float_of_int cap)
+  | None -> base
+
+(* Estimated hits per anchor tuple of constraint [c].  For type (1) the
+   whole target population streams out; otherwise the joint
+   common-neighbour count is at most each marginal, so take the minimum
+   over source labels of the average number of target-labeled neighbours
+   (either direction) of a source-labeled node. *)
+let fanout t (c : Constr.t) =
+  let bound = float_of_int c.bound in
+  match c.source with
+  | [] -> Float.min bound (float_of_int (Gstats.node_count t.sel c.target))
+  | sources ->
+    List.fold_left
+      (fun acc s ->
+        let cnt = Gstats.node_count t.sel s in
+        let avg =
+          if cnt = 0 then 0.0
+          else
+            float_of_int
+              (Gstats.pair_freq t.sel ~src:s ~dst:c.target
+              + Gstats.pair_freq t.sel ~src:c.target ~dst:s)
+            /. float_of_int cnt
+        in
+        Float.min acc avg)
+      bound sources
+
+let annotate t (plan : Plan.t) =
+  let q = plan.pattern in
+  let nq = Pattern.n_nodes q in
+  (* Estimated realized |cmat(u)| after the fetches seen so far; repeated
+     fetches intersect, so the estimate only tightens. *)
+  let node_est = Array.make nq infinity in
+  let tuple_est anchors =
+    List.fold_left (fun acc (_, a) -> acc *. node_est.(a)) 1.0 anchors
+  in
+  let fetch_est =
+    Array.of_list
+      (List.map
+         (fun (f : Plan.fetch) ->
+           let raw = tuple_est f.anchors *. fanout t f.constr in
+           let capped =
+             Float.min raw (Float.min (anchor_score t q f.unode) (float_of_int f.est))
+           in
+           node_est.(f.unode) <- Float.min node_est.(f.unode) capped;
+           capped)
+         plan.fetches)
+  in
+  let edge_est =
+    Array.of_list
+      (List.map
+         (fun (ec : Plan.edge_check) ->
+           let raw = tuple_est ec.anchors *. fanout t ec.via in
+           Float.min raw (float_of_int ec.est))
+         plan.edge_checks)
+  in
+  (fetch_est, edge_est)
+
+let order_plan t (plan : Plan.t) =
+  let fetch_est, edge_est = annotate t plan in
+  let fetches = Array.of_list plan.fetches in
+  let m = Array.length fetches in
+  (* A fetch may move earlier only past fetches of unrelated nodes: it
+     stays after every input-order-earlier fetch of its own node (repeat
+     fetches intersect in a fixed order) and of each anchor node (anchors
+     must be populated, and at least as reduced as the planner assumed,
+     before use). *)
+  let deps = Array.make m [] in
+  for i = 0 to m - 1 do
+    let fi = fetches.(i) in
+    let nodes = fi.Plan.unode :: List.map snd fi.Plan.anchors in
+    for j = 0 to i - 1 do
+      if List.mem fetches.(j).Plan.unode nodes then deps.(i) <- j :: deps.(i)
+    done
+  done;
+  let emitted = Array.make m false in
+  let order = ref [] in
+  for _ = 1 to m do
+    let best = ref (-1) in
+    for i = 0 to m - 1 do
+      if
+        (not emitted.(i))
+        && List.for_all (fun j -> emitted.(j)) deps.(i)
+        && (!best = -1 || fetch_est.(i) < fetch_est.(!best))
+      then best := i
+    done;
+    emitted.(!best) <- true;
+    order := !best :: !order
+  done;
+  let fetches' = List.rev_map (fun i -> fetches.(i)) !order in
+  (* Edge checks only add edges to a deduplicated set: any order yields
+     the same G_Q.  Cheapest-first warms the fetch cache on the smallest
+     buckets and surfaces empty joins early. *)
+  let indexed = List.mapi (fun i ec -> (edge_est.(i), i, ec)) plan.edge_checks in
+  let edge_checks' =
+    List.stable_sort
+      (fun (a, i, _) (b, j, _) -> if a = b then compare i j else Float.compare a b)
+      indexed
+    |> List.map (fun (_, _, ec) -> ec)
+  in
+  { plan with Plan.fetches = fetches'; edge_checks = edge_checks' }

@@ -1,0 +1,55 @@
+(** Statistics-driven cost model for plan ordering.
+
+    The planner's worst-case estimates come from the access schema alone
+    and are often orders of magnitude above what a concrete graph
+    realizes (the output-sensitive evaluation line — Abo Khamis et al.
+    2024 — makes the same observation for RPQs).  This module turns the
+    cheap selectivity statistics of {!Bpq_graph.Gstats} (per-label node
+    counts, label→label edge frequencies) into {e estimated realized}
+    cardinalities per plan operation.
+
+    The estimates are advisory only: {!order_plan} reorders fetch and
+    edge-check operations (respecting fetch dependencies) and
+    {!Qplan.generate} uses {!anchor_score} to break ties between
+    equally-bounded anchor choices — but the set of operations, their
+    static estimates, and hence the plan's fetch bound and the
+    boundedness guarantee are never altered.  Misestimates therefore
+    cost time, never correctness; {!Explain} renders estimated vs
+    realized side by side so they are visible. *)
+
+open Bpq_graph
+open Bpq_pattern
+
+type t
+
+val make : Gstats.selectivity -> t
+
+val of_graph : Digraph.t -> t
+(** [make (Gstats.selectivity g)] — one CSR sweep. *)
+
+val selectivity : t -> Gstats.selectivity
+
+val anchor_score : t -> Pattern.t -> int -> float
+(** Estimated realized candidate count for pattern node [u] from label
+    statistics alone: the label's node count, further capped by the
+    number of distinct integer values the node predicate admits.  Used by
+    the planner to break ties between anchors with equal worst-case
+    size. *)
+
+val annotate : t -> Plan.t -> float array * float array
+(** [(fetch_est, edge_est)]: estimated realized cardinality per fetch and
+    per edge check, in the plan's own operation order.  A fetch estimate
+    predicts the resulting [|cmat(unode)|]; an edge estimate predicts the
+    candidate edges surviving the index lookup.  Both are capped by the
+    operation's static worst case. *)
+
+val order_plan : t -> Plan.t -> Plan.t
+(** Reorder the plan's operations by ascending estimated realized
+    cardinality: fetches move only where their dependencies allow (a
+    fetch never runs before the fetches of its anchor nodes, or before an
+    earlier fetch of its own node, that preceded it in the input plan);
+    edge checks reorder freely (they are independent).  The multiset of
+    operations, every operation's static estimate, [node_estimates], and
+    the node/edge bounds are unchanged — only execution order moves.
+    Execution results are identical either way (fetch sets intersect;
+    edge sets union). *)

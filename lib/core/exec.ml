@@ -2,6 +2,7 @@ open Bpq_graph
 open Bpq_pattern
 open Bpq_access
 module Vec = Bpq_util.Vec
+module Pool = Bpq_util.Pool
 
 type stats = {
   fetch_lookups : int;
@@ -74,6 +75,60 @@ let iter_tuples (cmat : int array array) anchors yield =
       in
       loop ()
     end
+  end
+
+(* Slice of the same enumeration by linear tuple index: tuple positions
+   form a mixed-radix number (digit [i] has base [length arrays.(i)], last
+   digit fastest), so the concatenation of [iter_tuples_slice ~lo ~hi] over
+   a partition of [0, total) reproduces [iter_tuples]'s order exactly.
+   This is the unit of intra-query parallelism: contiguous index ranges
+   are handed to pool domains. *)
+let iter_tuples_slice (arrays : int array array) ~lo ~hi yield =
+  let k = Array.length arrays in
+  if k = 0 then begin
+    if lo <= 0 && hi >= 1 then yield [||]
+  end
+  else if lo < hi && not (Array.exists (fun arr -> Array.length arr = 0) arrays) then begin
+    let tuple = Array.make k 0 in
+    let idx = Array.make k 0 in
+    let rem = ref lo in
+    for i = k - 1 downto 0 do
+      let len = Array.length arrays.(i) in
+      idx.(i) <- !rem mod len;
+      tuple.(i) <- arrays.(i).(idx.(i));
+      rem := !rem / len
+    done;
+    let remaining = ref (hi - lo) in
+    let continue_outer = ref true in
+    while !continue_outer do
+      yield tuple;
+      decr remaining;
+      if !remaining = 0 then continue_outer := false
+      else begin
+        (* Advance the odometer; digit [k-1] spins fastest. *)
+        let i = ref (k - 1) in
+        let continue_ = ref true in
+        while !continue_ do
+          if !i < 0 then begin
+            continue_outer := false;
+            continue_ := false
+          end
+          else begin
+            let p = idx.(!i) + 1 in
+            if p < Array.length arrays.(!i) then begin
+              idx.(!i) <- p;
+              tuple.(!i) <- arrays.(!i).(p);
+              continue_ := false
+            end
+            else begin
+              idx.(!i) <- 0;
+              tuple.(!i) <- arrays.(!i).(0);
+              decr i
+            end
+          end
+        done
+      end
+    done
   end
 
 type source = {
@@ -149,8 +204,66 @@ let cached_source cache src =
       (fun c tuple f ->
         Fetch_cache.lookup_iter cache c tuple (fun k -> src.lookup_iter c tuple k) f) }
 
-let run_with ?cache (src : source) (plan : Plan.t) =
-  let src = match cache with None -> src | Some c -> cached_source c src in
+(* Minimum tuple count before an operation fans out across the pool:
+   below this, dispatch overhead dominates the per-tuple index probes. *)
+let par_threshold = 256
+
+(* Contiguous linear-index ranges covering [0, total), one per chunk. *)
+let chunk_ranges total chunks =
+  Array.init chunks (fun c -> (c * total / chunks, (c + 1) * total / chunks))
+
+let anchor_rows (cmat : int array array) anchors =
+  let k = List.length anchors in
+  let arrays = Array.make k [||] in
+  List.iteri (fun i (_, u) -> arrays.(i) <- cmat.(u)) anchors;
+  arrays
+
+let total_tuples (arrays : int array array) =
+  Array.fold_left (fun acc a -> Plan.sat_mul acc (Array.length a)) 1 arrays
+
+let run_with ?pool ?cache (src : source) (plan : Plan.t) =
+  let slots = match pool with None -> 1 | Some p -> Pool.size p in
+  (* The caller's cache wraps the source as always.  Worker domains get
+     private shards of the same capacity, created on first use under a
+     mutex (Fetch_cache is single-domain state, mirroring Qcache's
+     per-domain discipline).  The cache is stats-transparent — it replays
+     exact index buckets — so results are byte-identical whichever shard,
+     or none, answers a lookup. *)
+  let owner = (Domain.self () :> int) in
+  let shards = ref [] in
+  let shards_mu = Mutex.create () in
+  let seq_src = match cache with None -> src | Some c -> cached_source c src in
+  let task_src () =
+    match cache with
+    | None -> src
+    | Some c ->
+      let id = (Domain.self () :> int) in
+      if id = owner then seq_src
+      else begin
+        Mutex.lock shards_mu;
+        let shard =
+          match List.assoc_opt id !shards with
+          | Some s -> s
+          | None ->
+            let s = Fetch_cache.create ~capacity:(Fetch_cache.capacity c) () in
+            shards := (id, s) :: !shards;
+            s
+        in
+        Mutex.unlock shards_mu;
+        cached_source shard src
+      end
+  in
+  (* Fan an operation's anchor-tuple odometer out across the pool as
+     contiguous linear-index ranges; [task lo hi] must be independent of
+     every other range.  Returns [None] when the operation stays
+     sequential (no pool, too few tuples, or a saturated tuple count). *)
+  let fan_out total task =
+    match pool with
+    | Some p when slots > 1 && total >= par_threshold && total < max_int ->
+      let ranges = chunk_ranges total (min total (4 * slots)) in
+      Some (Pool.map_array p (fun (lo, hi) -> task lo hi) ranges)
+    | Some _ | None -> None
+  in
   let q = plan.pattern in
   let nq = Pattern.n_nodes q in
   let cmat = Array.make nq [||] in
@@ -162,16 +275,47 @@ let run_with ?cache (src : source) (plan : Plan.t) =
       let pred = Pattern.pred q f.unode in
       (* Hits accumulate (with duplicates) into a vector; a monomorphic
          sort_uniq then yields the same sorted distinct set the old
-         hashtable produced, without per-hit boxing. *)
+         hashtable produced, without per-hit boxing.  The parallel path
+         concatenates per-range vectors in range order first, so the
+         multiset reaching sort_uniq — hence the resulting set — is the
+         sequential one. *)
       let hits = Vec.create ~capacity:64 () in
-      let collect tuple =
-        incr fetch_lookups;
-        src.lookup_iter f.constr tuple (fun w ->
-            incr fetched;
-            if Predicate.eval pred (src.node_value w) then Vec.push hits w)
+      let streamed_of (s : source) hits tuple =
+        let streamed = ref 0 in
+        s.lookup_iter f.constr tuple (fun w ->
+            incr streamed;
+            if Predicate.eval pred (s.node_value w) then Vec.push hits w);
+        !streamed
       in
-      if f.anchors = [] then collect [||]
-      else iter_tuples cmat f.anchors collect;
+      if f.anchors = [] then begin
+        incr fetch_lookups;
+        fetched := !fetched + streamed_of seq_src hits [||]
+      end
+      else begin
+        let arrays = anchor_rows cmat f.anchors in
+        let total = total_tuples arrays in
+        match
+          fan_out total (fun lo hi ->
+              let s = task_src () in
+              let local = Vec.create ~capacity:64 () in
+              let lookups = ref 0 and streamed = ref 0 in
+              iter_tuples_slice arrays ~lo ~hi (fun tuple ->
+                  incr lookups;
+                  streamed := !streamed + streamed_of s local tuple);
+              (local, !lookups, !streamed))
+        with
+        | Some parts ->
+          Array.iter
+            (fun (local, lookups, streamed) ->
+              fetch_lookups := !fetch_lookups + lookups;
+              fetched := !fetched + streamed;
+              Vec.iter (Vec.push hits) local)
+            parts
+        | None ->
+          iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
+              incr fetch_lookups;
+              fetched := !fetched + streamed_of seq_src hits tuple)
+      end;
       Vec.sort_uniq hits;
       let result =
         if fetched_yet.(f.unode) then
@@ -205,16 +349,45 @@ let run_with ?cache (src : source) (plan : Plan.t) =
         find 0 ec.anchors
       in
       let row = cmat.(ec.target_side) in
-      iter_tuples cmat ec.anchors (fun tuple ->
-          incr edge_lookups;
-          let v_other = tuple.(other_slot) in
-          src.lookup_iter ec.via tuple (fun w ->
-              if mem_sorted row w then begin
-                incr edge_candidates;
-                let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
-                if src.probe_edge e_src e_dst then
-                  Int_tbl.replace gq_edges (pack_edge e_src e_dst) ()
-              end));
+      let arrays = anchor_rows cmat ec.anchors in
+      let total = total_tuples arrays in
+      let probe_with (s : source) push tuple =
+        let v_other = tuple.(other_slot) in
+        let cands = ref 0 in
+        s.lookup_iter ec.via tuple (fun w ->
+            if mem_sorted row w then begin
+              incr cands;
+              let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
+              if s.probe_edge e_src e_dst then push (pack_edge e_src e_dst)
+            end);
+        !cands
+      in
+      (match
+         fan_out total (fun lo hi ->
+             let s = task_src () in
+             let edges = Vec.create ~capacity:64 () in
+             let lookups = ref 0 and cands = ref 0 in
+             iter_tuples_slice arrays ~lo ~hi (fun tuple ->
+                 incr lookups;
+                 cands := !cands + probe_with s (Vec.push edges) tuple);
+             (edges, !lookups, !cands))
+       with
+      | Some parts ->
+        (* Certified edges land in the dedup table in range order; the
+           table holds a set, so the contents — and the realized count —
+           match the sequential insertion. *)
+        Array.iter
+          (fun (edges, lookups, cands) ->
+            edge_lookups := !edge_lookups + lookups;
+            edge_candidates := !edge_candidates + cands;
+            Vec.iter (fun packed -> Int_tbl.replace gq_edges packed ()) edges)
+          parts
+      | None ->
+        iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
+            incr edge_lookups;
+            edge_candidates :=
+              !edge_candidates
+              + probe_with seq_src (fun packed -> Int_tbl.replace gq_edges packed ()) tuple));
       trace :=
         { op = `Edge ec.edge;
           estimate = ec.est;
@@ -257,4 +430,4 @@ let run_with ?cache (src : source) (plan : Plan.t) =
         edges_added = Int_tbl.length gq_edges };
     trace = List.rev !trace }
 
-let run ?cache schema plan = run_with ?cache (source_of_schema schema) plan
+let run ?pool ?cache schema plan = run_with ?pool ?cache (source_of_schema schema) plan

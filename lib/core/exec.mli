@@ -48,10 +48,19 @@ type result = {
           material of {!Explain}. *)
 }
 
-val run : ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> result
+val run : ?pool:Bpq_util.Pool.t -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t -> result
 (** @raise Not_found if the plan references a constraint outside the
     schema (plans must be executed under the schema they were generated
     for).
+
+    [pool] enables intra-query parallelism: each fetch or edge-check
+    operation whose anchor-tuple odometer is large enough is partitioned
+    into contiguous tuple-index ranges across the pool's domains, each
+    range accumulating hits (or certified edges) locally with its own
+    fetch-cache shard; fragments merge deterministically in range order
+    (fetch hits through one [sort_uniq], edges through one dedup set), so
+    the result — candidate sets, [G_Q], stats, trace — is byte-identical
+    to the sequential run at every pool size.
 
     [cache] memoises index lookups across calls (see {!Fetch_cache}); the
     result — candidate sets, [G_Q], stats, trace — is byte-identical with
@@ -85,7 +94,10 @@ type source = {
 
 val source_of_schema : Schema.t -> source
 
-val run_with : ?cache:Fetch_cache.t -> source -> Plan.t -> result
+val run_with :
+  ?pool:Bpq_util.Pool.t -> ?cache:Fetch_cache.t -> source -> Plan.t -> result
+(** A [source] driven in parallel must tolerate concurrent read-only use
+    from several domains, as the frozen graph and indexes do. *)
 
 (**/**)
 
@@ -95,3 +107,10 @@ val iter_tuples : int array array -> ('a * int) list -> (int array -> unit) -> u
     components, lexicographically, yielding one {e reused} tuple buffer.
     Yields nothing if any selected row is empty; yields a single empty
     tuple for an empty anchor list. *)
+
+val iter_tuples_slice :
+  int array array -> lo:int -> hi:int -> (int array -> unit) -> unit
+(** The sub-range of the same enumeration with linear tuple indices in
+    [\[lo, hi)] (mixed-radix, last digit fastest): concatenating the
+    slices of any partition of [\[0, total)] reproduces the full
+    enumeration order.  Exposed for property tests. *)

@@ -6,11 +6,15 @@
     form of the paper's Example 1 walkthrough).  {!analyze} additionally
     executes the plan against a schema and reports, per operation, the
     realised cardinality next to its static bound, together with the total
-    data accessed relative to [|G|]. *)
+    data accessed relative to [|G|].
+
+    With [costs] (a {!Costs} model), both add an "estimated" column — the
+    cost model's predicted realized cardinality per operation — so
+    misestimates are visible next to what actually happened. *)
 
 open Bpq_access
 
-val describe : Plan.t -> string
+val describe : ?costs:Costs.t -> Plan.t -> string
 (** Static report; never touches a graph. *)
 
 type analysis = {
@@ -18,7 +22,9 @@ type analysis = {
   result : Exec.result;  (** The execution behind it, for further use. *)
 }
 
-val analyze : Schema.t -> Plan.t -> analysis
-(** Executes the plan and renders estimate-vs-realised per operation.  The
-    realised numbers are always within the estimates (a property the test
-    suite pins down). *)
+val analyze : ?pool:Bpq_util.Pool.t -> ?costs:Costs.t -> Schema.t -> Plan.t -> analysis
+(** Executes the plan ([pool] parallelises the execution, see {!Exec.run})
+    and renders estimate-vs-realised per operation.  The realised numbers
+    are always within the static estimates (a property the test suite pins
+    down); the cost model's estimates carry no such guarantee — that is
+    the point of printing them. *)

@@ -158,7 +158,7 @@ let invert perm =
   Array.iteri (fun v p -> inv.(p) <- v) perm;
   inv
 
-let plan_for t semantics schema q =
+let plan_for t ?costs semantics schema q =
   let s = shard_for t in
   let ek = exact_key semantics schema q in
   match Fifo_map.find s.plans_exact ek with
@@ -180,7 +180,7 @@ let plan_for t semantics schema q =
        plan
      | None ->
        s.plan_misses <- s.plan_misses + 1;
-       let plan = Qplan.generate semantics q (Schema.constraints schema) in
+       let plan = Qplan.generate ?costs semantics q (Schema.constraints schema) in
        Fifo_map.add s.plans_exact ek plan;
        Fifo_map.add s.plans_canon ck (Option.map (remap_plan perm q) plan);
        plan)
@@ -201,19 +201,20 @@ let result_key schema (plan : Plan.t) limit =
     (Schema.stamp schema, sem_tag plan.semantics, nodes, Pattern.edges q, limit)
     []
 
-let eval_uncached ?deadline ?limit ~cache schema (plan : Plan.t) =
+let eval_uncached ?pool ?deadline ?limit ~cache schema (plan : Plan.t) =
   match plan.semantics with
-  | Actualized.Subgraph -> Matches (Bounded_eval.bvf2_matches ?deadline ?limit ~cache schema plan)
-  | Actualized.Simulation -> Relation (Bounded_eval.bsim ?deadline ~cache schema plan)
+  | Actualized.Subgraph ->
+    Matches (Bounded_eval.bvf2_matches ?pool ?deadline ?limit ~cache schema plan)
+  | Actualized.Simulation -> Relation (Bounded_eval.bsim ?pool ?deadline ~cache schema plan)
 
-let eval_plan t ?deadline ?limit schema (plan : Plan.t) =
+let eval_plan t ?pool ?deadline ?limit schema (plan : Plan.t) =
   let s = shard_for t in
   let key = result_key schema plan limit in
   let fresh_gens () =
     List.map (fun l -> (l, gen_of t l)) (Pattern.labels_used plan.pattern)
   in
   let evaluate () =
-    let answer = eval_uncached ?deadline ?limit ~cache:s.fetch schema plan in
+    let answer = eval_uncached ?pool ?deadline ?limit ~cache:s.fetch schema plan in
     Fifo_map.add s.results key { answer; gens = fresh_gens () };
     answer
   in
@@ -229,10 +230,10 @@ let eval_plan t ?deadline ?limit schema (plan : Plan.t) =
     s.result_misses <- s.result_misses + 1;
     evaluate ()
 
-let eval t ?deadline ?limit semantics schema q =
-  match plan_for t semantics schema q with
+let eval t ?pool ?costs ?deadline ?limit semantics schema q =
+  match plan_for t ?costs semantics schema q with
   | None -> None
-  | Some plan -> Some (eval_plan t ?deadline ?limit schema plan)
+  | Some plan -> Some (eval_plan t ?pool ?deadline ?limit schema plan)
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation                                                        *)

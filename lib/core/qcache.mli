@@ -68,19 +68,35 @@ type answer =
   | Matches of int array list  (** Subgraph semantics. *)
   | Relation of int array array  (** Simulation semantics. *)
 
-val plan_for : t -> Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
+val plan_for :
+  t -> ?costs:Costs.t -> Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
 (** Plan-tier [Bounded_eval.plan_for]: one [Ebchk] + [Qplan] run per
     (stamp, shape, semantics), then cache hits.  [None] (not effectively
-    bounded) is cached as well. *)
+    bounded) is cached as well.  [costs] orders a freshly generated plan
+    ({!Qplan.generate}); cached plans are served as stored — all
+    orderings carry identical operations and bounds, so mixing callers
+    with and without a cost model stays sound. *)
 
 val eval_plan :
-  t -> ?deadline:Timer.deadline -> ?limit:int -> Schema.t -> Plan.t -> answer
+  t ->
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  Schema.t ->
+  Plan.t ->
+  answer
 (** Result-tier + fetch-tier evaluation of an already-generated plan.
     Raises [Timer.Timeout] like {!Bounded_eval} (nothing is stored then);
-    a result-cache hit returns without touching graph or indexes. *)
+    a result-cache hit returns without touching graph or indexes.
+    [pool] parallelises a miss's evaluation within the query
+    ({!Bounded_eval}); answers — and hence cached entries — are
+    byte-identical at every pool size, so warm hits serve runs with any
+    [BPQ_JOBS] setting. *)
 
 val eval :
   t ->
+  ?pool:Pool.t ->
+  ?costs:Costs.t ->
   ?deadline:Timer.deadline ->
   ?limit:int ->
   Actualized.semantics ->

@@ -1,41 +1,30 @@
-open Bpq_graph
 open Bpq_pattern
 open Bpq_access
 
 (* Distinct integer values admitted by a conjunction of comparison atoms;
-   [None] when the atoms leave the range open. *)
-let predicate_value_cap (p : Predicate.t) =
-  let lo = ref None and hi = ref None and has_eq = ref false in
-  let tighten_lo v = lo := Some (match !lo with None -> v | Some x -> max x v) in
-  let tighten_hi v = hi := Some (match !hi with None -> v | Some x -> min x v) in
-  List.iter
-    (fun (a : Predicate.atom) ->
-      match (a.op, a.const) with
-      | Value.Eq, _ -> has_eq := true
-      | Value.Ge, Value.Int c -> tighten_lo c
-      | Value.Gt, Value.Int c -> tighten_lo (c + 1)
-      | Value.Le, Value.Int c -> tighten_hi c
-      | Value.Lt, Value.Int c -> tighten_hi (c - 1)
-      | (Value.Ge | Value.Gt | Value.Le | Value.Lt), (Value.Null | Value.Str _) -> ())
-    p;
-  if !has_eq then Some 1
-  else
-    match (!lo, !hi) with
-    | Some l, Some h -> Some (max 0 (h - l + 1))
-    | (Some _ | None), _ -> None
+   [None] when the atoms leave the range open.  Saturating — see
+   {!Predicate.value_cap}. *)
+let predicate_value_cap = Predicate.value_cap
 
 (* Pick, per source label of a saturated actualized constraint, the
    fetchable anchor with the smallest current estimate.  The bound is a
    product over distinct labels, so per-label minimisation yields the
-   global minimum over S-labeled anchor sets. *)
-let best_anchors sn size (phi : Actualized.t) =
+   global minimum over S-labeled anchor sets.  [tie] breaks exact
+   worst-case ties by estimated realized cardinality (constantly 0 when
+   no cost model is supplied, reproducing the historical first-member
+   choice), so the bound carried by the chosen anchors never changes. *)
+let best_anchors tie sn size (phi : Actualized.t) =
   let pick (label, members) =
     let usable = List.filter (fun v -> sn.(v)) members in
     match usable with
     | [] -> None
     | first :: rest ->
       let best =
-        List.fold_left (fun b v -> if size.(v) < size.(b) then v else b) first rest
+        List.fold_left
+          (fun b v ->
+            if size.(v) < size.(b) || (size.(v) = size.(b) && tie v < tie b) then v
+            else b)
+          first rest
       in
       Some (label, best)
   in
@@ -51,11 +40,20 @@ let best_anchors sn size (phi : Actualized.t) =
 let cost bound anchors size =
   List.fold_left (fun acc (_, v) -> Plan.sat_mul acc size.(v)) bound anchors
 
-let generate ?(assume_distinct_values = false) semantics q constrs =
+let generate ?(assume_distinct_values = false) ?costs semantics q constrs =
   let cover = Cover.compute semantics q constrs in
   if not (Cover.total cover) then None
   else begin
     let nq = Pattern.n_nodes q in
+    (* Estimated realized candidates per pattern node, used only to break
+       exact worst-case ties between anchor choices. *)
+    let tie =
+      match costs with
+      | None -> fun _ -> 0.0
+      | Some c ->
+        let scores = Array.init nq (fun u -> Costs.anchor_score c q u) in
+        fun v -> scores.(v)
+    in
     let saturated = Cover.saturated cover in
     let size = Array.make nq max_int in
     let sn = Array.make nq false in
@@ -100,7 +98,7 @@ let generate ?(assume_distinct_values = false) semantics q constrs =
                 (* Unconditionally empty: no anchors needed (see Cover). *)
                 Some (phi, [], 0)
               else
-                match best_anchors sn size phi with
+                match best_anchors tie sn size phi with
                 | None -> best
                 | Some anchors ->
                   let c = cost phi.constr.bound anchors size in
@@ -138,7 +136,12 @@ let generate ?(assume_distinct_values = false) semantics q constrs =
                     | first :: rest ->
                       ( label,
                         List.fold_left
-                          (fun b v -> if size.(v) < size.(b) then v else b)
+                          (fun b v ->
+                            if
+                              size.(v) < size.(b)
+                              || (size.(v) = size.(b) && tie v < tie b)
+                            then v
+                            else b)
                           first rest ))
                 phi.groups
             in
@@ -170,16 +173,20 @@ let generate ?(assume_distinct_values = false) semantics q constrs =
       match directives [] (Pattern.edges q) with
       | None -> None
       | Some edge_checks ->
-        Some
+        let plan =
           { Plan.semantics;
             pattern = q;
             fetches = List.rev !fetches;
             edge_checks;
             node_estimates = size }
+        in
+        (* Ordering pass: estimated-cheapest first, dependencies respected.
+           Never adds, drops, or re-estimates an operation. *)
+        Some (match costs with None -> plan | Some c -> Costs.order_plan c plan)
     end
   end
 
-let generate_exn ?assume_distinct_values semantics q constrs =
-  match generate ?assume_distinct_values semantics q constrs with
+let generate_exn ?assume_distinct_values ?costs semantics q constrs =
+  match generate ?assume_distinct_values ?costs semantics q constrs with
   | Some plan -> plan
   | None -> invalid_arg "Qplan.generate_exn: query is not effectively bounded"

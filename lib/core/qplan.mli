@@ -19,6 +19,7 @@ open Bpq_access
 
 val generate :
   ?assume_distinct_values:bool ->
+  ?costs:Costs.t ->
   Actualized.semantics ->
   Pattern.t ->
   Constr.t list ->
@@ -34,10 +35,18 @@ val generate :
     sound exactly when nodes of that label carry pairwise distinct
     attribute values, as calendar years do.  It never changes {e what} is
     fetched, only the reported worst-case bounds and tie-breaking between
-    plans. *)
+    plans.
+
+    [costs] (default absent) supplies realized-cardinality statistics
+    ({!Costs}); the planner then breaks exact worst-case ties between
+    anchor choices by estimated realized size, and runs
+    {!Costs.order_plan} over the finished plan.  The set of operations,
+    their static estimates, the node/edge bounds, and the boundedness
+    guarantee are identical with and without it (pinned by tests). *)
 
 val generate_exn :
   ?assume_distinct_values:bool ->
+  ?costs:Costs.t ->
   Actualized.semantics ->
   Pattern.t ->
   Constr.t list ->

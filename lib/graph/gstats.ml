@@ -55,6 +55,114 @@ let compute g =
     isolated = !isolated;
     by_label }
 
+(* ------------------------------------------------------------------ *)
+(* Selectivity statistics for the cost model.                          *)
+(* ------------------------------------------------------------------ *)
+
+type selectivity = {
+  labels : int;
+  node_counts : int array;
+  out_deg_sum : int array;
+  pair_freqs : (int, int) Hashtbl.t;
+}
+
+let pack_pair sel src dst = (src * sel.labels) + dst
+
+let selectivity g =
+  let tbl = Digraph.label_table g in
+  let labels = max 1 (Label.count tbl) in
+  let sel =
+    { labels;
+      node_counts = Array.make labels 0;
+      out_deg_sum = Array.make labels 0;
+      pair_freqs = Hashtbl.create 256 }
+  in
+  (* One CSR sweep: per node bump its label count and out-degree sum, and
+     per out-edge the (src label, dst label) frequency. *)
+  Digraph.iter_nodes g (fun v ->
+      let l = Digraph.label g v in
+      sel.node_counts.(l) <- sel.node_counts.(l) + 1;
+      sel.out_deg_sum.(l) <- sel.out_deg_sum.(l) + Digraph.out_degree g v;
+      Digraph.iter_out g v (fun w ->
+          let key = pack_pair sel l (Digraph.label g w) in
+          Hashtbl.replace sel.pair_freqs key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt sel.pair_freqs key))));
+  sel
+
+let node_count sel l = if l >= 0 && l < sel.labels then sel.node_counts.(l) else 0
+
+let pair_freq sel ~src ~dst =
+  if src < 0 || src >= sel.labels || dst < 0 || dst >= sel.labels then 0
+  else Option.value ~default:0 (Hashtbl.find_opt sel.pair_freqs (pack_pair sel src dst))
+
+let avg_out_degree sel l =
+  let c = node_count sel l in
+  if c = 0 then 0.0 else float_of_int sel.out_deg_sum.(l) /. float_of_int c
+
+(* Text serialization, in the spirit of [Graph_io]: a header line, one
+   [l <name> <count> <outdegsum>] line per label, one
+   [p <srcname> <dstname> <freq>] line per label pair with at least one
+   edge.  Names are written with [%S] so exotic label names round-trip. *)
+
+let output_selectivity oc tbl sel =
+  Printf.fprintf oc "# bpq selectivity v1\n";
+  for l = 0 to sel.labels - 1 do
+    if sel.node_counts.(l) > 0 || sel.out_deg_sum.(l) > 0 then
+      Printf.fprintf oc "l %S %d %d\n" (Label.name tbl l) sel.node_counts.(l)
+        sel.out_deg_sum.(l)
+  done;
+  let pairs =
+    Hashtbl.fold (fun key freq acc -> (key, freq) :: acc) sel.pair_freqs []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (key, freq) ->
+      Printf.fprintf oc "p %S %S %d\n"
+        (Label.name tbl (key / sel.labels))
+        (Label.name tbl (key mod sel.labels))
+        freq)
+    pairs
+
+let parse_selectivity tbl ic =
+  let rows = ref [] and pairs = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line = 0 || line.[0] = '#' then ()
+       else if line.[0] = 'l' then
+         Scanf.sscanf line "l %S %d %d" (fun name count dsum ->
+             rows := (Label.intern tbl name, count, dsum) :: !rows)
+       else if line.[0] = 'p' then
+         Scanf.sscanf line "p %S %S %d" (fun src dst freq ->
+             pairs := (Label.intern tbl src, Label.intern tbl dst, freq) :: !pairs)
+       else failwith ("Gstats.parse_selectivity: bad line: " ^ line)
+     done
+   with End_of_file -> ());
+  let labels = max 1 (Label.count tbl) in
+  let sel =
+    { labels;
+      node_counts = Array.make labels 0;
+      out_deg_sum = Array.make labels 0;
+      pair_freqs = Hashtbl.create 256 }
+  in
+  List.iter
+    (fun (l, count, dsum) ->
+      sel.node_counts.(l) <- count;
+      sel.out_deg_sum.(l) <- dsum)
+    !rows;
+  List.iter
+    (fun (src, dst, freq) -> Hashtbl.replace sel.pair_freqs (pack_pair sel src dst) freq)
+    !pairs;
+  sel
+
+let save_selectivity tbl sel path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_selectivity oc tbl sel)
+
+let load_selectivity tbl path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_selectivity tbl ic)
+
 let degree_histogram g =
   let counts = Hashtbl.create 64 in
   Digraph.iter_nodes g (fun v ->

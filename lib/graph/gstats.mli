@@ -24,6 +24,39 @@ type t = {
 
 val compute : Digraph.t -> t
 
+(** {1 Selectivity statistics}
+
+    Cheap per-label statistics consumed by the cost model
+    ([Bpq_core.Costs]): per-label node counts, label→label directed edge
+    frequencies, per-label average out-degree.  Computed in one CSR sweep
+    and serializable alongside the graph, so a server can load them
+    without rescanning. *)
+
+type selectivity
+
+val selectivity : Digraph.t -> selectivity
+(** One pass over the CSR: O(|V| + |E|). *)
+
+val node_count : selectivity -> Label.t -> int
+(** Nodes carrying the label; [0] for labels unseen at compute time. *)
+
+val pair_freq : selectivity -> src:Label.t -> dst:Label.t -> int
+(** Number of directed edges from an [src]-labeled node to a
+    [dst]-labeled node. *)
+
+val avg_out_degree : selectivity -> Label.t -> float
+(** Average out-degree over the label's nodes; [0.] for an empty label. *)
+
+val output_selectivity : out_channel -> Label.table -> selectivity -> unit
+val parse_selectivity : Label.table -> in_channel -> selectivity
+
+val save_selectivity : Label.table -> selectivity -> string -> unit
+(** Write the text form to a file (one [l]/[p] line per label / label
+    pair; names quoted so they round-trip). *)
+
+val load_selectivity : Label.table -> string -> selectivity
+(** Inverse of {!save_selectivity}; interns label names into [table]. *)
+
 val degree_histogram : Digraph.t -> (int * int) list
 (** [(degree, node count)] pairs, ascending by degree, over total degree. *)
 

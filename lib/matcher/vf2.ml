@@ -19,7 +19,7 @@ let resolve q =
     parents = Array.init nq (fun u -> Array.of_list (Pattern.parents q u));
     nbrs = Array.init nq (fun u -> Array.of_list (Pattern.neighbours q u)) }
 
-let compute_order q radj base_count =
+let compute_order ?(use_stats = true) q radj base_count =
   let nq = Pattern.n_nodes q in
   let order = Array.make nq 0 in
   let selected = Array.make nq false in
@@ -28,17 +28,29 @@ let compute_order q radj base_count =
     Array.iter (fun u' -> if selected.(u') then incr count) radj.nbrs.(u);
     !count
   in
+  let pred_arity u = if use_stats then Predicate.arity (Pattern.pred q u) else 0 in
+  let degree u = Pattern.out_degree q u + Pattern.in_degree q u in
   for i = 0 to nq - 1 do
     let best = ref (-1) in
     let better u =
-      (* Prefer nodes attached to the matched prefix (more constrained),
-         then smaller candidate universes (or higher pattern degree in
-         blind mode, where [base_count] is constant). *)
+      (* Fail-first: prefer nodes attached to the matched prefix (more
+         constrained), then smaller candidate universes (or higher pattern
+         degree in blind mode, where [base_count] is constant), then — in
+         stats mode — richer predicates and higher pattern degree, both of
+         which shrink the surviving branch factor. *)
       match !best with
       | -1 -> true
       | b ->
         let ku = matched_neighbours u and kb = matched_neighbours b in
-        ku > kb || (ku = kb && base_count u < base_count b)
+        ku > kb
+        || ku = kb
+           &&
+           let cu = base_count u and cb = base_count b in
+           cu < cb
+           || cu = cb
+              &&
+              let pu = pred_arity u and pb = pred_arity b in
+              pu > pb || (pu = pb && use_stats && degree u > degree b)
     in
     for u = 0 to nq - 1 do
       if (not selected.(u)) && better u then best := u
@@ -48,108 +60,234 @@ let compute_order q radj base_count =
   done;
   order
 
-let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g q yield =
+(* Everything a search reads but never writes — shareable across domains
+   once built (frozen graph, resolved pattern, candidate bitsets, order). *)
+type prep = {
+  g : Digraph.t;
+  q : Pattern.t;
+  nq : int;
+  n : int;
+  blind : bool;
+  candidates : int array array option;
+  cand_sets : Bitset.t array option;
+  radj : resolved;
+  order : int array;
+}
+
+let prepare ?(blind = false) ?candidates g q =
   let nq = Pattern.n_nodes q in
-  if nq = 0 then yield [||]
-  else begin
-    let n = Digraph.n_nodes g in
-    let radj = resolve q in
-    (* Candidate membership and the used-set are bitsets over the data
-       graph's dense node ids — a probe is two loads and a mask, versus
-       hashing on every VF2 state expansion. *)
-    let cand_sets =
-      Option.map (Array.map (fun arr -> Bitset.of_array n arr)) candidates
-    in
-    let base_count u =
-      if blind then Pattern.n_nodes q - Pattern.out_degree q u - Pattern.in_degree q u
-      else
-        match candidates with
-        | Some c -> Array.length c.(u)
-        | None -> Digraph.count_label g (Pattern.label q u)
-    in
-    let order = compute_order q radj base_count in
-    let mapping = Array.make nq (-1) in
-    let used = Bitset.create n in
-    let node_ok u v =
-      Digraph.label g v = Pattern.label q u
-      && Predicate.eval (Pattern.pred q u) (Digraph.value g v)
-      && Digraph.out_degree g v >= Pattern.out_degree q u
-      && Digraph.in_degree g v >= Pattern.in_degree q u
-      && (match cand_sets with None -> true | Some cs -> Bitset.mem cs.(u) v)
-    in
-    let consistent u v =
-      (* Plain counted loops over the resolved adjacency, no list cells. *)
-      let ok = ref true in
-      let ch = radj.children.(u) in
-      let i = ref 0 in
-      let nc = Array.length ch in
-      while !ok && !i < nc do
-        let m = mapping.(ch.(!i)) in
-        if m >= 0 && not (Digraph.has_edge g v m) then ok := false;
-        incr i
-      done;
-      let pa = radj.parents.(u) in
-      let np = Array.length pa in
-      let j = ref 0 in
-      while !ok && !j < np do
-        let m = mapping.(pa.(!j)) in
-        if m >= 0 && not (Digraph.has_edge g m v) then ok := false;
-        incr j
-      done;
-      !ok
-    in
-    let try_assign u v k =
-      if Timer.expired deadline then raise Timer.Timeout;
-      if (not (Bitset.mem used v)) && node_ok u v && consistent u v then begin
-        mapping.(u) <- v;
-        Bitset.add used v;
-        k ();
-        Bitset.remove used v;
-        mapping.(u) <- -1
-      end
-    in
-    (* Candidates for [u] come from the adjacency of an already-matched
-       pattern neighbour when one exists (the cheapest such anchor), else
-       from the label universe / supplied candidate array. *)
-    let enumerate u k =
-      let anchor = ref (-1) in
-      let anchor_deg = ref max_int in
-      Array.iter
-        (fun u' ->
-          let m = mapping.(u') in
-          if m >= 0 then begin
-            let d = Digraph.degree g m in
-            if d < !anchor_deg then begin
-              anchor := u';
-              anchor_deg := d
-            end
-          end)
-        radj.nbrs.(u);
-      if !anchor >= 0 then begin
-        let u' = !anchor in
-        let v' = mapping.(u') in
-        if Pattern.has_edge q u' u then Digraph.iter_out g v' (fun v -> try_assign u v k)
-        else Digraph.iter_in g v' (fun v -> try_assign u v k)
-      end
-      else
-        match candidates with
-        | Some c -> Array.iter (fun v -> try_assign u v k) c.(u)
-        | None ->
-          if blind then Digraph.iter_nodes g (fun v -> try_assign u v k)
-          else Digraph.iter_label g (Pattern.label q u) (fun v -> try_assign u v k)
-    in
-    let rec step i () = if i = nq then yield mapping else enumerate order.(i) (step (i + 1)) in
-    step 0 ()
+  let n = Digraph.n_nodes g in
+  let radj = resolve q in
+  (* Candidate membership and the used-set are bitsets over the data
+     graph's dense node ids — a probe is two loads and a mask, versus
+     hashing on every VF2 state expansion. *)
+  let cand_sets =
+    Option.map (Array.map (fun arr -> Bitset.of_array n arr)) candidates
+  in
+  let base_count u =
+    if blind then Pattern.n_nodes q - Pattern.out_degree q u - Pattern.in_degree q u
+    else
+      match candidates with
+      | Some c -> Array.length c.(u)
+      | None -> Digraph.count_label g (Pattern.label q u)
+  in
+  let order = compute_order ~use_stats:(not blind) q radj base_count in
+  { g; q; nq; n; blind; candidates; cand_sets; radj; order }
+
+(* Per-search mutable state; one per domain in parallel runs. *)
+type state = {
+  mapping : int array;
+  used : Bitset.t;
+}
+
+let make_state p = { mapping = Array.make (max p.nq 1) (-1); used = Bitset.create p.n }
+
+let node_ok p u v =
+  Digraph.label p.g v = Pattern.label p.q u
+  && Predicate.eval (Pattern.pred p.q u) (Digraph.value p.g v)
+  && Digraph.out_degree p.g v >= Pattern.out_degree p.q u
+  && Digraph.in_degree p.g v >= Pattern.in_degree p.q u
+  && (match p.cand_sets with None -> true | Some cs -> Bitset.mem cs.(u) v)
+
+let consistent p st u v =
+  (* Plain counted loops over the resolved adjacency, no list cells. *)
+  let ok = ref true in
+  let ch = p.radj.children.(u) in
+  let i = ref 0 in
+  let nc = Array.length ch in
+  while !ok && !i < nc do
+    let m = st.mapping.(ch.(!i)) in
+    if m >= 0 && not (Digraph.has_edge p.g v m) then ok := false;
+    incr i
+  done;
+  let pa = p.radj.parents.(u) in
+  let np = Array.length pa in
+  let j = ref 0 in
+  while !ok && !j < np do
+    let m = st.mapping.(pa.(!j)) in
+    if m >= 0 && not (Digraph.has_edge p.g m v) then ok := false;
+    incr j
+  done;
+  !ok
+
+let try_assign p st deadline u v k =
+  if Timer.expired deadline then raise Timer.Timeout;
+  if (not (Bitset.mem st.used v)) && node_ok p u v && consistent p st u v then begin
+    st.mapping.(u) <- v;
+    Bitset.add st.used v;
+    k ();
+    Bitset.remove st.used v;
+    st.mapping.(u) <- -1
   end
 
-let count_matches ?deadline ?blind ?candidates ?limit g q =
-  let count = ref 0 in
-  (try
-     iter_matches ?deadline ?blind ?candidates g q (fun _ ->
-         incr count;
-         match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
-   with Stop -> ());
-  !count
+(* Candidates for [u] come from the adjacency of an already-matched
+   pattern neighbour when one exists (the cheapest such anchor), else
+   from the label universe / supplied candidate array. *)
+let enumerate p st deadline u k =
+  let anchor = ref (-1) in
+  let anchor_deg = ref max_int in
+  Array.iter
+    (fun u' ->
+      let m = st.mapping.(u') in
+      if m >= 0 then begin
+        let d = Digraph.degree p.g m in
+        if d < !anchor_deg then begin
+          anchor := u';
+          anchor_deg := d
+        end
+      end)
+    p.radj.nbrs.(u);
+  if !anchor >= 0 then begin
+    let u' = !anchor in
+    let v' = st.mapping.(u') in
+    if Pattern.has_edge p.q u' u then
+      Digraph.iter_out p.g v' (fun v -> try_assign p st deadline u v k)
+    else Digraph.iter_in p.g v' (fun v -> try_assign p st deadline u v k)
+  end
+  else
+    match p.candidates with
+    | Some c -> Array.iter (fun v -> try_assign p st deadline u v k) c.(u)
+    | None ->
+      if p.blind then Digraph.iter_nodes p.g (fun v -> try_assign p st deadline u v k)
+      else
+        Digraph.iter_label p.g (Pattern.label p.q u) (fun v ->
+            try_assign p st deadline u v k)
+
+(* Assign [order.(from)..order.(stop - 1)], yielding the mapping at depth
+   [stop].  The full search is [search p st dl 0 p.nq yield]; prefix
+   collection stops early; prefix continuation starts late. *)
+let rec search p st deadline from stop yield =
+  if from = stop then yield st.mapping
+  else enumerate p st deadline p.order.(from) (fun () -> search p st deadline (from + 1) stop yield)
+
+let iter_matches ?(deadline = Timer.no_deadline) ?(blind = false) ?candidates g q yield =
+  if Pattern.n_nodes q = 0 then yield [||]
+  else begin
+    let p = prepare ~blind ?candidates g q in
+    search p (make_state p) deadline 0 p.nq yield
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Intra-query parallelism: root-candidate splitting.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The root's unanchored enumeration base, mirroring [enumerate]'s
+   fallback branch (at depth 0 nothing is matched, so the root is always
+   unanchored). *)
+let root_base p =
+  let u = p.order.(0) in
+  match p.candidates with
+  | Some c -> c.(u)
+  | None ->
+    if p.blind then Array.init p.n Fun.id
+    else Digraph.nodes_with_label p.g (Pattern.label p.q u)
+
+(* Valid depth-[d] prefixes in sequential enumeration order, flattened
+   ([d] values per prefix).  When the root row alone is too small to feed
+   the pool, prefixes extend to depth 2, which multiplies the task count
+   by the root's branch factor.  Collection runs the same machinery the
+   search itself would, so concatenating the subtrees of the prefixes in
+   this order reproduces the sequential match order exactly. *)
+let collect_prefixes p deadline d =
+  let acc = Vec.create ~capacity:256 () in
+  search p (make_state p) deadline 0 d (fun mapping ->
+      for j = 0 to d - 1 do
+        Vec.push acc mapping.(p.order.(j))
+      done);
+  acc
+
+let set_prefix p st data off d on =
+  for j = 0 to d - 1 do
+    let u = p.order.(j) and v = data.(off + j) in
+    if on then begin
+      st.mapping.(u) <- v;
+      Bitset.add st.used v
+    end
+    else begin
+      st.mapping.(u) <- -1;
+      Bitset.remove st.used v
+    end
+  done
+
+(* Run [yield] over every match, splitting the work across [pool] as
+   contiguous prefix ranges; [yield] runs on worker domains and must only
+   touch chunk-local state.  Chunks outnumber slots 4:1 so uneven
+   subtrees rebalance dynamically. *)
+let par_chunks pool p deadline chunk =
+  let slots = Pool.size pool in
+  let base = root_base p in
+  let d = if p.nq >= 2 && Array.length base < 4 * slots then 2 else 1 in
+  let prefixes = collect_prefixes p deadline d in
+  let np = Vec.length prefixes / d in
+  if np = 0 then [||]
+  else begin
+    let chunks = min np (4 * slots) in
+    let ranges = Array.init chunks (fun c -> (c * np / chunks, (c + 1) * np / chunks)) in
+    let data = Vec.unsafe_data prefixes in
+    Pool.map_array pool
+      (fun (lo, hi) ->
+        let dl = Timer.clone deadline in
+        let st = make_state p in
+        chunk (fun yield ->
+            for pi = lo to hi - 1 do
+              set_prefix p st data (pi * d) d true;
+              search p st dl d p.nq yield;
+              set_prefix p st data (pi * d) d false
+            done))
+      ranges
+  end
+
+let use_pool pool q =
+  match pool with
+  | Some pool when Pool.size pool > 1 && Pattern.n_nodes q > 0 -> Some pool
+  | Some _ | None -> None
+
+let count_matches ?pool ?(deadline = Timer.no_deadline) ?blind ?candidates ?limit g q =
+  match use_pool pool q with
+  | Some pool ->
+    let p = prepare ?blind ?candidates g q in
+    let parts =
+      par_chunks pool p deadline (fun drive ->
+          let count = ref 0 in
+          (try
+             drive (fun _ ->
+                 incr count;
+                 match limit with
+                 | Some l when !count >= l -> raise Stop
+                 | Some _ | None -> ())
+           with Stop -> ());
+          !count)
+    in
+    let total = Array.fold_left ( + ) 0 parts in
+    (match limit with Some l -> min l total | None -> total)
+  | None ->
+    let count = ref 0 in
+    (try
+       iter_matches ~deadline ?blind ?candidates g q (fun _ ->
+           incr count;
+           match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
+     with Stop -> ());
+    !count
 
 let find_first ?deadline ?blind ?candidates g q =
   let result = ref None in
@@ -160,12 +298,42 @@ let find_first ?deadline ?blind ?candidates g q =
    with Stop -> ());
   !result
 
-let matches ?deadline ?blind ?candidates ?limit g q =
-  let acc = ref [] and count = ref 0 in
-  (try
-     iter_matches ?deadline ?blind ?candidates g q (fun m ->
-         acc := Array.copy m :: !acc;
-         incr count;
-         match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
-   with Stop -> ());
-  !acc
+let matches ?pool ?(deadline = Timer.no_deadline) ?blind ?candidates ?limit g q =
+  match use_pool pool q with
+  | Some pool ->
+    let p = prepare ?blind ?candidates g q in
+    let parts =
+      par_chunks pool p deadline (fun drive ->
+          let acc = ref [] and count = ref 0 in
+          (try
+             drive (fun m ->
+                 acc := Array.copy m :: !acc;
+                 incr count;
+                 match limit with
+                 | Some l when !count >= l -> raise Stop
+                 | Some _ | None -> ())
+           with Stop -> ());
+          !acc)
+    in
+    (* Each part is most-recent-first within its chunk and chunks are in
+       sequential prefix order, so chronological order is the
+       concatenation of the reversed parts — reassemble exactly what the
+       sequential run returns. *)
+    (match limit with
+    | None -> List.concat (List.rev (Array.to_list parts))
+    | Some l ->
+      let chron = List.concat_map List.rev (Array.to_list parts) in
+      let rec take_rev k acc = function
+        | x :: tl when k > 0 -> take_rev (k - 1) (x :: acc) tl
+        | _ -> acc
+      in
+      take_rev l [] chron)
+  | None ->
+    let acc = ref [] and count = ref 0 in
+    (try
+       iter_matches ~deadline ?blind ?candidates g q (fun m ->
+           acc := Array.copy m :: !acc;
+           incr count;
+           match limit with Some l when !count >= l -> raise Stop | Some _ | None -> ())
+     with Stop -> ());
+    !acc

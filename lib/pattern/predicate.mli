@@ -27,3 +27,10 @@ val to_string : t -> string
 
 val equal : t -> t -> bool
 (** Syntactic equality up to atom order. *)
+
+val value_cap : t -> int option
+(** Number of distinct integer values satisfying the conjunction, when the
+    atoms pin a finite range ([None] otherwise, or when the range is
+    contradictory on non-integers).  Saturating: [> max_int] / [< min_int]
+    yield [Some 0] (unsatisfiable), and ranges wider than [max_int] values
+    cap at [max_int] instead of wrapping. *)

@@ -47,6 +47,19 @@ let deadline_after s =
       stride = initial_stride;
       last_check = start }
 
+(* A [deadline] carries mutable stride state and must not be shared across
+   domains.  Parallel matchers hand each worker a clone: same absolute
+   cut-off, fresh stride bookkeeping. *)
+let clone = function
+  | Never -> Never
+  | Until d ->
+    Until
+      { limit = d.limit;
+        budget = d.budget;
+        countdown = initial_stride;
+        stride = initial_stride;
+        last_check = now () }
+
 let expired = function
   | Never -> false
   | Until d ->

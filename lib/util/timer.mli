@@ -19,6 +19,11 @@ val no_deadline : deadline
 val deadline_after : float -> deadline
 (** [deadline_after s] expires [s] seconds from now. *)
 
+val clone : deadline -> deadline
+(** Same absolute cut-off, fresh stride bookkeeping.  A [deadline]'s stride
+    state is mutable and single-domain; parallel matchers give each worker
+    its own clone instead of sharing one record across domains. *)
+
 val expired : deadline -> bool
 (** Cheap check: consults the clock only every [stride] calls, where the
     stride adapts so consultations land roughly 10ms of wall clock apart

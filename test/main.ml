@@ -20,6 +20,8 @@ let () =
       ("instance", Test_instance.suite);
       ("incremental", Test_incremental.suite);
       ("qcache", Test_qcache.suite);
+      ("costs", Test_costs.suite);
+      ("parallel", Test_parallel.suite);
       ("paper-examples", Test_paper_examples.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
