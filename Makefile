@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro bench-cache bench-intra clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store clean check-tree ci
 
 all: build
 
@@ -41,6 +41,16 @@ bench-intra:
 	BENCH_FAST=1 dune exec bench/main.exe -- intra --json _bench
 	jq -e '.intra.identical and ((.intra.cpus < 4) or (.intra.speedup_4 >= 1.5))' _bench/BENCH_intra.json >/dev/null
 	@echo "bench-intra: _bench/BENCH_intra.json OK"
+
+# Storage-engine experiment: snapshot + paged store on the Fig. 5 scale
+# axis.  jq gates the invariants: results byte-identical across the
+# in-memory, reloaded-snapshot and paged (starved + comfortable cache)
+# backends at every scale; cold-cache bytes-read-per-query for the
+# bounded point queries flat (< 2x) while the graph sweep spans >= 10x.
+bench-store:
+	BENCH_FAST=1 dune exec bench/main.exe -- store --json _bench
+	jq -e '.store.identical and (.store.flatness < 2) and (.store.size_growth >= 10)' _bench/BENCH_store.json >/dev/null
+	@echo "bench-store: _bench/BENCH_store.json OK"
 
 clean:
 	dune clean

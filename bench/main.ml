@@ -650,6 +650,7 @@ let () =
       ("cache", exp_cache);
       ("micro", Micro_kernels.run);
       ("intra", Intra_bench.run);
+      ("store", Store_bench.run);
       ("bechamel", bechamel) ]
   in
   let wanted =

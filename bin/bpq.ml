@@ -5,6 +5,7 @@
      discover  mine access constraints from a graph file
      check     decide effective boundedness of a pattern under constraints
      plan      print the generated (worst-case-optimal) query plan
+     freeze    build a schema and write a binary snapshot (graph + indexes)
      run       evaluate a pattern on a graph through its bounded plan *)
 
 open Cmdliner
@@ -12,6 +13,31 @@ open Bpq_graph
 open Bpq_pattern
 open Bpq_access
 open Bpq_core
+module Store = Bpq_store.Store
+module Paged = Bpq_store.Paged
+
+(* Operational failures — unreadable files, parse errors, damaged
+   snapshots — exit with a one-line diagnostic, never a backtrace. *)
+let guard f =
+  try f () with
+  | Failure msg | Binfile.Corrupt msg | Sys_error msg ->
+    Printf.eprintf "bpq: %s\n" msg;
+    3
+
+(* Prefix parse/corruption errors with the file they came from (parsers
+   report line numbers but not paths). *)
+let with_file path f =
+  try f () with
+  | Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Binfile.Corrupt msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+(* [-g] accepts either the text format or a binary snapshot. *)
+let load_graph tbl path =
+  with_file path (fun () ->
+      if Graph_io.is_snapshot path then fst (Graph_io.load_bin tbl path)
+      else Graph_io.load tbl path)
+
+let load_pattern tbl path = with_file path (fun () -> Pattern_parser.load tbl path)
 
 let semantics_conv =
   let parse = function
@@ -30,12 +56,13 @@ let semantics_arg =
        & info [ "s"; "semantics" ] ~docv:"SEM" ~doc:"Pattern semantics: subgraph or simulation.")
 
 let graph_arg =
-  Arg.(required & opt (some file) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Data graph file.")
+  Arg.(required & opt (some file) None
+       & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Data graph: text format or a binary snapshot.")
 
 let pattern_arg =
   Arg.(required & opt (some file) None & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Pattern query file.")
 
-let parse_constraints tbl path = Constr_io.load tbl path
+let parse_constraints tbl path = with_file path (fun () -> Constr_io.load tbl path)
 
 let print_constraints tbl constrs = Constr_io.output stdout tbl constrs
 
@@ -59,6 +86,7 @@ let gen_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
   in
   let run kind scale seed out =
+    guard @@ fun () ->
     let tbl = Label.create_table () in
     let g =
       match kind with
@@ -85,8 +113,9 @@ let discover_cmd =
     Arg.(value & opt int 64 & info [ "max-bound" ] ~docv:"N" ~doc:"Prune bounds above N.")
   in
   let run graph max_bound =
+    guard @@ fun () ->
     let tbl = Label.create_table () in
-    let g = Graph_io.load tbl graph in
+    let g = load_graph tbl graph in
     print_constraints tbl (Discovery.discover ~max_bound g);
     0
   in
@@ -97,8 +126,9 @@ let discover_cmd =
 
 let stats_cmd =
   let run graph =
+    guard @@ fun () ->
     let tbl = Label.create_table () in
-    let g = Graph_io.load tbl graph in
+    let g = load_graph tbl graph in
     print_string (Gstats.to_string tbl (Gstats.compute g));
     0
   in
@@ -109,8 +139,9 @@ let stats_cmd =
 
 let check_cmd =
   let run semantics pattern constraints =
+    guard @@ fun () ->
     let tbl = Label.create_table () in
-    let q = Pattern_parser.load tbl pattern in
+    let q = load_pattern tbl pattern in
     let a = parse_constraints tbl constraints in
     let d = Ebchk.diagnose semantics q a in
     print_endline (Ebchk.report q d);
@@ -135,10 +166,11 @@ let plan_cmd =
                    selectivity statistics and estimated realized cardinalities are printed.")
   in
   let run semantics pattern constraints refine graph =
+    guard @@ fun () ->
     let tbl = Label.create_table () in
-    let q = Pattern_parser.load tbl pattern in
+    let q = load_pattern tbl pattern in
     let a = parse_constraints tbl constraints in
-    let costs = Option.map (fun path -> Costs.of_graph (Graph_io.load tbl path)) graph in
+    let costs = Option.map (fun path -> Costs.of_graph (load_graph tbl path)) graph in
     match Qplan.generate ~assume_distinct_values:refine ?costs semantics q a with
     | None ->
       print_endline (Ebchk.report q (Ebchk.diagnose semantics q a));
@@ -152,15 +184,60 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Print the worst-case-optimal query plan.")
     Term.(const run $ semantics_arg $ pattern_arg $ constraints_arg $ refine $ graph_opt)
 
-(* run *)
-
 module Pool = Bpq_util.Pool
+
+(* freeze *)
+
+let freeze_cmd =
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  let jobs =
+    Arg.(value & opt int (Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Build the indexes on N domains.")
+  in
+  let run graph constraints out jobs =
+    guard @@ fun () ->
+    let tbl = Label.create_table () in
+    let g = load_graph tbl graph in
+    let a = parse_constraints tbl constraints in
+    let pool = Pool.create jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let schema = Schema.build ~pool g a in
+    if not (Schema.satisfied schema) then begin
+      prerr_endline "error: the graph does not satisfy the access constraints:";
+      List.iter
+        (fun (c, realised) ->
+          Printf.eprintf "  %s realised %d\n" (Constr.to_string tbl c) realised)
+        (Schema.violations schema);
+      2
+    end
+    else begin
+      Schema.save ~selectivity:(Gstats.selectivity g) schema out;
+      let bytes = In_channel.with_open_bin out In_channel.length in
+      Printf.printf "wrote %s: %d nodes, %d edges, %d constraints (%Ld bytes)\n" out
+        (Digraph.n_nodes g) (Digraph.n_edges g) (List.length a) bytes;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "freeze"
+       ~doc:"Build indexes and statistics, then write a binary snapshot for `run --backend`.")
+    Term.(const run $ graph_arg $ constraints_arg $ out $ jobs)
+
+(* run *)
 
 let run_cmd =
   let patterns_arg =
     Arg.(non_empty & opt_all file []
          & info [ "q"; "query" ] ~docv:"FILE"
              ~doc:"Pattern query file (repeatable; several queries evaluate as a batch).")
+  in
+  let constraints_opt =
+    Arg.(value & opt (some file) None
+         & info [ "a"; "constraints" ] ~docv:"FILE"
+             ~doc:"Access constraints (required for text graphs; snapshots embed theirs).")
   in
   let limit =
     Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Stop after N matches.")
@@ -192,6 +269,35 @@ let run_cmd =
   let cache_stats =
     Arg.(value & flag
          & info [ "cache-stats" ] ~doc:"Print cache hit/miss/eviction counters after evaluation.")
+  in
+  let backend_conv =
+    let parse = function
+      | "mem" -> Ok Store.Mem
+      | "paged" -> Ok Store.Paged
+      | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mem|paged)" s))
+    in
+    let print fmt = function
+      | Store.Mem -> Format.pp_print_string fmt "mem"
+      | Store.Paged -> Format.pp_print_string fmt "paged"
+    in
+    Arg.conv (parse, print)
+  in
+  let backend_arg =
+    Arg.(value & opt backend_conv Store.Mem
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Storage backend for snapshot graphs: 'mem' loads the snapshot fully, \
+                   'paged' serves queries out-of-core through a page cache.  Answers are \
+                   identical either way.")
+  in
+  let page_cache_arg =
+    Arg.(value & opt int 16
+         & info [ "page-cache" ] ~docv:"MB"
+             ~doc:"Page-cache budget for --backend paged (default 16).")
+  in
+  let io_stats_arg =
+    Arg.(value & flag
+         & info [ "io-stats" ]
+             ~doc:"Print pages faulted / bytes read / cache hits after evaluation (paged backend).")
   in
   let print_cache_stats cache =
     let s = Qcache.stats cache in
@@ -227,36 +333,14 @@ let run_cmd =
           (String.concat " " (List.map string_of_int (Array.to_list vs))))
       sim
   in
-  let run_single pool costs semantics g schema a q limit fallback explain cache =
-    let plan =
-      match cache with
-      | Some c -> Qcache.plan_for c ~costs semantics schema q
-      | None -> Qplan.generate ~costs semantics q a
-    in
-    let fetch = Option.map Qcache.fetch_tier cache in
-    match plan with
-    | Some plan when explain ->
-      let analysis = Explain.analyze ~pool ~costs schema plan in
-      print_string analysis.report;
-      0
-    | Some plan ->
-      (match semantics with
-       | Actualized.Subgraph ->
-         let matches, stats =
-           Bounded_eval.bvf2_with_stats ~pool ?cache:fetch schema plan
-         in
-         let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
-         print_matches matches;
-         Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
-           (List.length matches) (Exec.accessed stats) (Digraph.size g)
-       | Actualized.Simulation ->
-         let sim, stats = Bounded_eval.bsim_with_stats ~pool ?cache:fetch schema plan in
-         print_relation sim;
-         Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
-           (Bpq_matcher.Gsim.relation_size sim)
-           (Exec.accessed stats) (Digraph.size g));
-      0
-    | None when fallback ->
+  (* Conventional evaluation needs the whole graph in memory; the paged
+     backend deliberately never materialises it. *)
+  let run_fallback semantics fb_graph limit q =
+    match fb_graph with
+    | None ->
+      print_endline "# not bounded; --fallback needs the full graph (unavailable with --backend paged)";
+      1
+    | Some g ->
       (match semantics with
        | Actualized.Subgraph ->
          let ms = Bpq_matcher.Vf2.matches ?limit g q in
@@ -266,18 +350,46 @@ let run_cmd =
          Printf.printf "# not bounded; conventional gsim relation size %d\n"
            (Bpq_matcher.Gsim.relation_size sim));
       0
+  in
+  let run_single pool costs semantics fb_graph (src : Exec.source) q limit fallback explain cache =
+    let plan =
+      match cache with
+      | Some c -> Qcache.plan_for_with c ?costs semantics src q
+      | None -> Qplan.generate ?costs semantics q src.Exec.constraints
+    in
+    let fetch = Option.map Qcache.fetch_tier cache in
+    match plan with
+    | Some plan when explain ->
+      let analysis = Explain.analyze_with ~pool ?costs src plan in
+      print_string analysis.Explain.report;
+      0
+    | Some plan ->
+      (match semantics with
+       | Actualized.Subgraph ->
+         let matches, stats = Bounded_eval.matches_with ~pool ?cache:fetch src plan in
+         let matches = match limit with Some l -> List.filteri (fun i _ -> i < l) matches | None -> matches in
+         print_matches matches;
+         Printf.printf "# %d matches, accessed %d data items (graph size %d)\n"
+           (List.length matches) (Exec.accessed stats) src.Exec.graph_size
+       | Actualized.Simulation ->
+         let sim, stats = Bounded_eval.sim_with ~pool ?cache:fetch src plan in
+         print_relation sim;
+         Printf.printf "# relation size %d, accessed %d data items (graph size %d)\n"
+           (Bpq_matcher.Gsim.relation_size sim)
+           (Exec.accessed stats) src.Exec.graph_size);
+      0
+    | None when fallback -> run_fallback semantics fb_graph limit q
     | None ->
-      prerr_endline (Ebchk.report q (Ebchk.diagnose semantics q a));
+      prerr_endline (Ebchk.report q (Ebchk.diagnose semantics q src.Exec.constraints));
       prerr_endline "hint: pass --fallback to evaluate conventionally";
       1
   in
   (* Several -q files: plan and evaluate them as one batch on the pool.
      Answers are printed in command-line order and are identical to a
      sequential (--jobs 1) run. *)
-  let run_batch pool semantics g schema queries limit fallback cache =
+  let run_batch pool semantics fb_graph src queries limit fallback cache =
     let outcomes =
-      Batch.eval_patterns ~pool ~intra:pool ?cache ?limit semantics schema
-        (List.map snd queries)
+      Batch.run_patterns ~pool ~intra:pool ?cache ?limit semantics src (List.map snd queries)
     in
     let status = ref 0 in
     List.iter2
@@ -295,64 +407,103 @@ let run_cmd =
         | Some (Batch.Timeout elapsed) ->
           Printf.printf "# did not finish (> %.2fs)\n" elapsed
         | None when fallback ->
-          (match semantics with
-           | Actualized.Subgraph ->
-             let ms = Bpq_matcher.Vf2.matches ?limit g q in
-             Printf.printf "# not bounded; conventional VF2 found %d matches\n" (List.length ms)
-           | Actualized.Simulation ->
-             let sim = Bpq_matcher.Gsim.run g q in
-             Printf.printf "# not bounded; conventional gsim relation size %d\n"
-               (Bpq_matcher.Gsim.relation_size sim))
+          if run_fallback semantics fb_graph limit q <> 0 then status := 1
         | None ->
           print_endline "# not effectively bounded (see `bpq check`)";
           status := 1)
       queries outcomes;
     !status
   in
-  let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats =
-    let tbl = Label.create_table () in
-    let g = Graph_io.load tbl graph in
-    let queries = List.map (fun path -> (path, Pattern_parser.load tbl path)) patterns in
-    let a = parse_constraints tbl constraints in
+  let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats
+      backend page_cache io_stats =
+    guard @@ fun () ->
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
-    let schema = Schema.build ~pool g a in
-    let costs = Costs.of_graph g in
-    if not (Schema.satisfied schema) then begin
+    (* Resolve the storage backend: a snapshot opens directly (its
+       constraints, indexes and statistics are embedded); a text graph
+       builds the schema in memory. *)
+    let store, costs =
+      if Graph_io.is_snapshot graph then begin
+        (match constraints with
+         | Some _ ->
+           failwith (Printf.sprintf "%s: snapshots embed their constraints; drop -a" graph)
+         | None -> ());
+        let store =
+          with_file graph (fun () ->
+              Store.open_snapshot ~backend ~page_cache_mb:page_cache graph)
+        in
+        (store, Option.map Costs.make (Store.selectivity store))
+      end
+      else begin
+        (match backend with
+         | Store.Paged ->
+           failwith "--backend paged needs a snapshot (build one with `bpq freeze`)"
+         | Store.Mem -> ());
+        let cfile =
+          match constraints with
+          | Some c -> c
+          | None ->
+            failwith
+              (Printf.sprintf "%s: text graphs need -a CONSTRAINTS (or freeze a snapshot first)"
+                 graph)
+        in
+        let tbl = Label.create_table () in
+        let g = with_file graph (fun () -> Graph_io.load tbl graph) in
+        let a = parse_constraints tbl cfile in
+        let schema = Schema.build ~pool g a in
+        (Store.of_schema schema, Some (Costs.of_graph g))
+      end
+    in
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    let tbl = Store.table store in
+    let queries = List.map (fun path -> (path, load_pattern tbl path)) patterns in
+    let src = Store.source store in
+    let fb_graph = Option.map Schema.graph (Store.schema store) in
+    match Store.schema store with
+    | Some schema when not (Schema.satisfied schema) ->
       prerr_endline "error: the graph does not satisfy the access constraints:";
       List.iter
         (fun (c, realised) ->
           Printf.eprintf "  %s realised %d\n" (Constr.to_string tbl c) realised)
         (Schema.violations schema);
       2
-    end
-    else begin
+    | _ ->
       let status =
         match queries with
         | [ (_, q) ] ->
-          run_single pool costs semantics g schema a q limit fallback explain cache
+          run_single pool costs semantics fb_graph src q limit fallback explain cache
         | _ when explain ->
           List.iter
             (fun (path, q) ->
               Printf.printf "== %s ==\n" path;
-              match Qplan.generate ~costs semantics q a with
+              match Qplan.generate ?costs semantics q src.Exec.constraints with
               | Some plan ->
-                print_string (Explain.analyze ~pool ~costs schema plan).Explain.report
+                print_string (Explain.analyze_with ~pool ?costs src plan).Explain.report
               | None -> print_endline "# not effectively bounded (see `bpq check`)")
             queries;
           0
-        | _ -> run_batch pool semantics g schema queries limit fallback cache
+        | _ -> run_batch pool semantics fb_graph src queries limit fallback cache
       in
       if cache_stats then Option.iter print_cache_stats cache;
+      if io_stats then begin
+        match Store.io_counters store with
+        | Some c ->
+          Printf.printf "# io: %d pages faulted, %d bytes read, %d cache hits\n"
+            c.Paged.faults c.Paged.bytes_read c.Paged.hits
+        | None -> print_endline "# io: in-memory backend, no paging"
+      end;
       status
-    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
-    Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_arg $ limit
-          $ fallback $ explain $ jobs $ cache_mb $ cache_stats)
+    Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_opt $ limit
+          $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
+          $ io_stats_arg)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in
   let info = Cmd.info "bpq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; run_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; run_cmd ]))

@@ -393,3 +393,48 @@ let apply_delta t ~old_graph ~new_graph (delta : Digraph.delta) =
         if v < n_old then remove_contributions t old_graph v;
         add_contributions t new_graph v)
       affected
+
+(* ---------------- serialisation ---------------- *)
+
+let key_width t = if t.arity <= 2 then 1 else t.arity
+
+(* Lexicographic over equal-width records — the comparator the paged
+   store's on-disk binary search replays. *)
+let compare_key_records (a : int array) b =
+  let rec go i =
+    if i = Array.length a then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let export_buckets t =
+  let out =
+    match t.buckets with
+    | Packed tbl ->
+      Int_tbl.fold (fun key vec acc -> ([| key |], Vec.to_array vec) :: acc) tbl []
+    | Spill tbl ->
+      List_tbl.fold (fun key vec acc -> (Array.of_list key, Vec.to_array vec) :: acc) tbl []
+  in
+  let arr = Array.of_list out in
+  Array.sort (fun (a, _) (b, _) -> compare_key_records a b) arr;
+  arr
+
+let of_buckets c buckets =
+  let t = create_shell c in
+  let width = key_width t in
+  Array.iter
+    (fun (key, payload) ->
+      if Array.length key <> width then
+        invalid_arg
+          (Printf.sprintf "Index.of_buckets: key record of width %d, expected %d"
+             (Array.length key) width);
+      match t.buckets with
+      | Packed tbl -> Int_tbl.replace tbl key.(0) (Vec.of_array payload)
+      | Spill tbl ->
+        (* Spill keys are stored sorted; re-normalise defensively so a
+           hand-built record still lands on the key lookups probe. *)
+        List_tbl.replace tbl (sorted_spill_key (Array.to_list key)) (Vec.of_array payload))
+    buckets;
+  t

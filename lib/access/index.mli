@@ -87,3 +87,29 @@ val apply_delta :
 
 val iter : t -> (int list -> int array -> unit) -> unit
 (** Iterate over all (key, bucket) pairs — used by satisfaction reports. *)
+
+(** {1 Serialisation}
+
+    The snapshot format ([Schema.save]) stores each index as sorted
+    fixed-width key records pointing into a payload region; the paged
+    store binary-searches those records on disk.  Both sides must agree
+    on the native key representation, which these expose. *)
+
+val pack2 : int -> int -> int
+(** The packed form of a 2-node key (order-free min/max packing) — the
+    single int a 2-ary key record stores and a paged lookup searches
+    for. *)
+
+val key_width : t -> int
+(** Ints per native key record: [1] for arity <= 2 (packed int), the
+    arity itself for spill keys (sorted id list). *)
+
+val export_buckets : t -> (int array * int array) array
+(** Every bucket as [(native key record, payload)], payload in bucket
+    (insertion) order, records sorted lexicographically by key — a
+    deterministic dump whose order the loader and the paged store both
+    preserve, so lookups stream identically on every backend. *)
+
+val of_buckets : Constr.t -> (int array * int array) array -> t
+(** Rebuild an index from {!export_buckets} output.
+    @raise Invalid_argument on key records of the wrong width. *)

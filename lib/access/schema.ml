@@ -87,3 +87,140 @@ let apply_delta t delta =
      generated under this schema stay valid after the delta (results do
      not — the result cache invalidates by label generation instead). *)
   make ~stamp:t.stamp new_graph entries
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Schema section layout (after the shared graph/stats sections; every
+   field an i64, offsets in bytes relative to the section start):
+   {v
+   stamp, n_constraints
+   per constraint:  arity, source labels x arity, target, bound,
+                    key_width, n_keys, keys_off, payloads_off,
+                    payload_ints
+   per constraint:  key records  — n_keys x (key_width + 2):
+                      key ints..., payload start (int index), length
+                    payload region — node ids, buckets concatenated in
+                      key-record order, each in original bucket order
+   v}
+   Key records are sorted ([Index.export_buckets]), so the paged store
+   binary-searches them in place; payload order is preserved so lookups
+   stream byte-identically on every backend. *)
+
+let add_schema_section w t =
+  let exports =
+    List.map (fun (c, idx) -> (c, Index.key_width idx, Index.export_buckets idx)) t.entries
+  in
+  Binfile.section w ~tag:Binfile.tag_schema (fun b ->
+      let meta_bytes =
+        List.fold_left (fun acc (c, _, _) -> acc + (8 * (Constr.arity c + 8))) 16 exports
+      in
+      let off = ref meta_bytes in
+      let located =
+        List.map
+          (fun (c, kw, buckets) ->
+            let n_keys = Array.length buckets in
+            let payload_ints =
+              Array.fold_left (fun acc (_, p) -> acc + Array.length p) 0 buckets
+            in
+            let keys_off = !off in
+            let payloads_off = keys_off + (8 * n_keys * (kw + 2)) in
+            off := payloads_off + (8 * payload_ints);
+            (c, kw, buckets, n_keys, payload_ints, keys_off, payloads_off))
+          exports
+      in
+      Binfile.add_i64 b t.stamp;
+      Binfile.add_i64 b (List.length located);
+      List.iter
+        (fun ((c : Constr.t), kw, _, n_keys, payload_ints, keys_off, payloads_off) ->
+          Binfile.add_i64 b (Constr.arity c);
+          List.iter (Binfile.add_i64 b) c.source;
+          Binfile.add_i64 b c.target;
+          Binfile.add_i64 b c.bound;
+          Binfile.add_i64 b kw;
+          Binfile.add_i64 b n_keys;
+          Binfile.add_i64 b keys_off;
+          Binfile.add_i64 b payloads_off;
+          Binfile.add_i64 b payload_ints)
+        located;
+      List.iter
+        (fun (_, _, buckets, _, _, _, _) ->
+          let cursor = ref 0 in
+          Array.iter
+            (fun (key, payload) ->
+              Binfile.add_array b key;
+              Binfile.add_i64 b !cursor;
+              Binfile.add_i64 b (Array.length payload);
+              cursor := !cursor + Array.length payload)
+            buckets;
+          Array.iter (fun (_, payload) -> Binfile.add_array b payload) buckets)
+        located)
+
+let save ?selectivity t path =
+  let w = Binfile.writer () in
+  Graph_io.add_graph_sections w t.graph;
+  Option.iter (fun sel -> Gstats.add_selectivity_section w sel) selectivity;
+  add_schema_section w t;
+  Binfile.write w path
+
+(* A loaded stamp re-enters this process's stamp space: push the supply
+   past it so a later [build] cannot mint the same stamp for a different
+   constraint set (which would alias [Qcache] keys). *)
+let rec register_stamp s =
+  let cur = Atomic.get next_stamp in
+  if cur <= s && not (Atomic.compare_and_set next_stamp cur (s + 1)) then register_stamp s
+
+let load tbl path =
+  let corrupt msg = raise (Binfile.Corrupt ("schema section: " ^ msg)) in
+  let r = Binfile.read_file path in
+  let g, map = Graph_io.graph_of_reader tbl r in
+  let sel = Graph_io.selectivity_of_reader tbl ~map r in
+  let bytes = Binfile.require_section r Binfile.tag_schema in
+  let mc = Binfile.Cur.of_bytes bytes in
+  let remap l = if l >= 0 && l < Array.length map then map.(l) else corrupt "label id out of range" in
+  let stamp = Binfile.Cur.i64 mc in
+  let ncons = Binfile.Cur.i64 mc in
+  if ncons < 0 || ncons > 1_000_000 then corrupt "implausible constraint count";
+  let metas =
+    List.init ncons (fun _ ->
+        let arity = Binfile.Cur.i64 mc in
+        if arity < 0 || arity > 64 then corrupt "implausible constraint arity";
+        let source = Array.to_list (Array.map remap (Binfile.Cur.array mc arity)) in
+        let target = remap (Binfile.Cur.i64 mc) in
+        let bound = Binfile.Cur.i64 mc in
+        let kw = Binfile.Cur.i64 mc in
+        let n_keys = Binfile.Cur.i64 mc in
+        let keys_off = Binfile.Cur.i64 mc in
+        let payloads_off = Binfile.Cur.i64 mc in
+        let payload_ints = Binfile.Cur.i64 mc in
+        if n_keys < 0 || payload_ints < 0 then corrupt "negative region size";
+        let c =
+          try Constr.make ~source ~target ~bound
+          with Invalid_argument _ -> corrupt "invalid constraint"
+        in
+        if kw <> (if Constr.arity c <= 2 then 1 else Constr.arity c) then
+          corrupt "key width disagrees with arity";
+        (c, kw, n_keys, keys_off, payloads_off, payload_ints))
+  in
+  let entries =
+    List.map
+      (fun (c, kw, n_keys, keys_off, payloads_off, payload_ints) ->
+        let kc = Binfile.Cur.of_bytes bytes in
+        Binfile.Cur.seek kc keys_off;
+        let pc = Binfile.Cur.of_bytes bytes in
+        let buckets =
+          Array.init n_keys (fun _ ->
+              let key = Binfile.Cur.array kc kw in
+              let start = Binfile.Cur.i64 kc in
+              let len = Binfile.Cur.i64 kc in
+              if start < 0 || len < 0 || start + len > payload_ints then
+                corrupt "bucket payload out of range";
+              Binfile.Cur.seek pc (payloads_off + (8 * start));
+              (key, Binfile.Cur.array pc len))
+        in
+        (c, Index.of_buckets c buckets))
+      metas
+  in
+  register_stamp stamp;
+  (make ~stamp g entries, sel)

@@ -67,3 +67,30 @@ val extend : ?pool:Bpq_util.Pool.t -> t -> Constr.t list -> t
 val apply_delta : t -> Digraph.delta -> t
 (** New schema over the updated graph; every index is copied and repaired
     incrementally via {!Index.apply_delta}. *)
+
+(** {1 Snapshots}
+
+    A schema snapshot is a graph snapshot ({!Graph_io.save_bin}'s
+    sections) plus one section holding the constraint set and every
+    built index's buckets — a server opens it and serves queries without
+    re-parsing or re-indexing.  [Bpq_store.Paged] serves the same file
+    out of core. *)
+
+val register_stamp : int -> unit
+(** Push the process-wide stamp supply past a stamp read from a snapshot,
+    so a later {!build} can never mint it for a different constraint set
+    (which would alias plan-cache keys).  {!load} calls this itself; it
+    is exposed for other snapshot loaders ([Bpq_store.Paged]). *)
+
+val save : ?selectivity:Gstats.selectivity -> t -> string -> unit
+(** Write graph, optional selectivity stats, constraints and indexes to
+    a checksummed snapshot, atomically (temp + rename). *)
+
+val load : Label.table -> string -> t * Gstats.selectivity option
+(** Inverse of {!save}.  Label names intern into [tbl]; node ids and
+    bucket order are preserved exactly, so lookups against the loaded
+    schema stream identically to the original.  The {!stamp} is
+    preserved too — plans and cache entries keyed by the saved schema's
+    stamp remain valid for the loaded one — and the process-wide stamp
+    supply is advanced past it so later {!build}s never alias it.
+    @raise Binfile.Corrupt on malformed or damaged snapshots. *)

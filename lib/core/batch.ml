@@ -1,5 +1,4 @@
 open Bpq_util
-open Bpq_access
 
 type item = {
   semantics : Actualized.semantics;
@@ -8,7 +7,7 @@ type item = {
 
 let item semantics plan = { semantics; plan }
 
-type answer =
+type answer = Bounded_eval.answer =
   | Matches of int array list
   | Relation of int array array
 
@@ -23,11 +22,7 @@ let answer_size = function
 let plan_all ?(pool = Pool.sequential) semantics constrs patterns =
   Pool.map_list pool (fun q -> (q, Qplan.generate semantics q constrs)) patterns
 
-let answer_of_qcache = function
-  | Qcache.Matches ms -> Matches ms
-  | Qcache.Relation sim -> Relation sim
-
-let eval ?(pool = Pool.sequential) ?intra ?cache ?timeout ?limit schema items =
+let run ?(pool = Pool.sequential) ?intra ?cache ?timeout ?limit (src : Exec.source) items =
   Pool.map_list pool
     (fun it ->
       (* The deadline is private to this item: deadlines are mutable and
@@ -41,33 +36,30 @@ let eval ?(pool = Pool.sequential) ?intra ?cache ?timeout ?limit schema items =
       let start = Timer.now () in
       match
         match cache with
-        | Some c ->
-          answer_of_qcache (Qcache.eval_plan c ?pool:intra ?deadline ?limit schema it.plan)
-        | None ->
-          (match it.semantics with
-           | Actualized.Subgraph ->
-             Matches (Bounded_eval.bvf2_matches ?pool:intra ?deadline ?limit schema it.plan)
-           | Actualized.Simulation ->
-             Relation (Bounded_eval.bsim ?pool:intra ?deadline schema it.plan))
+        | Some c -> Qcache.eval_plan_with c ?pool:intra ?deadline ?limit src it.plan
+        | None -> Bounded_eval.run ?pool:intra ?deadline ?limit src it.plan
       with
       | answer -> Answer (answer, Timer.now () -. start)
       | exception Timer.Timeout -> Timeout (Timer.now () -. start))
     items
 
-let eval_patterns ?pool ?intra ?cache ?timeout ?limit semantics schema patterns =
+let eval ?pool ?intra ?cache ?timeout ?limit schema items =
+  run ?pool ?intra ?cache ?timeout ?limit (Exec.source_of_schema schema) items
+
+let run_patterns ?pool ?intra ?cache ?timeout ?limit semantics (src : Exec.source) patterns =
   let planned =
     match cache with
     | Some c ->
       Pool.map_list
         (Option.value pool ~default:Pool.sequential)
-        (fun q -> (q, Qcache.plan_for c semantics schema q))
+        (fun q -> (q, Qcache.plan_for_with c semantics src q))
         patterns
-    | None -> plan_all ?pool semantics (Schema.constraints schema) patterns
+    | None -> plan_all ?pool semantics src.Exec.constraints patterns
   in
   let items =
     List.filter_map (fun (_, p) -> Option.map (item semantics) p) planned
   in
-  let outcomes = ref (eval ?pool ?intra ?cache ?timeout ?limit schema items) in
+  let outcomes = ref (run ?pool ?intra ?cache ?timeout ?limit src items) in
   List.map
     (fun (q, p) ->
       match p with
@@ -79,3 +71,7 @@ let eval_patterns ?pool ?intra ?cache ?timeout ?limit semantics schema patterns 
            (q, Some o)
          | [] -> assert false))
     planned
+
+let eval_patterns ?pool ?intra ?cache ?timeout ?limit semantics schema patterns =
+  run_patterns ?pool ?intra ?cache ?timeout ?limit semantics (Exec.source_of_schema schema)
+    patterns

@@ -22,7 +22,7 @@ type item = {
 
 val item : Actualized.semantics -> Plan.t -> item
 
-type answer =
+type answer = Bounded_eval.answer =
   | Matches of int array list
       (** Subgraph-isomorphism matches, pattern-indexed, in original
           graph node identifiers. *)
@@ -44,6 +44,34 @@ val plan_all :
   (Pattern.t * Plan.t option) list
 (** Run EBChk + QPlan for every pattern on the pool ([None] = not
     effectively bounded).  Order matches the input. *)
+
+val run :
+  ?pool:Pool.t ->
+  ?intra:Pool.t ->
+  ?cache:Qcache.t ->
+  ?timeout:float ->
+  ?limit:int ->
+  Exec.source ->
+  item list ->
+  outcome list
+(** The source-first core: evaluate every item against any
+    {!Exec.source} — in-memory schema, paged snapshot, sharded store.
+    {!eval} and {!eval_patterns} are shims over {!run} and
+    {!run_patterns} through {!Exec.source_of_schema}. *)
+
+val run_patterns :
+  ?pool:Pool.t ->
+  ?intra:Pool.t ->
+  ?cache:Qcache.t ->
+  ?timeout:float ->
+  ?limit:int ->
+  Actualized.semantics ->
+  Exec.source ->
+  Pattern.t list ->
+  (Pattern.t * outcome option) list
+(** Plan (via the cache's plan tier when [cache] is given, else
+    [src.constraints]) then {!run}; [None] marks patterns that are not
+    effectively bounded. *)
 
 val eval :
   ?pool:Pool.t ->

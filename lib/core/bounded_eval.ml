@@ -1,33 +1,45 @@
 open Bpq_access
 open Bpq_matcher
 
+type answer =
+  | Matches of int array list
+  | Relation of int array array
+
 let plan_for semantics schema q = Qplan.generate semantics q (Schema.constraints schema)
 
-let run_exec ?pool ?cache schema plan = Exec.run ?pool ?cache schema plan
+(* Every evaluator funnels through the source seam: one [Exec.run_with]
+   building G_Q, then the conventional matcher on it. *)
 
-let bvf2_with_stats ?pool ?deadline ?cache schema plan =
-  let r = run_exec ?pool ?cache schema plan in
-  let matches =
-    Vf2.matches ?pool ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern
-  in
-  (List.map (Array.map (fun v -> r.from_gq.(v))) matches, r.stats)
-
-let bvf2_matches ?pool ?deadline ?limit ?cache schema plan =
-  let r = run_exec ?pool ?cache schema plan in
-  let matches =
+let matches_with ?pool ?deadline ?limit ?cache src (plan : Plan.t) =
+  let r = Exec.run_with ?pool ?cache src plan in
+  let ms =
     Vf2.matches ?pool ?deadline ?limit ~candidates:r.candidates_gq r.gq plan.Plan.pattern
   in
-  List.map (Array.map (fun v -> r.from_gq.(v))) matches
+  (List.map (Array.map (fun v -> r.from_gq.(v))) ms, r.stats)
+
+let sim_with ?pool ?deadline ?cache src (plan : Plan.t) =
+  let r = Exec.run_with ?pool ?cache src plan in
+  let sim = Gsim.run ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern in
+  (Array.map (Array.map (fun v -> r.from_gq.(v))) sim, r.stats)
+
+let run ?pool ?deadline ?limit ?cache src (plan : Plan.t) =
+  match plan.Plan.semantics with
+  | Actualized.Subgraph -> Matches (fst (matches_with ?pool ?deadline ?limit ?cache src plan))
+  | Actualized.Simulation -> Relation (fst (sim_with ?pool ?deadline ?cache src plan))
+
+let bvf2_matches ?pool ?deadline ?limit ?cache schema plan =
+  fst (matches_with ?pool ?deadline ?limit ?cache (Exec.source_of_schema schema) plan)
+
+let bvf2_with_stats ?pool ?deadline ?cache schema plan =
+  matches_with ?pool ?deadline ?cache (Exec.source_of_schema schema) plan
 
 let bvf2_count ?pool ?deadline ?limit ?cache schema plan =
-  let r = run_exec ?pool ?cache schema plan in
+  let r = Exec.run_with ?pool ?cache (Exec.source_of_schema schema) plan in
   Vf2.count_matches ?pool ?deadline ?limit ~candidates:r.candidates_gq r.gq
     plan.Plan.pattern
 
 let bsim_with_stats ?pool ?deadline ?cache schema plan =
-  let r = run_exec ?pool ?cache schema plan in
-  let sim = Gsim.run ?deadline ~candidates:r.candidates_gq r.gq plan.Plan.pattern in
-  (Array.map (Array.map (fun v -> r.from_gq.(v))) sim, r.stats)
+  sim_with ?pool ?deadline ?cache (Exec.source_of_schema schema) plan
 
 let bsim ?pool ?deadline ?cache schema plan =
   fst (bsim_with_stats ?pool ?deadline ?cache schema plan)

@@ -22,6 +22,51 @@ val plan_for : Actualized.semantics -> Schema.t -> Pattern.t -> Plan.t option
     with the cache absent, present, or at any capacity, and at every pool
     size. *)
 
+(** {1 Source-first evaluation}
+
+    The primary entry point: evaluation against any {!Exec.source} —
+    in-memory schema, paged snapshot, sharded store — dispatching on the
+    plan's semantics.  The schema-taking functions below are shims over
+    this through {!Exec.source_of_schema}. *)
+
+type answer =
+  | Matches of int array list  (** Subgraph semantics. *)
+  | Relation of int array array  (** Simulation semantics. *)
+
+val run :
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  ?cache:Fetch_cache.t ->
+  Exec.source ->
+  Plan.t ->
+  answer
+(** [limit] caps subgraph match counts and is ignored under simulation
+    semantics.  The answer is identical for every backend serving the
+    same data: everything flows through the source's bounded lookups, so
+    byte-identity across backends follows from the lookups streaming the
+    same buckets (pinned by the store test suite). *)
+
+val matches_with :
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  ?cache:Fetch_cache.t ->
+  Exec.source ->
+  Plan.t ->
+  int array list * Exec.stats
+(** {!bvf2_with_stats} against a source (the per-semantics form of
+    {!run}, with the execution stats the CLI reports). *)
+
+val sim_with :
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?cache:Fetch_cache.t ->
+  Exec.source ->
+  Plan.t ->
+  int array array * Exec.stats
+(** {!bsim_with_stats} against a source. *)
+
 (** {1 Subgraph queries (bVF2)} *)
 
 val bvf2_matches :

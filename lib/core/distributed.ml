@@ -1,4 +1,3 @@
-open Bpq_access
 
 type stats = {
   shards : int;
@@ -14,11 +13,13 @@ let balance s =
     let mean = float_of_int total /. float_of_int s.shards in
     float_of_int (Array.fold_left max 0 s.items_per_shard) /. mean
 
-type t = { shards : int; schema : Schema.t }
+type t = { shards : int; source : Exec.source }
 
-let create ~shards schema =
+let create_with ~shards source =
   if shards <= 0 then invalid_arg "Distributed.create: shards must be positive";
-  { shards; schema }
+  { shards; source }
+
+let create ~shards schema = create_with ~shards (Exec.source_of_schema schema)
 
 (* Index entries are owned by the shard hashing their (constraint, key)
    pair; edge probes by the shard owning the source node.  Deterministic,
@@ -27,7 +28,7 @@ let shard_of_key t c key = Hashtbl.hash (c, key) mod t.shards
 let shard_of_node t v = v mod t.shards
 
 let run t plan =
-  let base = Exec.source_of_schema t.schema in
+  let base = t.source in
   let lookups = Array.make t.shards 0
   and items = Array.make t.shards 0
   and probes = Array.make t.shards 0 in

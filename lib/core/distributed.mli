@@ -34,6 +34,11 @@ val create : shards:int -> Schema.t -> t
     simulated workers.  The underlying storage is shared in-process; only
     the routing and accounting are simulated. *)
 
+val create_with : shards:int -> Exec.source -> t
+(** Same over any {!Exec.source} — e.g. a paged snapshot store, so shard
+    routing composes with out-of-core serving; {!create} shims through
+    {!Exec.source_of_schema}. *)
+
 val run : t -> Plan.t -> Exec.result * stats
 (** Execute a plan against the sharded store.  The {!Exec.result} is
     identical to single-node execution (pinned by the test suite). *)

@@ -138,6 +138,9 @@ type source = {
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Value.t;
   table : Bpq_graph.Label.table;
+  constraints : Constr.t list;
+  stamp : int;
+  graph_size : int;
 }
 
 let source_of_schema schema =
@@ -148,7 +151,10 @@ let source_of_schema schema =
     probe_edge = Digraph.has_edge g;
     node_label = Digraph.label g;
     node_value = Digraph.value g;
-    table = Digraph.label_table g }
+    table = Digraph.label_table g;
+    constraints = Schema.constraints schema;
+    stamp = Schema.stamp schema;
+    graph_size = Digraph.size g }
 
 (* Membership in a sorted candidate row — every cmat row is sorted
    distinct, so a binary search replaces the per-row hashtables. *)

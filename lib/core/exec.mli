@@ -74,8 +74,13 @@ val run : ?pool:Bpq_util.Pool.t -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t ->
 
     The executor only ever touches the data through index lookups, edge
     probes and node attribute reads; {!run_with} makes that interface
-    explicit so alternative backends (e.g. the sharded store of
-    {!Distributed}) can serve the same plans. *)
+    explicit so alternative backends (the sharded store of {!Distributed},
+    the out-of-core store of [Bpq_store.Paged]) can serve the same plans.
+    Plan generation and cache keying need three facts about the data
+    besides the lookups — the constraint set, the schema-lineage stamp and
+    [|G|] — so a source carries those too, making it the complete
+    query-serving interface: {!Qcache}, {!Batch} and {!Explain} all run
+    against a [source] alone. *)
 
 type source = {
   lookup : Constr.t -> int list -> int array;
@@ -90,6 +95,16 @@ type source = {
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Bpq_graph.Value.t;
   table : Bpq_graph.Label.table;
+  constraints : Constr.t list;
+      (** The access schema the indexes realise — what {!Qplan} plans
+          against. *)
+  stamp : int;
+      (** The {!Bpq_access.Schema.stamp} of the schema lineage behind the
+          source; {!Qcache} keys plans and results by it.  Survives
+          snapshot save/load. *)
+  graph_size : int;
+      (** [|G|] (nodes + edges), for {!Explain}'s accessed-fraction
+          report. *)
 }
 
 val source_of_schema : Schema.t -> source

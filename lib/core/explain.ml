@@ -47,8 +47,8 @@ let describe ?costs (plan : Plan.t) =
 
 type analysis = { report : string; result : Exec.result }
 
-let analyze ?pool ?costs schema (plan : Plan.t) =
-  let result = Exec.run ?pool schema plan in
+let analyze_with ?pool ?costs (src : Exec.source) (plan : Plan.t) =
+  let result = Exec.run_with ?pool src plan in
   let q = plan.pattern in
   let annotated = Option.map (fun c -> Costs.annotate c plan) costs in
   let header = [ "op"; "worst case" ] in
@@ -83,13 +83,16 @@ let analyze ?pool ?costs schema (plan : Plan.t) =
                else 100.0 *. float_of_int tr.realized /. float_of_int tr.estimate)
               realized_label ]))
     result.trace;
-  let g = Schema.graph schema in
+  let gsize = src.Exec.graph_size in
   let report =
     Printf.sprintf
       "%s\nG_Q: %d nodes, %d edges; accessed %d data items = %.4f%% of |G| (%d)\n"
       (Table.render table) (Digraph.n_nodes result.gq) (Digraph.n_edges result.gq)
       (Exec.accessed result.stats)
-      (100.0 *. float_of_int (Exec.accessed result.stats) /. float_of_int (Digraph.size g))
-      (Digraph.size g)
+      (100.0 *. float_of_int (Exec.accessed result.stats) /. float_of_int gsize)
+      gsize
   in
   { report; result }
+
+let analyze ?pool ?costs schema plan =
+  analyze_with ?pool ?costs (Exec.source_of_schema schema) plan

@@ -28,3 +28,9 @@ val analyze : ?pool:Bpq_util.Pool.t -> ?costs:Costs.t -> Schema.t -> Plan.t -> a
     are always within the static estimates (a property the test suite pins
     down); the cost model's estimates carry no such guarantee — that is
     the point of printing them. *)
+
+val analyze_with :
+  ?pool:Bpq_util.Pool.t -> ?costs:Costs.t -> Exec.source -> Plan.t -> analysis
+(** {!analyze} against any {!Exec.source} (the accessed fraction uses the
+    source's [graph_size]); {!analyze} shims through
+    {!Exec.source_of_schema}. *)

@@ -1,8 +1,7 @@
 open Bpq_graph
 open Bpq_pattern
-open Bpq_access
 
-type answer =
+type answer = Bounded_eval.answer =
   | Matches of int array list
   | Relation of int array array
 
@@ -120,13 +119,15 @@ let sem_tag = function Actualized.Subgraph -> 0 | Actualized.Simulation -> 1
 
 (* Exact structural key: labels and edges under the query's own node
    numbering, predicates excluded — shared by all instantiations of one
-   template skeleton. *)
-let exact_key semantics schema q =
+   template skeleton.  Keys carry the source's stamp, which snapshots
+   preserve — entries survive a save/load round trip and serve every
+   backend of the same lineage. *)
+let exact_key semantics stamp q =
   let labels = Array.init (Pattern.n_nodes q) (Pattern.label q) in
-  Marshal.to_string (Schema.stamp schema, sem_tag semantics, labels, Pattern.edges q) []
+  Marshal.to_string ((stamp : int), sem_tag semantics, labels, Pattern.edges q) []
 
-let canon_key semantics schema fp =
-  Marshal.to_string (Schema.stamp schema, sem_tag semantics, fp) []
+let canon_key semantics stamp fp =
+  Marshal.to_string ((stamp : int), sem_tag semantics, fp) []
 
 (* Renumber a plan through [m] (node -> node); the pattern field is set
    to [q].  A pure renumbering, so mapping through a permutation and back
@@ -158,16 +159,16 @@ let invert perm =
   Array.iteri (fun v p -> inv.(p) <- v) perm;
   inv
 
-let plan_for t ?costs semantics schema q =
+let plan_for_with t ?costs semantics (src : Exec.source) q =
   let s = shard_for t in
-  let ek = exact_key semantics schema q in
+  let ek = exact_key semantics src.Exec.stamp q in
   match Fifo_map.find s.plans_exact ek with
   | Some cached ->
     s.plan_hits <- s.plan_hits + 1;
     Option.map (fun (p : Plan.t) -> { p with pattern = q }) cached
   | None ->
     let fp, perm = Pattern.canonicalize q in
-    let ck = canon_key semantics schema fp in
+    let ck = canon_key semantics src.Exec.stamp fp in
     (match Fifo_map.find s.plans_canon ck with
      | Some cached ->
        (* A renumbered isomorph planned this shape already: renumber its
@@ -180,10 +181,13 @@ let plan_for t ?costs semantics schema q =
        plan
      | None ->
        s.plan_misses <- s.plan_misses + 1;
-       let plan = Qplan.generate ?costs semantics q (Schema.constraints schema) in
+       let plan = Qplan.generate ?costs semantics q src.Exec.constraints in
        Fifo_map.add s.plans_exact ek plan;
        Fifo_map.add s.plans_canon ck (Option.map (remap_plan perm q) plan);
        plan)
+
+let plan_for t ?costs semantics schema q =
+  plan_for_with t ?costs semantics (Exec.source_of_schema schema) q
 
 (* ------------------------------------------------------------------ *)
 (* Result tier                                                         *)
@@ -194,27 +198,21 @@ let gen_of t l = if l < Array.length t.label_gens then t.label_gens.(l) else 0
 (* Exact key including predicates and the limit: the answer depends on
    both.  Predicates marshal structurally, so equal queries built
    independently (e.g. repeated template instantiations) share keys. *)
-let result_key schema (plan : Plan.t) limit =
+let result_key stamp (plan : Plan.t) limit =
   let q = plan.pattern in
   let nodes = Array.init (Pattern.n_nodes q) (fun u -> (Pattern.label q u, Pattern.pred q u)) in
   Marshal.to_string
-    (Schema.stamp schema, sem_tag plan.semantics, nodes, Pattern.edges q, limit)
+    ((stamp : int), sem_tag plan.semantics, nodes, Pattern.edges q, limit)
     []
 
-let eval_uncached ?pool ?deadline ?limit ~cache schema (plan : Plan.t) =
-  match plan.semantics with
-  | Actualized.Subgraph ->
-    Matches (Bounded_eval.bvf2_matches ?pool ?deadline ?limit ~cache schema plan)
-  | Actualized.Simulation -> Relation (Bounded_eval.bsim ?pool ?deadline ~cache schema plan)
-
-let eval_plan t ?pool ?deadline ?limit schema (plan : Plan.t) =
+let eval_plan_with t ?pool ?deadline ?limit (src : Exec.source) (plan : Plan.t) =
   let s = shard_for t in
-  let key = result_key schema plan limit in
+  let key = result_key src.Exec.stamp plan limit in
   let fresh_gens () =
     List.map (fun l -> (l, gen_of t l)) (Pattern.labels_used plan.pattern)
   in
   let evaluate () =
-    let answer = eval_uncached ?pool ?deadline ?limit ~cache:s.fetch schema plan in
+    let answer = Bounded_eval.run ?pool ?deadline ?limit ~cache:s.fetch src plan in
     Fifo_map.add s.results key { answer; gens = fresh_gens () };
     answer
   in
@@ -230,10 +228,16 @@ let eval_plan t ?pool ?deadline ?limit schema (plan : Plan.t) =
     s.result_misses <- s.result_misses + 1;
     evaluate ()
 
-let eval t ?pool ?costs ?deadline ?limit semantics schema q =
-  match plan_for t ?costs semantics schema q with
+let eval_plan t ?pool ?deadline ?limit schema plan =
+  eval_plan_with t ?pool ?deadline ?limit (Exec.source_of_schema schema) plan
+
+let eval_with t ?pool ?costs ?deadline ?limit semantics src q =
+  match plan_for_with t ?costs semantics src q with
   | None -> None
-  | Some plan -> Some (eval_plan t ?pool ?deadline ?limit schema plan)
+  | Some plan -> Some (eval_plan_with t ?pool ?deadline ?limit src plan)
+
+let eval t ?pool ?costs ?deadline ?limit semantics schema q =
+  eval_with t ?pool ?costs ?deadline ?limit semantics (Exec.source_of_schema schema) q
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation                                                        *)

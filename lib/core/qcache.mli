@@ -64,7 +64,7 @@ val of_megabytes : int -> t
     a slice to results.  @raise Invalid_argument when [mb <= 0] (the CLI
     maps 0 to "no cache"). *)
 
-type answer =
+type answer = Bounded_eval.answer =
   | Matches of int array list  (** Subgraph semantics. *)
   | Relation of int array array  (** Simulation semantics. *)
 
@@ -104,6 +104,42 @@ val eval :
   Pattern.t ->
   answer option
 (** {!plan_for} + {!eval_plan}; [None] when not effectively bounded. *)
+
+(** {1 Source-first variants}
+
+    The same three tiers against any {!Exec.source} — plans are generated
+    from [src.constraints], keys carry [src.stamp].  Because snapshots
+    preserve the stamp, one cache serves a schema and the paged store
+    opened from its snapshot interchangeably; the schema-taking functions
+    above shim through {!Exec.source_of_schema}. *)
+
+val plan_for_with :
+  t ->
+  ?costs:Costs.t ->
+  Actualized.semantics ->
+  Exec.source ->
+  Pattern.t ->
+  Plan.t option
+
+val eval_plan_with :
+  t ->
+  ?pool:Pool.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  Exec.source ->
+  Plan.t ->
+  answer
+
+val eval_with :
+  t ->
+  ?pool:Pool.t ->
+  ?costs:Costs.t ->
+  ?deadline:Timer.deadline ->
+  ?limit:int ->
+  Actualized.semantics ->
+  Exec.source ->
+  Pattern.t ->
+  answer option
 
 val fetch_tier : t -> Fetch_cache.t
 (** The calling domain's fetch-cache shard — for passing to

@@ -1,0 +1,241 @@
+module Atomic_file = Bpq_util.Atomic_file
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let magic = "BPQSNAP1"
+let version = 1
+let tag_labels = 1
+let tag_nodes = 2
+let tag_csr = 3
+let tag_stats = 4
+let tag_schema = 5
+
+(* FNV-1a folded into OCaml's 63-bit int range (same truncated basis as
+   the spill-key hash in [Index]); not cryptographic — it guards against
+   truncation and bit rot, not an adversary. *)
+let fnv_prime = 0x100000001B3
+let fnv_basis = 0x3BF29CE484222325
+let fnv_byte h b = ((h lxor b) * fnv_prime) land max_int
+
+let fnv_string h s lo hi =
+  let h = ref h in
+  for i = lo to hi - 1 do
+    h := fnv_byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+(* ---------------- encoding helpers ---------------- *)
+
+let add_i64 b v =
+  for shift = 0 to 7 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * shift)) land 0xFF))
+  done
+
+let add_array b arr = Array.iter (add_i64 b) arr
+
+let pad8 b =
+  while Buffer.length b land 7 <> 0 do
+    Buffer.add_char b '\000'
+  done
+
+let add_string b s =
+  add_i64 b (String.length s);
+  Buffer.add_string b s;
+  pad8 b
+
+let get_i64 bytes pos =
+  let v = ref 0 in
+  for shift = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.unsafe_get bytes (pos + shift))
+  done;
+  !v
+
+(* ---------------- writing ---------------- *)
+
+type writer = { mutable sections : (int * Buffer.t) list (* reversed *) }
+
+let writer () = { sections = [] }
+
+let section w ~tag f =
+  let b = Buffer.create 4096 in
+  f b;
+  pad8 b;
+  w.sections <- (tag, b) :: w.sections
+
+let write w path =
+  let sections = List.rev w.sections in
+  let n = List.length sections in
+  let header_len = 8 + 8 + 8 + (24 * n) in
+  let out = Buffer.create (header_len + 64) in
+  Buffer.add_string out magic;
+  add_i64 out version;
+  add_i64 out n;
+  let off = ref header_len in
+  List.iter
+    (fun (tag, b) ->
+      add_i64 out tag;
+      add_i64 out !off;
+      add_i64 out (Buffer.length b);
+      off := !off + Buffer.length b)
+    sections;
+  List.iter (fun (_, b) -> Buffer.add_buffer out b) sections;
+  let body = Buffer.contents out in
+  let sum = fnv_string fnv_basis body 0 (String.length body) in
+  Atomic_file.write path (fun oc ->
+      output_string oc body;
+      let trailer = Buffer.create 8 in
+      add_i64 trailer sum;
+      Buffer.output_buffer oc trailer)
+
+(* ---------------- directory parsing ---------------- *)
+
+type sect = {
+  tag : int;
+  off : int;
+  len : int;
+}
+
+let read_directory ~pread ~file_len =
+  if file_len < 8 + 8 + 8 + 8 then corrupt "truncated snapshot (%d bytes)" file_len;
+  let head = pread ~pos:0 ~len:24 in
+  let m = Bytes.sub_string head 0 8 in
+  if m <> magic then corrupt "not a bpq snapshot (bad magic %S)" m;
+  let v = get_i64 head 8 in
+  if v <> version then corrupt "unsupported snapshot version %d (this build reads %d)" v version;
+  let n = get_i64 head 16 in
+  if n < 0 || n > 1_000_000 then corrupt "implausible section count %d" n;
+  let header_len = 24 + (24 * n) in
+  if header_len > file_len - 8 then corrupt "truncated snapshot directory";
+  let dir = pread ~pos:24 ~len:(24 * n) in
+  List.init n (fun i ->
+      let tag = get_i64 dir (24 * i) in
+      let off = get_i64 dir ((24 * i) + 8) in
+      let len = get_i64 dir ((24 * i) + 16) in
+      if len < 0 || off < header_len || off + len > file_len - 8 then
+        corrupt "section %d (tag %d) out of range" i tag;
+      { tag; off; len })
+
+(* ---------------- in-memory reading ---------------- *)
+
+type reader = {
+  data : Bytes.t;
+  sects : sect list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        b)
+  in
+  let file_len = Bytes.length data in
+  let pread ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > file_len then corrupt "truncated snapshot";
+    Bytes.sub data pos len
+  in
+  let sects = read_directory ~pread ~file_len in
+  let body = Bytes.unsafe_to_string data in
+  let sum = fnv_string fnv_basis body 0 (file_len - 8) in
+  let stored = get_i64 data (file_len - 8) in
+  if sum <> stored then
+    corrupt "checksum mismatch (stored %016x, computed %016x) — snapshot is damaged" stored sum;
+  { data; sects }
+
+let section_bytes r tag =
+  List.find_opt (fun s -> s.tag = tag) r.sects
+  |> Option.map (fun s -> Bytes.sub r.data s.off s.len)
+
+let require_section r tag =
+  match section_bytes r tag with
+  | Some b -> b
+  | None -> corrupt "snapshot has no section with tag %d" tag
+
+module Cur = struct
+  type t = {
+    data : Bytes.t;
+    mutable pos : int;
+    limit : int;
+  }
+
+  let of_bytes data = { data; pos = 0; limit = Bytes.length data }
+  let pos c = c.pos
+  let seek c p = c.pos <- p
+
+  let need c n =
+    if c.pos < 0 || n < 0 || c.pos + n > c.limit then
+      corrupt "section payload ends early (want %d bytes at %d of %d)" n c.pos c.limit
+
+  let i64 c =
+    need c 8;
+    let v = get_i64 c.data c.pos in
+    c.pos <- c.pos + 8;
+    v
+
+  let array c n =
+    if n < 0 then corrupt "negative array length %d" n;
+    need c (8 * n);
+    let arr = Array.init n (fun i -> get_i64 c.data (c.pos + (8 * i))) in
+    c.pos <- c.pos + (8 * n);
+    arr
+
+  let str c =
+    let len = i64 c in
+    if len < 0 then corrupt "negative string length %d" len;
+    need c len;
+    let s = Bytes.sub_string c.data c.pos len in
+    c.pos <- c.pos + ((len + 7) land lnot 7);
+    s
+end
+
+(* ---------------- verification / sniffing ---------------- *)
+
+let verify path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let file_len = in_channel_length ic in
+      let pread ~pos ~len =
+        if pos < 0 || len < 0 || pos + len > file_len then corrupt "truncated snapshot";
+        seek_in ic pos;
+        let b = Bytes.create len in
+        really_input ic b 0 len;
+        b
+      in
+      ignore (read_directory ~pread ~file_len);
+      seek_in ic 0;
+      let chunk = Bytes.create 65536 in
+      let remaining = ref (file_len - 8) in
+      let sum = ref fnv_basis in
+      while !remaining > 0 do
+        let n = min !remaining (Bytes.length chunk) in
+        really_input ic chunk 0 n;
+        sum := fnv_string !sum (Bytes.unsafe_to_string chunk) 0 n;
+        remaining := !remaining - n
+      done;
+      let trailer = pread ~pos:(file_len - 8) ~len:8 in
+      let stored = get_i64 trailer 0 in
+      if !sum <> stored then
+        corrupt "checksum mismatch (stored %016x, computed %016x) — snapshot is damaged" stored
+          !sum)
+
+let is_snapshot path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        if in_channel_length ic < String.length magic then false
+        else begin
+          let b = Bytes.create (String.length magic) in
+          really_input ic b 0 (String.length magic);
+          Bytes.to_string b = magic
+        end)

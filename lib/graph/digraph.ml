@@ -304,3 +304,48 @@ let delta_touched g d =
   List.iter mark_edge d.added_edges;
   List.iter mark_edge d.removed_edges;
   Hashtbl.fold (fun v () acc -> v :: acc) seen []
+
+module Repr = struct
+  type graph = t
+
+  type t = {
+    labels : int array;
+    values : Value.t array;
+    out_off : int array;
+    out_adj : int array;
+    in_off : int array;
+    in_adj : int array;
+    nbr_off : int array;
+    nbr_adj : int array;
+    by_label_off : int array;
+    by_label : int array;
+    n_edges : int;
+  }
+
+  let of_graph (g : graph) =
+    { labels = g.labels;
+      values = g.values;
+      out_off = g.out_off;
+      out_adj = g.out_adj;
+      in_off = g.in_off;
+      in_adj = g.in_adj;
+      nbr_off = g.nbr_off;
+      nbr_adj = g.nbr_adj;
+      by_label_off = g.by_label_off;
+      by_label = g.by_label;
+      n_edges = g.n_edges }
+
+  let to_graph table (r : t) : graph =
+    { table;
+      labels = r.labels;
+      values = r.values;
+      out_off = r.out_off;
+      out_adj = r.out_adj;
+      in_off = r.in_off;
+      in_adj = r.in_adj;
+      nbr_off = r.nbr_off;
+      nbr_adj = r.nbr_adj;
+      by_label_off = r.by_label_off;
+      by_label = r.by_label;
+      n_edges = r.n_edges }
+end

@@ -122,3 +122,32 @@ val delta_touched : t -> delta -> int list
 (** ΔG ∪ Nb_G(ΔG): endpoints of changed edges plus their neighbours in the
     pre-update graph — the locality set the paper says suffices for index
     maintenance. *)
+
+(** {1 Frozen representation}
+
+    The raw CSR arrays, exposed for (de)serialisation only: a snapshot
+    writes them verbatim and a loader re-wraps them without re-running
+    {!Builder.freeze}, so a saved graph round-trips bit-for-bit (row
+    order included).  Invariants (sorted deduped rows, consistent
+    offsets) are the caller's to preserve — {!Graph_io.load_bin}
+    validates them before re-wrapping. *)
+module Repr : sig
+  type graph := t
+
+  type t = {
+    labels : int array;
+    values : Value.t array;
+    out_off : int array;
+    out_adj : int array;
+    in_off : int array;
+    in_adj : int array;
+    nbr_off : int array;
+    nbr_adj : int array;
+    by_label_off : int array;
+    by_label : int array;
+    n_edges : int;
+  }
+
+  val of_graph : graph -> t
+  val to_graph : Label.table -> t -> graph
+end

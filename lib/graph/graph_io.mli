@@ -10,7 +10,7 @@
     CLI and the examples, not for bulk storage. *)
 
 val save : Digraph.t -> string -> unit
-(** [save g path] writes [g] to [path]. *)
+(** [save g path] writes [g] to [path] atomically (temp + rename). *)
 
 val load : Label.table -> string -> Digraph.t
 (** [load tbl path] parses [path], interning labels into [tbl].
@@ -18,3 +18,43 @@ val load : Label.table -> string -> Digraph.t
 
 val output : out_channel -> Digraph.t -> unit
 val parse : Label.table -> in_channel -> Digraph.t
+
+(** {1 Binary snapshots}
+
+    The frozen CSR representation verbatim in a {!Binfile} container —
+    loading re-wraps arrays instead of re-parsing and re-freezing, and
+    the paged store ([Bpq_store.Paged]) serves reads straight from the
+    file.  [Schema.save] embeds the same graph sections, so a schema
+    snapshot is also a graph snapshot. *)
+
+val save_bin : ?selectivity:Gstats.selectivity -> Digraph.t -> string -> unit
+(** Write graph (and optionally selectivity stats) to a snapshot,
+    atomically. *)
+
+val load_bin : Label.table -> string -> Digraph.t * Gstats.selectivity option
+(** Verifies the checksum, validates the CSR invariants, and interns the
+    stored label names into [tbl] — remapping node labels (and
+    rebuilding the by-label grouping) when the table assigns different
+    ids, so a snapshot loads correctly into a non-empty table.
+    @raise Binfile.Corrupt on malformed or damaged snapshots. *)
+
+val is_snapshot : string -> bool
+(** Alias of {!Binfile.is_snapshot}: sniff the magic bytes. *)
+
+(** {2 Snapshot building blocks}
+
+    Shared with [Schema.save]/[load] and the paged store; not meant for
+    general use. *)
+
+val add_graph_sections : Binfile.writer -> Digraph.t -> unit
+
+val graph_of_reader : Label.table -> Binfile.reader -> Digraph.t * int array
+(** Returns the graph and the stored-label-id → table-id map. *)
+
+val selectivity_of_reader :
+  Label.table -> map:int array -> Binfile.reader -> Gstats.selectivity option
+
+val add_value_blob : Buffer.t -> Value.t -> unit
+
+val decode_value : Bytes.t -> pos:int -> len:int -> Value.t
+(** Decode one value-blob entry spanning [\[pos, pos + len)]. *)

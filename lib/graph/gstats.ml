@@ -156,8 +156,65 @@ let parse_selectivity tbl ic =
   sel
 
 let save_selectivity tbl sel path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_selectivity oc tbl sel)
+  Bpq_util.Atomic_file.write path (fun oc -> output_selectivity oc tbl sel)
+
+(* Binary form, one snapshot section: label-indexed arrays verbatim plus
+   the pair-frequency table as sorted (src, dst, freq) triples.  Sorting
+   makes the payload independent of hashtable iteration order, so equal
+   statistics serialize to equal bytes. *)
+
+let add_selectivity_section w sel =
+  Binfile.section w ~tag:Binfile.tag_stats (fun b ->
+      Binfile.add_i64 b sel.labels;
+      Binfile.add_array b sel.node_counts;
+      Binfile.add_array b sel.out_deg_sum;
+      let pairs =
+        Hashtbl.fold (fun key freq acc -> (key, freq) :: acc) sel.pair_freqs []
+        |> List.sort compare
+      in
+      Binfile.add_i64 b (List.length pairs);
+      List.iter
+        (fun (key, freq) ->
+          Binfile.add_i64 b (key / sel.labels);
+          Binfile.add_i64 b (key mod sel.labels);
+          Binfile.add_i64 b freq)
+        pairs)
+
+let selectivity_of_bytes bytes ~map ~nlabels =
+  let c = Binfile.Cur.of_bytes bytes in
+  let stored = Binfile.Cur.i64 c in
+  if stored < 1 then raise (Binfile.Corrupt "stats section: label count must be positive");
+  let node_counts = Binfile.Cur.array c stored in
+  let out_deg_sum = Binfile.Cur.array c stored in
+  let remap l =
+    if l < 0 || l >= stored then raise (Binfile.Corrupt "stats section: label id out of range")
+    else if l < Array.length map then map.(l)
+    else l (* the [max 1] padding slot of an empty table *)
+  in
+  let labels = max 1 nlabels in
+  let sel =
+    { labels;
+      node_counts = Array.make labels 0;
+      out_deg_sum = Array.make labels 0;
+      pair_freqs = Hashtbl.create 256 }
+  in
+  for l = 0 to stored - 1 do
+    let l' = remap l in
+    if l' >= 0 && l' < labels then begin
+      sel.node_counts.(l') <- node_counts.(l);
+      sel.out_deg_sum.(l') <- out_deg_sum.(l)
+    end
+  done;
+  let npairs = Binfile.Cur.i64 c in
+  if npairs < 0 then raise (Binfile.Corrupt "stats section: negative pair count");
+  for _ = 1 to npairs do
+    let src = remap (Binfile.Cur.i64 c) in
+    let dst = remap (Binfile.Cur.i64 c) in
+    let freq = Binfile.Cur.i64 c in
+    if src >= 0 && src < labels && dst >= 0 && dst < labels then
+      Hashtbl.replace sel.pair_freqs (pack_pair sel src dst) freq
+  done;
+  sel
 
 let load_selectivity tbl path =
   let ic = open_in path in

@@ -52,10 +52,22 @@ val parse_selectivity : Label.table -> in_channel -> selectivity
 
 val save_selectivity : Label.table -> selectivity -> string -> unit
 (** Write the text form to a file (one [l]/[p] line per label / label
-    pair; names quoted so they round-trip). *)
+    pair; names quoted so they round-trip).  Atomic: temp file +
+    rename. *)
 
 val load_selectivity : Label.table -> string -> selectivity
 (** Inverse of {!save_selectivity}; interns label names into [table]. *)
+
+val add_selectivity_section : Binfile.writer -> selectivity -> unit
+(** Append the binary form ({!Binfile.tag_stats}) to a snapshot under
+    construction.  Label ids are the compute-time table's; the snapshot's
+    label section carries the names that make them portable. *)
+
+val selectivity_of_bytes : Bytes.t -> map:int array -> nlabels:int -> selectivity
+(** Decode a [tag_stats] payload, remapping stored label id [l] to
+    [map.(l)] (identity when loading into a fresh table); [nlabels] is
+    the destination table's label count.
+    @raise Binfile.Corrupt on malformed payloads. *)
 
 val degree_histogram : Digraph.t -> (int * int) list
 (** [(degree, node count)] pairs, ascending by degree, over total degree. *)

@@ -1,0 +1,399 @@
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+module Lru = Bpq_util.Lru
+
+let page_size = 4096
+(* Default page granularity; [open_ ?page_size] overrides it (any
+   multiple of 8 keeps the aligned-i64-never-spans-a-page invariant). *)
+
+type io_counters = {
+  faults : int;
+  bytes_read : int;
+  hits : int;
+}
+
+(* Per-constraint index metadata, decoded once at open; [keys_off] and
+   [payloads_off] are absolute file offsets. *)
+type cmeta = {
+  constr : Constr.t;
+  arity : int;
+  kw : int;  (* ints per key record, excluding the (start, len) trailer *)
+  n_keys : int;
+  keys_off : int;
+  payloads_off : int;
+  payload_ints : int;
+}
+
+type t = {
+  ic : in_channel;
+  mu : Mutex.t;
+  pages : Bytes.t Lru.t;
+  page_size : int;
+  file_len : int;
+  mutable faults : int;
+  mutable bytes_read : int;
+  mutable hits : int;
+  table : Label.table;
+  n_nodes : int;
+  n_edges : int;
+  labels_off : int;  (* node label array *)
+  voff_off : int;  (* value offset array, n+1 entries *)
+  blob_off : int;  (* value blob *)
+  blob_len : int;
+  out_off_off : int;  (* out-CSR offset array, n+1 entries *)
+  out_adj_off : int;  (* out-CSR adjacency array, m entries *)
+  stamp : int;
+  metas : cmeta list;
+  by_constr : (Constr.t, cmeta) Hashtbl.t;
+  selectivity : Gstats.selectivity option;
+}
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Binfile.Corrupt s)) fmt
+
+(* ---------------- paged reads (call with [mu] held) ---------------- *)
+
+let load_page t pn =
+  let off = pn * t.page_size in
+  let len = min t.page_size (t.file_len - off) in
+  if len <= 0 then corrupt "read past end of snapshot";
+  let b = Bytes.create len in
+  seek_in t.ic off;
+  really_input t.ic b 0 len;
+  t.faults <- t.faults + 1;
+  t.bytes_read <- t.bytes_read + len;
+  b
+
+let page t pn =
+  match Lru.find t.pages pn with
+  | Some b ->
+    t.hits <- t.hits + 1;
+    b
+  | None ->
+    let b = load_page t pn in
+    Lru.add t.pages pn b;
+    b
+
+(* An aligned i64 never spans a page boundary (the container 8-aligns
+   every array element and the page size is a multiple of 8). *)
+let read_i64 t off =
+  if off < 0 || off + 8 > t.file_len then corrupt "offset out of range";
+  Binfile.get_i64 (page t (off / t.page_size)) (off mod t.page_size)
+
+(* Unaligned byte range (value blobs), assembled across pages. *)
+let read_bytes t off len =
+  if len < 0 || off < 0 || off + len > t.file_len then corrupt "byte range out of range";
+  let out = Bytes.create len in
+  let filled = ref 0 in
+  while !filled < len do
+    let pos = off + !filled in
+    let p = page t (pos / t.page_size) in
+    let in_page = pos mod t.page_size in
+    let chunk = min (len - !filled) (Bytes.length p - in_page) in
+    Bytes.blit p in_page out !filled chunk;
+    filled := !filled + chunk
+  done;
+  out
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* ---------------- open ---------------- *)
+
+let sect_of sects tag = List.find_opt (fun (s : Binfile.sect) -> s.tag = tag) sects
+
+let require sects tag what =
+  match sect_of sects tag with
+  | Some s -> s
+  | None -> corrupt "snapshot has no %s section" what
+
+let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) path =
+  if page_size <= 0 || page_size mod 8 <> 0 then
+    invalid_arg "Paged.open_: page_size must be a positive multiple of 8";
+  let ic = open_in_bin path in
+  match
+    let file_len = in_channel_length ic in
+    let pread ~pos ~len =
+      let b = Bytes.create len in
+      seek_in ic pos;
+      really_input ic b 0 len;
+      b
+    in
+    let sects = Binfile.read_directory ~pread ~file_len in
+    let read_sect (s : Binfile.sect) = pread ~pos:s.off ~len:s.len in
+    (* Labels: small, read whole. *)
+    let lsect = require sects Binfile.tag_labels "label" in
+    let table = Label.create_table () in
+    let lc = Binfile.Cur.of_bytes (read_sect lsect) in
+    let nlabels = Binfile.Cur.i64 lc in
+    if nlabels < 0 then corrupt "labels section: negative count";
+    for _ = 1 to nlabels do
+      ignore (Label.intern table (Binfile.Cur.str lc))
+    done;
+    (* Nodes: header only; the arrays stay on disk. *)
+    let nsect = require sects Binfile.tag_nodes "node" in
+    let n = Binfile.get_i64 (pread ~pos:nsect.off ~len:8) 0 in
+    if n < 0 then corrupt "nodes section: negative node count";
+    let labels_off = nsect.off + 8 in
+    let voff_off = labels_off + (8 * n) in
+    let blob_off = voff_off + (8 * (n + 1)) in
+    if blob_off > nsect.off + nsect.len then corrupt "nodes section too short";
+    let blob_len = nsect.off + nsect.len - blob_off in
+    (* CSR: header only; edge probes touch out_off/out_adj. *)
+    let csect = require sects Binfile.tag_csr "adjacency" in
+    if csect.len < 32 then corrupt "csr section too short";
+    let ch = Binfile.Cur.of_bytes (pread ~pos:csect.off ~len:32) in
+    let n' = Binfile.Cur.i64 ch in
+    let m = Binfile.Cur.i64 ch in
+    if n' <> n then corrupt "csr section: node count disagrees with nodes section";
+    if m < 0 then corrupt "csr section: negative edge count";
+    let out_off_off = csect.off + 32 in
+    let out_adj_off = out_off_off + (8 * (n + 1)) in
+    if out_adj_off + (8 * m) > csect.off + csect.len then corrupt "csr section too short";
+    (* Selectivity: O(labels²), kept in memory. *)
+    let selectivity =
+      sect_of sects Binfile.tag_stats
+      |> Option.map (fun s ->
+             Gstats.selectivity_of_bytes (read_sect s)
+               ~map:(Array.init nlabels Fun.id)
+               ~nlabels:(Label.count table))
+    in
+    (* Schema metadata: stamp, constraints and each index's on-disk
+       geometry.  The meta region is tiny; key records and payloads — the
+       bulk — are only ever touched through the page cache. *)
+    let ssect =
+      require sects Binfile.tag_schema
+        "schema (the paged store serves index lookups, so a graph-only snapshot cannot back it)"
+    in
+    let scorrupt msg = corrupt "schema section: %s" msg in
+    let mpos = ref ssect.off in
+    let meta_i64 () =
+      if !mpos + 8 > ssect.off + ssect.len then scorrupt "metadata ends early";
+      let v = Binfile.get_i64 (pread ~pos:!mpos ~len:8) 0 in
+      mpos := !mpos + 8;
+      v
+    in
+    let stamp = meta_i64 () in
+    let ncons = meta_i64 () in
+    if ncons < 0 || ncons > 1_000_000 then scorrupt "implausible constraint count";
+    let metas =
+      List.init ncons (fun _ ->
+          let arity = meta_i64 () in
+          if arity < 0 || arity > 64 then scorrupt "implausible constraint arity";
+          let source = List.init arity (fun _ -> meta_i64 ()) in
+          let target = meta_i64 () in
+          let bound = meta_i64 () in
+          let kw = meta_i64 () in
+          let n_keys = meta_i64 () in
+          let keys_off = meta_i64 () in
+          let payloads_off = meta_i64 () in
+          let payload_ints = meta_i64 () in
+          List.iter
+            (fun l -> if l < 0 || l >= nlabels then scorrupt "label id out of range")
+            (target :: source);
+          let constr =
+            try Constr.make ~source ~target ~bound
+            with Invalid_argument _ -> scorrupt "invalid constraint"
+          in
+          if kw <> (if arity <= 2 then 1 else arity) then
+            scorrupt "key width disagrees with arity";
+          if n_keys < 0 || payload_ints < 0 then scorrupt "negative region size";
+          let record_bytes = 8 * n_keys * (kw + 2) in
+          if
+            keys_off < 0
+            || payloads_off <> keys_off + record_bytes
+            || payloads_off + (8 * payload_ints) > ssect.len
+          then scorrupt "index region out of bounds";
+          { constr;
+            arity;
+            kw;
+            n_keys;
+            keys_off = ssect.off + keys_off;
+            payloads_off = ssect.off + payloads_off;
+            payload_ints })
+    in
+    Schema.register_stamp stamp;
+    let by_constr = Hashtbl.create (max 16 ncons) in
+    List.iter (fun m -> Hashtbl.replace by_constr m.constr m) metas;
+    let capacity =
+      match cache_pages with
+      | Some p ->
+        if p < 0 then invalid_arg "Paged.open_: negative cache_pages";
+        p
+      | None ->
+        if page_cache_mb <= 0 then invalid_arg "Paged.open_: page_cache_mb must be positive";
+        page_cache_mb * 1024 * 1024 / page_size
+    in
+    { ic;
+      mu = Mutex.create ();
+      pages = Lru.create capacity;
+      page_size;
+      file_len;
+      faults = 0;
+      bytes_read = 0;
+      hits = 0;
+      table;
+      n_nodes = n;
+      n_edges = m;
+      labels_off;
+      voff_off;
+      blob_off;
+      blob_len;
+      out_off_off;
+      out_adj_off;
+      stamp;
+      metas;
+      by_constr;
+      selectivity }
+  with
+  | t -> t
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+let close t = with_lock t (fun () -> close_in t.ic)
+
+(* ---------------- source operations ---------------- *)
+
+let node_label t v =
+  with_lock t (fun () ->
+      if v < 0 || v >= t.n_nodes then corrupt "node id out of range";
+      read_i64 t (t.labels_off + (8 * v)))
+
+let node_value t v =
+  with_lock t (fun () ->
+      if v < 0 || v >= t.n_nodes then corrupt "node id out of range";
+      let lo = read_i64 t (t.voff_off + (8 * v)) in
+      let hi = read_i64 t (t.voff_off + (8 * (v + 1))) in
+      if lo < 0 || hi < lo || hi > t.blob_len then corrupt "value offsets out of range";
+      let bytes = read_bytes t (t.blob_off + lo) (hi - lo) in
+      Graph_io.decode_value bytes ~pos:0 ~len:(hi - lo))
+
+(* Out-rows are sorted and deduplicated at freeze, so edge membership is
+   a binary search over the on-disk row. *)
+let probe_edge t src dst =
+  with_lock t (fun () ->
+      if src < 0 || src >= t.n_nodes then false
+      else begin
+        let lo = ref (read_i64 t (t.out_off_off + (8 * src))) in
+        let hi = ref (read_i64 t (t.out_off_off + (8 * (src + 1)))) in
+        if !lo < 0 || !hi < !lo || !hi > t.n_edges then corrupt "csr offsets out of range";
+        let found = ref false in
+        while (not !found) && !hi - !lo > 0 do
+          let mid = (!lo + !hi) / 2 in
+          let w = read_i64 t (t.out_adj_off + (8 * mid)) in
+          if w = dst then found := true else if w < dst then lo := mid + 1 else hi := mid
+        done;
+        !found
+      end)
+
+(* The native key record for a caller-supplied key, mirroring the
+   in-memory normalisation ([Index.packed_of_list] / sorted spill keys).
+   [None] = wrong shape for this constraint = finds nothing. *)
+let record_of_list m vs =
+  match (m.arity, vs) with
+  | 0, [] -> Some [| 0 |]
+  | 1, [ v ] -> Some [| v |]
+  | 2, [ a; b ] -> Some [| Index.pack2 a b |]
+  | arity, vs when List.length vs = arity && arity > 2 ->
+    Some (Array.of_list (List.sort Int.compare vs))
+  | _ -> None
+
+let record_of_tuple m (vs : int array) =
+  if Array.length vs <> m.arity then None
+  else
+    match m.arity with
+    | 0 -> Some [| 0 |]
+    | 1 -> Some [| vs.(0) |]
+    | 2 -> Some [| Index.pack2 vs.(0) vs.(1) |]
+    | _ ->
+      let copy = Array.copy vs in
+      Bpq_util.Int_sort.sort copy;
+      Some copy
+
+(* Binary search over the constraint's sorted fixed-width key records;
+   returns the bucket materialised in stored (insertion) order, so the
+   stream matches the in-memory index exactly. *)
+let search_bucket t m (key : int array) =
+  let stride = 8 * (m.kw + 2) in
+  let compare_at rec_i =
+    let base = m.keys_off + (rec_i * stride) in
+    let rec cmp i =
+      if i = m.kw then 0
+      else
+        let stored = read_i64 t (base + (8 * i)) in
+        if stored < key.(i) then -1 else if stored > key.(i) then 1 else cmp (i + 1)
+    in
+    cmp 0
+  in
+  let lo = ref 0 and hi = ref m.n_keys in
+  let found = ref (-1) in
+  while !found < 0 && !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    match compare_at mid with
+    | 0 -> found := mid
+    | c when c < 0 -> lo := mid + 1
+    | _ -> hi := mid
+  done;
+  if !found < 0 then [||]
+  else begin
+    let base = m.keys_off + (!found * stride) in
+    let start = read_i64 t (base + (8 * m.kw)) in
+    let len = read_i64 t (base + (8 * (m.kw + 1))) in
+    if start < 0 || len < 0 || start + len > m.payload_ints then
+      corrupt "schema section: payload pointer out of range";
+    Array.init len (fun i -> read_i64 t (m.payloads_off + (8 * (start + i))))
+  end
+
+let meta_of t c =
+  match Hashtbl.find_opt t.by_constr c with
+  | Some m -> m
+  | None -> raise Not_found
+
+let lookup t c key =
+  let m = meta_of t c in
+  match record_of_list m key with
+  | None -> [||]
+  | Some record -> with_lock t (fun () -> search_bucket t m record)
+
+let lookup_tuple t c tuple =
+  let m = meta_of t c in
+  match record_of_tuple m tuple with
+  | None -> [||]
+  | Some record -> with_lock t (fun () -> search_bucket t m record)
+
+let source t =
+  { Exec.lookup = (fun c key -> lookup t c key);
+    lookup_iter =
+      (* Materialise under the lock, then stream: executor callbacks read
+         node values and probe edges mid-iteration, which must not
+         deadlock on the store's mutex. *)
+      (fun c tuple f -> Array.iter f (lookup_tuple t c tuple));
+    probe_edge = (fun s d -> probe_edge t s d);
+    node_label = (fun v -> node_label t v);
+    node_value = (fun v -> node_value t v);
+    table = t.table;
+    constraints = List.map (fun m -> m.constr) t.metas;
+    stamp = t.stamp;
+    graph_size = t.n_nodes + t.n_edges }
+
+let table t = t.table
+let constraints t = List.map (fun m -> m.constr) t.metas
+let stamp t = t.stamp
+let n_nodes t = t.n_nodes
+let n_edges t = t.n_edges
+let graph_size t = t.n_nodes + t.n_edges
+let selectivity t = t.selectivity
+let page_size_of t = t.page_size
+
+let io_counters t =
+  with_lock t (fun () -> { faults = t.faults; bytes_read = t.bytes_read; hits = t.hits })
+
+let reset_io t =
+  with_lock t (fun () ->
+      t.faults <- 0;
+      t.bytes_read <- 0;
+      t.hits <- 0)
+
+let drop_cache t = with_lock t (fun () -> Lru.clear t.pages)

@@ -1,0 +1,90 @@
+(** Out-of-core snapshot store: serve {!Bpq_core.Exec.source} operations
+    straight from a snapshot file through a fixed-budget page cache.
+
+    A snapshot ({!Bpq_access.Schema.save}) lays every array out 8-aligned,
+    so an i64 never spans two of the 4096-byte pages this store caches.
+    Opening reads only the header, the directory, the label table, the
+    selectivity stats and the per-constraint metadata — O(labels +
+    constraints), not O(|G|); node attributes, adjacency and index
+    buckets stay on disk and fault in page by page, with an LRU
+    ({!Bpq_util.Lru}) bounding resident memory.  Index lookups
+    binary-search the sorted on-disk key records ({!Bpq_access.Index.export_buckets}
+    order) and stream payload buckets in stored order, so answers are
+    byte-identical to the in-memory backend at every cache capacity —
+    including a capacity of zero, where every access faults.
+
+    A [t] may serve several pool domains concurrently: the file handle
+    and the page cache sit behind one mutex, and every source operation
+    materialises what it needs under the lock before yielding to caller
+    callbacks (so callbacks may freely re-enter the store). *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+
+type t
+
+val page_size : int
+(** The default page granularity, 4096 bytes. *)
+
+val open_ : ?page_cache_mb:int -> ?cache_pages:int -> ?page_size:int -> string -> t
+(** [open_ path] validates the header and directory (not the checksum —
+    run {!Bpq_graph.Binfile.verify} first for a full integrity pass) and
+    loads the small metadata.  The page-cache budget is [page_cache_mb]
+    megabytes (default 16); [cache_pages] overrides it with an exact page
+    count — 0 is legal and makes every access a fault.  [page_size]
+    (default {!page_size}) sets the fault granularity and must be a
+    positive multiple of 8 — the container 8-aligns every array element,
+    so an aligned i64 never spans a page at any such size.  I/O counters
+    start at zero (open-time reads are not counted).
+    @raise Binfile.Corrupt on malformed snapshots (including snapshots
+    without a schema section — the paged store serves index lookups, so
+    it needs the indexes).
+    @raise Sys_error when the file cannot be opened. *)
+
+val close : t -> unit
+(** Close the file handle; subsequent operations raise [Sys_error]. *)
+
+val source : t -> Exec.source
+(** The query-serving interface.  Unknown constraints raise [Not_found]
+    and wrong-arity keys find nothing, exactly like the in-memory
+    {!Bpq_access.Schema.index_of} / {!Bpq_access.Index.lookup} pair. *)
+
+val table : t -> Label.table
+(** Fresh table holding the snapshot's labels in stored id order. *)
+
+val constraints : t -> Constr.t list
+
+val stamp : t -> int
+(** The saved schema's stamp (registered with the process-wide supply on
+    open, like {!Bpq_access.Schema.load}). *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val graph_size : t -> int
+(** Nodes + edges, as {!Bpq_graph.Digraph.size}. *)
+
+val selectivity : t -> Gstats.selectivity option
+(** Stored selectivity statistics, if the snapshot carries them (loaded
+    in memory at open — they are O(labels²)). *)
+
+val page_size_of : t -> int
+(** The page granularity this store was opened with. *)
+
+(** {1 I/O accounting} *)
+
+type io_counters = {
+  faults : int;  (** Pages read from disk (cache misses). *)
+  bytes_read : int;  (** Bytes those faults transferred. *)
+  hits : int;  (** Page accesses served by the cache. *)
+}
+
+val io_counters : t -> io_counters
+
+val reset_io : t -> unit
+(** Zero the counters (the cache keeps its contents). *)
+
+val drop_cache : t -> unit
+(** Evict every cached page — the next access faults, as after a cold
+    start.  Counters are kept. *)

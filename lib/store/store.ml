@@ -1,0 +1,45 @@
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+
+type backend = Mem | Paged
+
+type mem = {
+  schema : Schema.t;
+  sel : Gstats.selectivity option;
+  src : Exec.source;
+}
+
+type t =
+  | In_mem of mem
+  | On_disk of Paged.t
+
+let of_schema ?selectivity schema =
+  In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema }
+
+let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?(verify = false) path =
+  match backend with
+  | Mem ->
+    (* Schema.load reads and checksums the whole file already. *)
+    let schema, sel = Schema.load (Label.create_table ()) path in
+    In_mem { schema; sel; src = Exec.source_of_schema schema }
+  | Paged ->
+    if verify then Binfile.verify path;
+    On_disk (Paged.open_ ?page_cache_mb ?cache_pages path)
+
+let backend = function In_mem _ -> Mem | On_disk _ -> Paged
+let source = function In_mem m -> m.src | On_disk p -> Paged.source p
+let table = function In_mem m -> Digraph.label_table (Schema.graph m.schema) | On_disk p -> Paged.table p
+let constraints = function In_mem m -> Schema.constraints m.schema | On_disk p -> Paged.constraints p
+let stamp = function In_mem m -> Schema.stamp m.schema | On_disk p -> Paged.stamp p
+
+let graph_size = function
+  | In_mem m -> Digraph.size (Schema.graph m.schema)
+  | On_disk p -> Paged.graph_size p
+
+let selectivity = function In_mem m -> m.sel | On_disk p -> Paged.selectivity p
+let schema = function In_mem m -> Some m.schema | On_disk _ -> None
+let io_counters = function In_mem _ -> None | On_disk p -> Some (Paged.io_counters p)
+let reset_io = function In_mem _ -> () | On_disk p -> Paged.reset_io p
+let drop_cache = function In_mem _ -> () | On_disk p -> Paged.drop_cache p
+let close = function In_mem _ -> () | On_disk p -> Paged.close p

@@ -1,0 +1,64 @@
+(** Unified storage-engine handle: one value that can back query serving
+    from either a fully in-memory schema or an out-of-core paged
+    snapshot, behind the {!Bpq_core.Exec.source} seam.
+
+    Everything downstream of planning ({!Bpq_core.Exec.run_with},
+    {!Bpq_core.Bounded_eval.run}, {!Bpq_core.Qcache}, {!Bpq_core.Batch},
+    {!Bpq_core.Distributed}) consumes the source, so backends are
+    interchangeable: results are byte-identical for the same snapshot
+    (pinned by the store test suite), only memory footprint and I/O
+    behaviour differ. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+
+type backend =
+  | Mem  (** Load the snapshot fully: rebuilt graph + indexes. *)
+  | Paged  (** Serve from the file through a page cache ({!Paged}). *)
+
+type t
+
+val of_schema : ?selectivity:Gstats.selectivity -> Schema.t -> t
+(** Wrap an already-built in-memory schema (no snapshot involved). *)
+
+val open_snapshot :
+  ?backend:backend ->
+  ?page_cache_mb:int ->
+  ?cache_pages:int ->
+  ?verify:bool ->
+  string ->
+  t
+(** Open a {!Bpq_access.Schema.save} snapshot.  [backend] defaults to
+    [Mem].  [page_cache_mb] / [cache_pages] size the paged backend's
+    cache ({!Paged.open_}; ignored under [Mem]).  [verify] (default
+    [false]) forces a full checksum pass even for the paged backend —
+    [Mem] always verifies, since it reads the whole file anyway.
+    @raise Binfile.Corrupt on malformed or damaged snapshots. *)
+
+val backend : t -> backend
+
+val source : t -> Exec.source
+(** The query-serving interface; identical answers whichever backend. *)
+
+val table : t -> Label.table
+val constraints : t -> Constr.t list
+val stamp : t -> int
+val graph_size : t -> int
+
+val selectivity : t -> Gstats.selectivity option
+(** Stored statistics (for {!Bpq_core.Costs}), when available. *)
+
+val schema : t -> Schema.t option
+(** The in-memory schema — [None] for the paged backend, whose whole
+    point is not materialising one. *)
+
+val io_counters : t -> Paged.io_counters option
+(** Page-cache counters — [None] for in-memory backends. *)
+
+val reset_io : t -> unit
+val drop_cache : t -> unit
+(** No-ops for in-memory backends. *)
+
+val close : t -> unit
+(** Release the file handle (paged); no-op for in-memory backends. *)

@@ -1,0 +1,14 @@
+let write path f =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let tmp, oc = Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ] base ".tmp" in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (try
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+   with e ->
+     cleanup ();
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    cleanup ();
+    raise e

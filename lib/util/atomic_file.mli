@@ -1,0 +1,13 @@
+(** Crash-safe file writes: temp file + rename.
+
+    Every persistent artifact in the tree (text graphs, selectivity
+    stats, binary snapshots) goes through {!write}, so a crash or kill
+    mid-write can never leave a truncated file under the target name —
+    the rename is atomic on POSIX filesystems and the temp file lives in
+    the target's own directory so the rename never crosses devices. *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] opens a fresh temp file next to [path] (binary mode),
+    runs [f] on its channel, flushes, closes, and renames it over
+    [path].  If [f] raises, the temp file is removed and the exception
+    re-raised; [path] is untouched either way until the rename. *)

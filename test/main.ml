@@ -27,4 +27,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("robustness", Test_robustness.suite);
       ("distributed", Test_distributed.suite);
-      ("semantics", Test_semantics.suite) ]
+      ("semantics", Test_semantics.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("store", Test_store.suite) ]

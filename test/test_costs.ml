@@ -114,8 +114,15 @@ let test_selectivity_roundtrip () =
 (* unchanged by the cost model.                                        *)
 (* ------------------------------------------------------------------ *)
 
-let fetch_key (f : Plan.fetch) = (f.unode, f.anchors, f.constr, f.est)
-let edge_key (ec : Plan.edge_check) = (ec.edge, ec.target_side, ec.via, ec.anchors, ec.est)
+(* Anchors compare by source label only: the cost tie-breaker may anchor
+   a refetch on a different same-label, already-fetched neighbour, and
+   Qplan documents that the bound carried by the chosen anchors never
+   changes (the est/bound fields below stay exact). *)
+let anchor_labels anchors = List.sort compare (List.map fst anchors)
+let fetch_key (f : Plan.fetch) = (f.unode, anchor_labels f.anchors, f.constr, f.est)
+
+let edge_key (ec : Plan.edge_check) =
+  (ec.edge, ec.target_side, ec.via, anchor_labels ec.anchors, ec.est)
 
 let plans_equivalent (plain : Plan.t) (costed : Plan.t) =
   List.sort compare (List.map fetch_key plain.fetches)

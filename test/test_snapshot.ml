@@ -1,0 +1,358 @@
+(* Binary snapshots: round trips, stamp lineage, corruption rejection,
+   atomic writes. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+
+let with_temp_file f =
+  let path = Filename.temp_file "bpq_snap" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* Structural graph equality by label NAME (ids may differ between
+   tables), values, and full edge relation. *)
+let same_graph tbl1 g1 tbl2 g2 =
+  Digraph.n_nodes g1 = Digraph.n_nodes g2
+  && Digraph.n_edges g1 = Digraph.n_edges g2
+  && (let ok = ref true in
+      Digraph.iter_nodes g1 (fun v ->
+          if Label.name tbl1 (Digraph.label g1 v) <> Label.name tbl2 (Digraph.label g2 v)
+          then ok := false;
+          if not (Value.equal (Digraph.value g1 v) (Digraph.value g2 v)) then ok := false);
+      Digraph.iter_edges g1 (fun s t -> if not (Digraph.has_edge g2 s t) then ok := false);
+      Digraph.iter_edges g2 (fun s t -> if not (Digraph.has_edge g1 s t) then ok := false);
+      !ok)
+
+let random_graph seed =
+  let tbl = Label.create_table () in
+  let g = Generators.random ~seed ~nodes:40 ~edges:100 ~labels:5 tbl in
+  (tbl, g)
+
+let bin_roundtrip_exact =
+  Helpers.qcheck ~count:25 "binary graph round trip is bit-exact" QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let tbl, g = random_graph seed in
+      with_temp_file (fun path ->
+          Graph_io.save_bin g path;
+          let tbl2 = Label.create_table () in
+          let g2, sel = Graph_io.load_bin tbl2 path in
+          (* Fresh table ⇒ identity label map ⇒ the raw CSR arrays round
+             trip verbatim. *)
+          sel = None
+          && Digraph.Repr.of_graph g = Digraph.Repr.of_graph g2
+          && same_graph tbl g tbl2 g2))
+
+let text_binary_agree =
+  Helpers.qcheck ~count:25 "text and binary loads agree" QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let _, g = random_graph seed in
+      with_temp_file (fun bin_path ->
+          with_temp_file (fun text_path ->
+              Graph_io.save_bin g bin_path;
+              Graph_io.save g text_path;
+              let tb = Label.create_table () and tt = Label.create_table () in
+              let gb, _ = Graph_io.load_bin tb bin_path in
+              let gt = Graph_io.load tt text_path in
+              same_graph tb gb tt gt)))
+
+let test_label_remap () =
+  let tbl, g = random_graph 7 in
+  with_temp_file (fun path ->
+      Graph_io.save_bin ~selectivity:(Gstats.selectivity g) g path;
+      (* Pre-populate the destination table so stored label ids shift. *)
+      let tbl2 = Label.create_table () in
+      ignore (Label.intern tbl2 "unrelated-a");
+      ignore (Label.intern tbl2 "unrelated-b");
+      let g2, sel2 = Graph_io.load_bin tbl2 path in
+      Helpers.check_true "remapped graph equal" (same_graph tbl g tbl2 g2);
+      (* by-label grouping must follow the new ids. *)
+      Digraph.iter_nodes g2 (fun v ->
+          let l = Digraph.label g2 v in
+          Helpers.check_true "node grouped under its label"
+            (Array.exists (( = ) v) (Digraph.nodes_with_label g2 l)));
+      let sel = Gstats.selectivity g and sel2 = Option.get sel2 in
+      List.iter
+        (fun l ->
+          let l2 = Label.intern tbl2 (Label.name tbl l) in
+          Helpers.check_int "node_count survives remap" (Gstats.node_count sel l)
+            (Gstats.node_count sel2 l2);
+          List.iter
+            (fun l' ->
+              let l2' = Label.intern tbl2 (Label.name tbl l') in
+              Helpers.check_int "pair_freq survives remap"
+                (Gstats.pair_freq sel ~src:l ~dst:l')
+                (Gstats.pair_freq sel2 ~src:l2 ~dst:l2'))
+            (Label.all tbl))
+        (Label.all tbl))
+
+let test_selectivity_roundtrip () =
+  let tbl, g = random_graph 11 in
+  let sel = Gstats.selectivity g in
+  with_temp_file (fun path ->
+      Graph_io.save_bin ~selectivity:sel g path;
+      let tbl2 = Label.create_table () in
+      let _, sel2 = Graph_io.load_bin tbl2 path in
+      let sel2 = Option.get sel2 in
+      List.iter
+        (fun l ->
+          Helpers.check_int "node_count" (Gstats.node_count sel l) (Gstats.node_count sel2 l);
+          Helpers.check_true "avg_out_degree"
+            (Float.abs (Gstats.avg_out_degree sel l -. Gstats.avg_out_degree sel2 l) < 1e-9);
+          List.iter
+            (fun l' ->
+              Helpers.check_int "pair_freq"
+                (Gstats.pair_freq sel ~src:l ~dst:l')
+                (Gstats.pair_freq sel2 ~src:l ~dst:l'))
+            (Label.all tbl))
+        (Label.all tbl))
+
+(* Schema round trip: constraints, stamp, and exact bucket contents in
+   order. *)
+let schema_roundtrip =
+  Helpers.qcheck ~count:20 "schema snapshot round trip" QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let _, g, constrs, _ = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      with_temp_file (fun path ->
+          Schema.save schema path;
+          let tbl2 = Label.create_table () in
+          let schema2, _ = Schema.load tbl2 path in
+          let ok = ref (Schema.stamp schema2 = Schema.stamp schema) in
+          if List.length (Schema.constraints schema2) <> List.length (Schema.constraints schema)
+          then ok := false;
+          List.iter
+            (fun c ->
+              let idx = Schema.index_of schema c in
+              let idx2 = Schema.index_of schema2 c in
+              (* Fresh table ⇒ identity label map ⇒ same constraint values.
+                 Buckets must match exactly, order included. *)
+              Index.iter idx (fun key bucket ->
+                  if Index.lookup idx2 key <> bucket then ok := false);
+              if Index.n_keys idx2 <> Index.n_keys idx then ok := false;
+              if Index.size idx2 <> Index.size idx then ok := false)
+            (Schema.constraints schema);
+          if Schema.violations schema2 <> Schema.violations schema then ok := false;
+          !ok))
+
+let loaded_schema_executes_identically =
+  Helpers.qcheck ~count:20 "loaded schema executes plans identically"
+    QCheck2.Gen.(int_range 1 100_000) (fun seed ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      match Qplan.generate Actualized.Subgraph q constrs with
+      | None -> true
+      | Some plan ->
+        with_temp_file (fun path ->
+            Schema.save schema path;
+            let schema2, _ = Schema.load (Label.create_table ()) path in
+            let canon (r : Exec.result) =
+              ( r.from_gq,
+                r.candidates_g,
+                r.stats,
+                r.trace,
+                Digraph.Repr.of_graph r.gq )
+            in
+            canon (Exec.run schema plan) = canon (Exec.run schema2 plan)))
+
+let test_stamp_lineage () =
+  let _, g, constrs, _ = Helpers.random_instance 42 in
+  let schema = Schema.build g constrs in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      let s1, _ = Schema.load (Label.create_table ()) path in
+      let s2, _ = Schema.load (Label.create_table ()) path in
+      Helpers.check_int "stamp preserved" (Schema.stamp schema) (Schema.stamp s1);
+      Helpers.check_int "stamp stable across loads" (Schema.stamp s1) (Schema.stamp s2);
+      (* The supply must have been pushed past the loaded stamp: a fresh
+         build may never alias it. *)
+      let fresh = Schema.build g constrs in
+      Helpers.check_true "fresh build does not alias loaded stamp"
+        (Schema.stamp fresh <> Schema.stamp s1))
+
+let test_qcache_survives_roundtrip () =
+  let ds = Bpq_workload.Workload.imdb ~scale:0.02 () in
+  let a0 = Bpq_workload.Workload.a0 ds.table in
+  let schema = Schema.build ds.graph a0 in
+  let q = Bpq_workload.Workload.q0 ds.table in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      (* Load into the SAME table: plans cached under the original schema
+         must be served for the loaded one (same stamp, same ids). *)
+      let schema2, _ = Schema.load ds.table path in
+      let cache = Qcache.create () in
+      let p1 = Qcache.plan_for cache Actualized.Subgraph schema q in
+      let p2 = Qcache.plan_for cache Actualized.Subgraph schema2 q in
+      Helpers.check_true "plan cached" (p1 <> None);
+      Helpers.check_true "plan identical" (p1 = p2);
+      let st = Qcache.stats cache in
+      Helpers.check_int "second lookup hit the plan tier" 1 st.Qcache.plan_hits;
+      Helpers.check_int "one miss total" 1 st.Qcache.plan_misses)
+
+(* ---------------- corruption rejection ---------------- *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b)
+
+let write_all path bytes =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc bytes)
+
+let expect_corrupt what f =
+  match f () with
+  | exception Binfile.Corrupt _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Binfile.Corrupt, got %s" what (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: expected Binfile.Corrupt, got a value" what
+
+let test_rejects_truncation () =
+  let _, g = random_graph 3 in
+  with_temp_file (fun path ->
+      Graph_io.save_bin g path;
+      let data = read_all path in
+      List.iter
+        (fun keep ->
+          with_temp_file (fun cut ->
+              write_all cut (Bytes.sub data 0 keep);
+              expect_corrupt
+                (Printf.sprintf "truncated to %d bytes" keep)
+                (fun () -> Graph_io.load_bin (Label.create_table ()) cut)))
+        [ 0; 4; 24; Bytes.length data / 2; Bytes.length data - 1 ])
+
+let test_rejects_bad_magic () =
+  let _, g = random_graph 4 in
+  with_temp_file (fun path ->
+      Graph_io.save_bin g path;
+      let data = read_all path in
+      Bytes.blit_string "NOTASNAP" 0 data 0 8;
+      write_all path data;
+      Helpers.check_false "sniff rejects" (Graph_io.is_snapshot path);
+      expect_corrupt "bad magic" (fun () -> Graph_io.load_bin (Label.create_table ()) path))
+
+let test_rejects_bad_version () =
+  let _, g = random_graph 5 in
+  with_temp_file (fun path ->
+      Graph_io.save_bin g path;
+      let data = read_all path in
+      Bytes.set data 8 '\x63';
+      write_all path data;
+      expect_corrupt "bad version" (fun () -> Graph_io.load_bin (Label.create_table ()) path))
+
+let flipped_byte_rejected =
+  Helpers.qcheck ~count:25 "any flipped byte fails the checksum"
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 10_000_000))
+    (fun (seed, at) ->
+      let _, g = random_graph seed in
+      with_temp_file (fun path ->
+          Graph_io.save_bin g path;
+          let data = read_all path in
+          let at = at mod Bytes.length data in
+          Bytes.set data at (Char.chr (Char.code (Bytes.get data at) lxor 0x40));
+          write_all path data;
+          match Graph_io.load_bin (Label.create_table ()) path with
+          | exception Binfile.Corrupt _ -> true
+          | _ -> false))
+
+let test_verify () =
+  let _, g = random_graph 6 in
+  with_temp_file (fun path ->
+      Graph_io.save_bin g path;
+      Binfile.verify path;
+      let data = read_all path in
+      let mid = Bytes.length data / 2 in
+      Bytes.set data mid (Char.chr (Char.code (Bytes.get data mid) lxor 1));
+      write_all path data;
+      expect_corrupt "verify detects damage" (fun () -> Binfile.verify path))
+
+let test_schema_section_required () =
+  let _, g = random_graph 8 in
+  with_temp_file (fun path ->
+      (* A graph-only snapshot has no schema section: Schema.load must
+         fail with a clear error, not crash. *)
+      Graph_io.save_bin g path;
+      expect_corrupt "missing schema section" (fun () ->
+          Schema.load (Label.create_table ()) path))
+
+(* ---------------- atomic writes ---------------- *)
+
+let in_fresh_dir f =
+  let dir = Filename.temp_file "bpq_snapdir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_atomic_no_leftovers () =
+  let tbl, g = random_graph 9 in
+  in_fresh_dir (fun dir ->
+      let p1 = Filename.concat dir "g.snap" in
+      let p2 = Filename.concat dir "g.txt" in
+      let p3 = Filename.concat dir "g.sel" in
+      Graph_io.save_bin g p1;
+      Graph_io.save g p2;
+      Gstats.save_selectivity tbl (Gstats.selectivity g) p3;
+      (* Overwrite each once more: rename over an existing file. *)
+      Graph_io.save_bin g p1;
+      Graph_io.save g p2;
+      let entries = List.sort compare (Array.to_list (Sys.readdir dir)) in
+      Alcotest.(check (list string)) "only the targets remain" [ "g.sel"; "g.snap"; "g.txt" ]
+        entries)
+
+let test_failed_write_leaves_target () =
+  let _, g = random_graph 10 in
+  in_fresh_dir (fun dir ->
+      let p = Filename.concat dir "g.snap" in
+      Graph_io.save_bin g p;
+      let before = read_all p in
+      (* A writer whose callback raises must leave the target untouched
+         and clean up its temp file. *)
+      (match
+         Bpq_util.Atomic_file.write p (fun oc ->
+             output_string oc "partial garbage";
+             failwith "simulated crash")
+       with
+      | exception Failure _ -> ()
+      | () -> Alcotest.fail "expected the simulated crash to propagate");
+      Helpers.check_true "target intact" (read_all p = before);
+      Alcotest.(check (list string)) "no temp leftovers" [ "g.snap" ]
+        (List.sort compare (Array.to_list (Sys.readdir dir))))
+
+let test_is_snapshot_sniff () =
+  let _, g = random_graph 12 in
+  with_temp_file (fun bin_path ->
+      with_temp_file (fun text_path ->
+          Graph_io.save_bin g bin_path;
+          Graph_io.save g text_path;
+          Helpers.check_true "snapshot sniffs true" (Graph_io.is_snapshot bin_path);
+          Helpers.check_false "text sniffs false" (Graph_io.is_snapshot text_path);
+          Helpers.check_false "missing file sniffs false"
+            (Graph_io.is_snapshot (text_path ^ ".does-not-exist"))))
+
+let suite =
+  [ bin_roundtrip_exact;
+    text_binary_agree;
+    Alcotest.test_case "label remap on load" `Quick test_label_remap;
+    Alcotest.test_case "selectivity round trip" `Quick test_selectivity_roundtrip;
+    schema_roundtrip;
+    loaded_schema_executes_identically;
+    Alcotest.test_case "stamp lineage" `Quick test_stamp_lineage;
+    Alcotest.test_case "qcache keys survive save/load" `Quick test_qcache_survives_roundtrip;
+    Alcotest.test_case "rejects truncation" `Quick test_rejects_truncation;
+    Alcotest.test_case "rejects bad magic" `Quick test_rejects_bad_magic;
+    Alcotest.test_case "rejects bad version" `Quick test_rejects_bad_version;
+    flipped_byte_rejected;
+    Alcotest.test_case "verify detects damage" `Quick test_verify;
+    Alcotest.test_case "schema section required" `Quick test_schema_section_required;
+    Alcotest.test_case "atomic writes leave no temp files" `Quick test_atomic_no_leftovers;
+    Alcotest.test_case "failed write leaves target intact" `Quick test_failed_write_leaves_target;
+    Alcotest.test_case "snapshot sniffing" `Quick test_is_snapshot_sniff ]

@@ -1,0 +1,258 @@
+(* Cross-backend equivalence: the in-memory schema, the reloaded
+   snapshot and the out-of-core paged store must serve byte-identical
+   results at every page-cache capacity and pool size. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+module Store = Bpq_store.Store
+module Paged = Bpq_store.Paged
+module Pool = Bpq_util.Pool
+
+let with_temp_file f =
+  let path = Filename.temp_file "bpq_store" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let with_paged ?page_cache_mb ?cache_pages path f =
+  let p = Paged.open_ ?page_cache_mb ?cache_pages path in
+  Fun.protect ~finally:(fun () -> Paged.close p) (fun () -> f p)
+
+(* Strict result identity: arrays verbatim, stats, trace and the exact
+   G_Q representation. *)
+let canon (r : Exec.result) =
+  (r.from_gq, r.candidates_g, r.stats, r.trace, Digraph.Repr.of_graph r.gq)
+
+let instance_plan seed =
+  let _, g, constrs, r = Helpers.random_instance seed in
+  let schema = Schema.build g constrs in
+  let q = Bpq_pattern.Qgen.from_walk r g in
+  (schema, Qplan.generate Actualized.Subgraph q constrs)
+
+let backends_identical =
+  Helpers.qcheck ~count:25 "paged results identical to memory at every capacity"
+    QCheck2.Gen.(int_range 1 100_000) (fun seed ->
+      match instance_plan seed with
+      | _, None -> true
+      | schema, Some plan ->
+        with_temp_file (fun path ->
+            Schema.save schema path;
+            let reference = canon (Exec.run schema plan) in
+            let via_load =
+              let schema2, _ = Schema.load (Label.create_table ()) path in
+              canon (Exec.run schema2 plan)
+            in
+            let via_paged cache_pages =
+              with_paged ~cache_pages path (fun p ->
+                  canon (Exec.run_with (Paged.source p) plan))
+            in
+            (* Capacity 0: every access faults.  1: constant thrash.
+               65536: everything resident after first touch. *)
+            reference = via_load
+            && List.for_all (fun cap -> via_paged cap = reference) [ 0; 1; 7; 65536 ]))
+
+let answers_identical =
+  Helpers.qcheck ~count:20 "bounded answers agree across backends"
+    QCheck2.Gen.(pair (int_range 1 100_000) bool) (fun (seed, sim) ->
+      let _, g, constrs, r = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      let sem = if sim then Actualized.Simulation else Actualized.Subgraph in
+      let q = Bpq_pattern.Qgen.from_walk r g in
+      match Qplan.generate sem q constrs with
+      | None -> true
+      | Some plan ->
+        with_temp_file (fun path ->
+            Schema.save schema path;
+            with_paged ~cache_pages:3 path (fun p ->
+                Bounded_eval.run (Exec.source_of_schema schema) plan
+                = Bounded_eval.run (Paged.source p) plan)))
+
+let q0_setup () =
+  let ds = Bpq_workload.Workload.imdb ~scale:0.02 () in
+  let a0 = Bpq_workload.Workload.a0 ds.table in
+  let schema = Schema.build ds.graph a0 in
+  let plan = Qplan.generate_exn Actualized.Subgraph (Bpq_workload.Workload.q0 ds.table) a0 in
+  (schema, plan)
+
+let test_q0_parity_and_pools () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      let reference = canon (Exec.run schema plan) in
+      with_paged ~page_cache_mb:1 path (fun p ->
+          let src = Paged.source p in
+          Helpers.check_true "sequential paged run identical"
+            (canon (Exec.run_with src plan) = reference);
+          let pools = List.map (fun j -> (j, Pool.create j)) [ 2; 4 ] in
+          Fun.protect
+            ~finally:(fun () -> List.iter (fun (_, p) -> Pool.shutdown p) pools)
+            (fun () ->
+              List.iter
+                (fun (j, pool) ->
+                  Helpers.check_true
+                    (Printf.sprintf "paged run identical on %d domains" j)
+                    (canon (Exec.run_with ~pool src plan) = reference))
+                pools)))
+
+let test_io_counters () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged ~page_cache_mb:64 path (fun p ->
+          let src = Paged.source p in
+          let c0 = Paged.io_counters p in
+          Helpers.check_int "open-time reads not counted" 0 c0.Paged.faults;
+          ignore (Exec.run_with src plan);
+          let cold = Paged.io_counters p in
+          Helpers.check_true "cold run faults" (cold.Paged.faults > 0);
+          Helpers.check_true "bytes follow faults"
+            (cold.Paged.bytes_read > 0
+            && cold.Paged.bytes_read <= cold.Paged.faults * Paged.page_size);
+          (* Warm run: the budget holds the working set, so no new
+             faults. *)
+          Paged.reset_io p;
+          ignore (Exec.run_with src plan);
+          let warm = Paged.io_counters p in
+          Helpers.check_int "warm run fully cached" 0 warm.Paged.faults;
+          Helpers.check_true "warm run hits" (warm.Paged.hits > 0);
+          (* Dropping the cache makes the next run cold again. *)
+          Paged.reset_io p;
+          Paged.drop_cache p;
+          ignore (Exec.run_with src plan);
+          let recold = Paged.io_counters p in
+          Helpers.check_int "drop_cache restores cold behaviour" cold.Paged.faults
+            recold.Paged.faults);
+      (* Capacity 0 stores nothing: every page access faults. *)
+      with_paged ~cache_pages:0 path (fun p ->
+          ignore (Exec.run_with (Paged.source p) plan);
+          let c = Paged.io_counters p in
+          Helpers.check_true "uncached store faults" (c.Paged.faults > 0);
+          Helpers.check_int "uncached store never hits" 0 c.Paged.hits))
+
+let test_source_metadata () =
+  let schema, _ = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged path (fun p ->
+          let src = Paged.source p in
+          Helpers.check_int "stamp matches schema" (Schema.stamp schema) src.Exec.stamp;
+          Helpers.check_int "graph size matches"
+            (Digraph.size (Schema.graph schema))
+            src.Exec.graph_size;
+          Helpers.check_int "constraint count"
+            (List.length (Schema.constraints schema))
+            (List.length src.Exec.constraints);
+          Helpers.check_true "constraints equal"
+            (List.for_all2 Constr.equal (Schema.constraints schema) src.Exec.constraints)))
+
+let test_unknown_constraint_raises () =
+  let _, g, constrs, _ = Helpers.random_instance 5 in
+  let schema = Schema.build g constrs in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged path (fun p ->
+          let src = Paged.source p in
+          let foreign = Constr.make ~source:[] ~target:9999 ~bound:1 in
+          (match src.Exec.lookup foreign [] with
+          | exception Not_found -> ()
+          | _ -> Alcotest.fail "expected Not_found for a foreign constraint");
+          (* Wrong-arity keys find nothing, like the in-memory index. *)
+          match src.Exec.constraints with
+          | [] -> ()
+          | c :: _ ->
+            let too_wide = List.init (Constr.arity c + 1) Fun.id in
+            Helpers.check_int "wrong-arity key finds nothing" 0
+              (Array.length (src.Exec.lookup c too_wide))))
+
+let test_qcache_across_backends () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged path (fun p ->
+          let cache = Qcache.create () in
+          let mem_src = Exec.source_of_schema schema in
+          let a1 = Qcache.eval_plan_with cache mem_src plan in
+          (* Same stamp (snapshot preserves it), same key: the paged
+             evaluation must be served from the result tier. *)
+          let a2 = Qcache.eval_plan_with cache (Paged.source p) plan in
+          Helpers.check_true "answers equal" (a1 = a2);
+          let st = Qcache.stats cache in
+          Helpers.check_int "result tier hit across backends" 1 st.Qcache.result_hits;
+          Helpers.check_int "one evaluation total" 1 st.Qcache.result_misses))
+
+let test_distributed_over_paged () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged path (fun p ->
+          let reference, _ = Distributed.run (Distributed.create ~shards:4 schema) plan in
+          let over_paged, stats =
+            Distributed.run (Distributed.create_with ~shards:4 (Paged.source p)) plan
+          in
+          Helpers.check_true "sharded paged run identical"
+            (canon over_paged = canon reference);
+          Helpers.check_true "traffic recorded"
+            (Array.fold_left ( + ) 0 stats.Distributed.lookups_per_shard > 0)))
+
+let test_batch_over_paged () =
+  let ds = Bpq_workload.Workload.imdb ~scale:0.02 () in
+  let a0 = Bpq_workload.Workload.a0 ds.table in
+  let schema = Schema.build ds.graph a0 in
+  let patterns =
+    [ Bpq_workload.Workload.q0 ds.table; Bpq_workload.Workload.q0 ds.table ]
+  in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      with_paged path (fun p ->
+          let on_mem =
+            Batch.run_patterns Actualized.Subgraph (Exec.source_of_schema schema) patterns
+          in
+          let on_paged = Batch.run_patterns Actualized.Subgraph (Paged.source p) patterns in
+          List.iter2
+            (fun (_, a) (_, b) ->
+              match (a, b) with
+              | Some (Batch.Answer (x, _)), Some (Batch.Answer (y, _)) ->
+                Helpers.check_true "batch answers equal" (x = y)
+              | None, None -> ()
+              | _ -> Alcotest.fail "batch outcomes disagree across backends")
+            on_mem on_paged))
+
+let test_store_handle () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      let mem = Store.open_snapshot ~backend:Store.Mem path in
+      let paged =
+        Store.open_snapshot ~backend:Store.Paged ~page_cache_mb:4 ~verify:true path
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Store.close mem;
+          Store.close paged)
+        (fun () ->
+          Helpers.check_true "backends report themselves"
+            (Store.backend mem = Store.Mem && Store.backend paged = Store.Paged);
+          Helpers.check_int "stamps agree" (Store.stamp mem) (Store.stamp paged);
+          Helpers.check_int "graph sizes agree" (Store.graph_size mem)
+            (Store.graph_size paged);
+          Helpers.check_true "mem exposes a schema" (Store.schema mem <> None);
+          Helpers.check_true "paged does not materialise a schema"
+            (Store.schema paged = None);
+          Helpers.check_true "only paged counts io"
+            (Store.io_counters mem = None && Store.io_counters paged <> None);
+          Helpers.check_true "selectivity round trips through of_schema"
+            (Store.selectivity (Store.of_schema schema) = None);
+          Helpers.check_true "handles serve identical results"
+            (canon (Exec.run_with (Store.source mem) plan)
+            = canon (Exec.run_with (Store.source paged) plan))))
+
+let suite =
+  [ backends_identical;
+    answers_identical;
+    Alcotest.test_case "q0 parity across pools" `Quick test_q0_parity_and_pools;
+    Alcotest.test_case "io counters" `Quick test_io_counters;
+    Alcotest.test_case "source metadata" `Quick test_source_metadata;
+    Alcotest.test_case "unknown constraint raises" `Quick test_unknown_constraint_raises;
+    Alcotest.test_case "qcache serves both backends" `Quick test_qcache_across_backends;
+    Alcotest.test_case "distributed over paged store" `Quick test_distributed_over_paged;
+    Alcotest.test_case "batch over paged store" `Quick test_batch_over_paged;
+    Alcotest.test_case "unified store handle" `Quick test_store_handle ]
