@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store bench-serve clean check-tree ci
 
 all: build
 
@@ -51,6 +51,17 @@ bench-store:
 	BENCH_FAST=1 dune exec bench/main.exe -- store --json _bench
 	jq -e '.store.identical and (.store.flatness < 2) and (.store.size_growth >= 10)' _bench/BENCH_store.json >/dev/null
 	@echo "bench-store: _bench/BENCH_store.json OK"
+
+# Serving experiment: closed-loop clients against the serve daemon over
+# a unix socket.  jq gates the invariants: every response byte-identical
+# to one-shot in-process evaluation, positive throughput, and a present
+# (non-null) p99 — the latter doubles as the NaN-in-JSON regression
+# guard, since a NaN percentile would either break parsing or surface
+# as null and fail the gate.
+bench-serve:
+	BENCH_FAST=1 dune exec bench/main.exe -- serve --json _bench
+	jq -e '.serve.identical and .serve.throughput_qps > 0 and (.serve.p99_ms != null)' _bench/BENCH_serve.json >/dev/null
+	@echo "bench-serve: _bench/BENCH_serve.json OK"
 
 clean:
 	dune clean

@@ -1,62 +1,10 @@
-(* Minimal JSON construction for the bench harness's --json artefacts.
+(* JSON construction for the bench harness's --json artefacts.
 
-   Hand-rolled on purpose: the harness has no JSON dependency and the
-   artefacts are small.  Output is strict JSON (escaped strings, finite
-   numbers — non-finite floats degrade to null) so downstream tooling
-   (jq in `make bench-micro`, perf-trajectory scripts) can rely on it. *)
+   The actual printer lives in {!Bpq_util.Jsonx} (shared with the serve
+   daemon's wire protocol); this module keeps the harness's historical
+   [Json_out] name.  Output is strict JSON — escaped strings, finite
+   numbers, non-finite floats degrade to null — so downstream tooling
+   (jq gates in `make bench-*`, perf-trajectory scripts) can rely on
+   every artefact parsing. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-let escape buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
-    else Buffer.add_string buf "null"
-  | Str s -> escape buf s
-  | Arr items ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf item)
-      items;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        escape buf k;
-        Buffer.add_char buf ':';
-        emit buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 256 in
-  emit buf j;
-  Buffer.contents buf
+include Bpq_util.Jsonx

@@ -651,6 +651,7 @@ let () =
       ("micro", Micro_kernels.run);
       ("intra", Intra_bench.run);
       ("store", Store_bench.run);
+      ("serve", Serve_bench.run);
       ("bechamel", bechamel) ]
   in
   let wanted =

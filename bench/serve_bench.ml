@@ -1,0 +1,170 @@
+(* SERVE — closed-loop load generation against the serve daemon.
+
+   The serving scenario end to end: one warm engine (schema + Qcache +
+   pool) behind `Server.serve` on a unix socket, and N closed-loop
+   clients (each waits for its answer before sending the next request)
+   driving the Workload.t0 template mix — the paper's §V "frequent query
+   load", every instantiation sharing one plan through the plan cache.
+
+   Two passes:
+     cold  — one client asks each distinct window once against a fresh
+             cache (plan + fetch + result misses);
+     warm  — N clients hammer the same mix concurrently; the result
+             tier answers, so this measures protocol + scheduling
+             overhead under concurrency.
+
+   Invariants gated by `make bench-serve` (jq on BENCH_serve.json):
+   every response byte-identical to direct in-process evaluation
+   (`identical`), positive throughput, and a present (non-null) p99 —
+   the NaN-to-null regression guard: an empty latency list must never
+   produce `NaN` literals that break jq. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_core
+open Bench_common
+module Server = Bpq_core.Server
+module Sock = Bpq_util.Sock
+module Jsonx = Bpq_util.Jsonx
+
+let n_clients = if fast then 4 else 8
+let reqs_per_client = if fast then 30 else 120
+
+(* Decode a server response's matches back to the evaluator's answer
+   shape for the identity check. *)
+let matches_of_response j =
+  match Jsonx.member "matches" j with
+  | Some (Jsonx.Arr rows) ->
+    Some
+      (List.map
+         (fun row ->
+           match row with
+           | Jsonx.Arr cells ->
+             Array.of_list
+               (List.map
+                  (fun c -> match Jsonx.to_int_opt c with Some v -> v | None -> -1)
+                  cells)
+           | _ -> [||])
+         rows)
+  | _ -> None
+
+let run () =
+  section "SERVE — closed-loop clients against the serve daemon (template mix, cold vs warm)";
+  let ds = dataset "IMDbG" base_scale in
+  let t0 = W.t0 ds.W.table in
+  let windows = if fast then 4 else 8 in
+  let queries =
+    List.init windows (fun i ->
+        Template.instantiate t0
+          [ ("lo", Value.Int (2003 + i)); ("hi", Value.Int (2003 + i + 2)) ])
+  in
+  let texts = Array.of_list (List.map Pattern_parser.to_source queries) in
+  let src = Exec.source_of_schema ds.W.schema in
+  let costs = Costs.of_graph ds.W.graph in
+  (* The one-shot baseline: the same plan path `bpq run` takes, computed
+     in-process.  Every served response must reproduce these matches
+     byte-for-byte. *)
+  let expected =
+    List.map
+      (fun q ->
+        match Qplan.generate ~costs Actualized.Subgraph q src.Exec.constraints with
+        | None -> invalid_arg "serve bench: template instantiation not bounded"
+        | Some plan ->
+          (match Bounded_eval.run ~pool src plan with
+           | Bounded_eval.Matches ms -> ms
+           | Bounded_eval.Relation _ -> assert false))
+      queries
+    |> Array.of_list
+  in
+  let cache = Qcache.create () in
+  let server =
+    Server.create ~cache ~max_inflight:256 ~max_connections:(n_clients + 4) ~pool
+      { Server.src; costs = Some costs; close = ignore }
+  in
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bpq-bench-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Sock.Unix_path sock_path in
+  let lfd = Sock.listen addr in
+  let server_thread = Thread.create (fun () -> Server.serve server lfd) () in
+  let identical = ref true in
+  let id_mu = Mutex.create () in
+  let note_mismatch () =
+    Mutex.lock id_mu;
+    identical := false;
+    Mutex.unlock id_mu
+  in
+  (* One client's closed loop: [n] requests cycling through the template
+     windows starting at [offset]; returns per-request latencies. *)
+  let client_loop ~offset n =
+    let conn = Server.Client.connect ~read_timeout:60.0 ~write_timeout:60.0 addr in
+    Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+    List.init n (fun i ->
+        let k = (offset + i) mod windows in
+        let start = Timer.now () in
+        let resp = Server.Client.query conn texts.(k) in
+        let elapsed = Timer.now () -. start in
+        (match (Jsonx.member "ok" resp, matches_of_response resp) with
+         | Some (Jsonx.Bool true), Some ms when ms = expected.(k) -> ()
+         | _ -> note_mismatch ());
+        elapsed)
+  in
+  (* Cold pass: each window once, single client, empty cache. *)
+  let cold_lat, cold_s = Timer.time (fun () -> client_loop ~offset:0 windows) in
+  let cold_stats = Qcache.stats cache in
+  (* Warm pass: concurrent closed-loop clients over the same mix. *)
+  let results = Array.make n_clients [] in
+  let (), warm_s =
+    Timer.time (fun () ->
+        let threads =
+          List.init n_clients (fun c ->
+              Thread.create
+                (fun () -> results.(c) <- client_loop ~offset:c reqs_per_client)
+                ())
+        in
+        List.iter Thread.join threads)
+  in
+  let warm_lat = List.concat (Array.to_list results) in
+  let warm_stats = Qcache.stats cache in
+  Server.request_stop server;
+  Thread.join server_thread;
+  Sock.close_listener addr lfd;
+  let total = n_clients * reqs_per_client in
+  let throughput = if warm_s > 0.0 then float_of_int total /. warm_s else 0.0 in
+  let ms_opt v = Option.map (fun s -> s *. 1000.0) v in
+  let p50 = ms_opt (Stats.percentile_opt 0.5 warm_lat) in
+  let p99 = ms_opt (Stats.percentile_opt 0.99 warm_lat) in
+  let cold_p50 = ms_opt (Stats.percentile_opt 0.5 cold_lat) in
+  let warm_result_hits = warm_stats.Qcache.result_hits - cold_stats.Qcache.result_hits in
+  let cell = function Some v -> Printf.sprintf "%.3fms" v | None -> "n/a" in
+  let table =
+    Table.create [ "pass"; "clients"; "requests"; "wall"; "p50"; "p99"; "qps" ]
+  in
+  Table.add_row table
+    [ "cold"; "1"; string_of_int windows; Table.cell_time cold_s;
+      cell cold_p50; cell (ms_opt (Stats.percentile_opt 0.99 cold_lat)); "-" ];
+  Table.add_row table
+    [ "warm";
+      string_of_int n_clients;
+      string_of_int total;
+      Table.cell_time warm_s;
+      cell p50;
+      cell p99;
+      Printf.sprintf "%.0f" throughput ];
+  print_table table;
+  Printf.printf "  identical to one-shot evaluation: %b (result-tier hits during load: %d)\n%!"
+    !identical warm_result_hits;
+  push_json_field "serve"
+    (Json.Obj
+       [ ("clients", Json.Int n_clients);
+         ("requests", Json.Int total);
+         ("windows", Json.Int windows);
+         ("cold_s", Json.Float cold_s);
+         ("warm_s", Json.Float warm_s);
+         ("throughput_qps", Json.Float throughput);
+         ("p50_ms", Jsonx.of_float_opt p50);
+         ("p99_ms", Jsonx.of_float_opt p99);
+         ("cold_p50_ms", Jsonx.of_float_opt cold_p50);
+         ("result_hits_warm", Json.Int warm_result_hits);
+         ("identical", Json.Bool !identical) ])

@@ -500,10 +500,180 @@ let run_cmd =
           $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
           $ io_stats_arg)
 
+(* serve *)
+
+module Sock = Bpq_util.Sock
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(value & opt string "unix:bpq.sock"
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen address: unix:PATH, a bare path containing '/', HOST:PORT, or \
+                   :PORT (loopback).")
+  in
+  let constraints_opt =
+    Arg.(value & opt (some file) None
+         & info [ "a"; "constraints" ] ~docv:"FILE"
+             ~doc:"Access constraints (required for text graphs; snapshots embed theirs).")
+  in
+  let jobs =
+    Arg.(value & opt int (Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Evaluate queries on N domains; concurrent clients' queries spread \
+                   across the pool.")
+  in
+  let cache_mb =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"MB"
+             ~doc:"Cross-query cache budget in megabytes (default 64; 0 disables).")
+  in
+  let backend_arg =
+    let backend_conv =
+      let parse = function
+        | "mem" -> Ok Store.Mem
+        | "paged" -> Ok Store.Paged
+        | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mem|paged)" s))
+      in
+      let print fmt = function
+        | Store.Mem -> Format.pp_print_string fmt "mem"
+        | Store.Paged -> Format.pp_print_string fmt "paged"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(value & opt backend_conv Store.Mem
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Storage backend for snapshot graphs: 'mem' or 'paged' (out-of-core).")
+  in
+  let page_cache_arg =
+    Arg.(value & opt int 16
+         & info [ "page-cache" ] ~docv:"MB" ~doc:"Page-cache budget for --backend paged.")
+  in
+  let max_inflight_arg =
+    Arg.(value & opt int 64
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Queries queued or running at once; beyond this, requests get a typed \
+                   'overloaded' error immediately.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float 300.0
+         & info [ "read-timeout" ] ~docv:"S"
+             ~doc:"Per-connection idle read timeout in seconds (0 disables).")
+  in
+  let write_timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "write-timeout" ] ~docv:"S"
+             ~doc:"Per-connection write timeout in seconds (0 disables).")
+  in
+  let query_timeout_arg =
+    Arg.(value & opt float 0.0
+         & info [ "query-timeout" ] ~docv:"S"
+             ~doc:"Per-query evaluation budget in seconds (0 disables); an expired query \
+                   answers with a typed 'timeout' error.")
+  in
+  (* One resolution path for the initial open and every live reload: a
+     snapshot reopens (picking up a refreshed file atomically renamed
+     into place); a text graph reloads and rebuilds its schema. *)
+  let open_store ~pool ~backend ~page_cache graph constraints =
+    if Graph_io.is_snapshot graph then begin
+      (match constraints with
+       | Some _ -> failwith (Printf.sprintf "%s: snapshots embed their constraints; drop -a" graph)
+       | None -> ());
+      let store =
+        with_file graph (fun () -> Store.open_snapshot ~backend ~page_cache_mb:page_cache graph)
+      in
+      (store, Option.map Costs.make (Store.selectivity store))
+    end
+    else begin
+      (match backend with
+       | Store.Paged -> failwith "--backend paged needs a snapshot (build one with `bpq freeze`)"
+       | Store.Mem -> ());
+      let cfile =
+        match constraints with
+        | Some c -> c
+        | None ->
+          failwith
+            (Printf.sprintf "%s: text graphs need -a CONSTRAINTS (or freeze a snapshot first)" graph)
+      in
+      let tbl = Label.create_table () in
+      let g = with_file graph (fun () -> Graph_io.load tbl graph) in
+      let a = parse_constraints tbl cfile in
+      let schema = Schema.build ~pool g a in
+      if not (Schema.satisfied schema) then
+        failwith (Printf.sprintf "%s: the graph does not satisfy the access constraints" graph);
+      (Store.of_schema ~selectivity:(Gstats.selectivity g) schema, Some (Costs.of_graph g))
+    end
+  in
+  let run semantics graph constraints listen jobs cache_mb backend page_cache max_inflight
+      max_conns read_timeout write_timeout query_timeout =
+    guard @@ fun () ->
+    let addr =
+      match Sock.parse listen with Ok a -> a | Error msg -> failwith ("--listen " ^ msg)
+    in
+    let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
+    let pool = Pool.create jobs in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let slot_of store costs =
+      { Server.src = Store.source store;
+        costs;
+        close = (fun () -> Store.close store) }
+    in
+    let store0, costs0 = open_store ~pool ~backend ~page_cache graph constraints in
+    (* The stats hook follows reloads so `stats` always reports the live
+       generation's I/O counters. *)
+    let current = ref store0 in
+    let reload () =
+      let store, costs = open_store ~pool ~backend ~page_cache graph constraints in
+      current := store;
+      slot_of store costs
+    in
+    let extra_stats () =
+      match Store.io_counters !current with
+      | Some c ->
+        [ ("io",
+           Bpq_util.Jsonx.Obj
+             [ ("faults", Bpq_util.Jsonx.Int c.Paged.faults);
+               ("bytes_read", Bpq_util.Jsonx.Int c.Paged.bytes_read);
+               ("hits", Bpq_util.Jsonx.Int c.Paged.hits) ]) ]
+      | None -> []
+    in
+    let opt_pos v = if v > 0.0 then Some v else None in
+    let server =
+      Server.create ?cache ~max_inflight ~max_connections:max_conns
+        ?query_timeout:(opt_pos query_timeout) ~semantics ~reload ~extra_stats ~pool
+        (slot_of store0 costs0)
+    in
+    let stop_on signal =
+      try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Server.request_stop server))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    stop_on Sys.sigint;
+    stop_on Sys.sigterm;
+    let lfd = Sock.listen addr in
+    Printf.printf "bpq: serving %s on %s (%d jobs, backend %s)\n%!" graph (Sock.to_string addr)
+      (Pool.size pool)
+      (match backend with Store.Mem -> "mem" | Store.Paged -> "paged");
+    Fun.protect ~finally:(fun () -> Sock.close_listener addr lfd) @@ fun () ->
+    Server.serve ?read_timeout:(opt_pos read_timeout) ?write_timeout:(opt_pos write_timeout)
+      server lfd;
+    print_endline "bpq: shut down";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve pattern queries from a warm engine over a socket (line-delimited JSON).")
+    Term.(const run $ semantics_arg $ graph_arg $ constraints_opt $ listen_arg $ jobs
+          $ cache_mb $ backend_arg $ page_cache_arg $ max_inflight_arg $ max_conns_arg
+          $ read_timeout_arg $ write_timeout_arg $ query_timeout_arg)
+
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in
   let info = Cmd.info "bpq" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; run_cmd ]))
+          [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; run_cmd;
+            serve_cmd ]))

@@ -1,0 +1,589 @@
+(* The `bpq serve` daemon core: a long-lived request router over one warm
+   engine — schema/source, cross-query cache, domain pool — speaking a
+   line-delimited JSON protocol.
+
+   Architecture.  Connection handling and query execution are split
+   across the two kinds of concurrency OCaml 5 offers:
+
+   - each accepted connection gets a *systhread* (cheap, I/O-bound: it
+     reads request lines, writes response lines, and blocks);
+   - each admitted query is scheduled onto the existing domain *pool*
+     ({!Bpq_util.Pool.async}), where plan execution and match search
+     additionally parallelise intra-query exactly as in `bpq run`.
+
+   The split is what keeps {!Qcache} safe without a global lock: the
+   cache shards itself per domain, and routing every query onto pool
+   worker domains keeps each shard single-owner.  (With a sequential
+   pool there are no worker domains, so queries run inline under one
+   server-wide mutex instead — same answers, no parallelism.)
+
+   Admission control.  At most [max_inflight] queries may be queued or
+   running; a request beyond that is rejected immediately with a typed
+   [overloaded] error rather than stalling every client behind a growing
+   queue.  [max_connections] bounds the connection threads the same way.
+
+   Reload.  `reload` opens a fresh source (new snapshot generation) and
+   swaps it in under the server mutex.  In-flight queries keep the slot
+   they started on — each slot is refcounted and closed only when its
+   last query drains — so a reload never invalidates a running query.
+   Because {!Bpq_access.Schema.save}/[load] preserve the schema stamp,
+   plan- and result-tier cache entries keyed under the old generation's
+   stamp remain valid across a same-lineage reload: the warm cache
+   survives. *)
+
+open Bpq_util
+open Bpq_pattern
+module Json = Jsonx
+
+type slot_data = {
+  src : Exec.source;
+  costs : Costs.t option;
+  close : unit -> unit;
+}
+
+type slot = {
+  data : slot_data;
+  mutable refs : int;  (* in-flight queries pinned to this generation *)
+  mutable retired : bool;  (* swapped out by reload; close on last release *)
+}
+
+type t = {
+  pool : Pool.t;
+  cache : Qcache.t option;
+  max_inflight : int;
+  max_connections : int;
+  query_timeout : float option;
+  default_semantics : Actualized.semantics;
+  reload_hook : (unit -> slot_data) option;
+  extra_stats : unit -> (string * Json.t) list;
+  started : float;
+  latency : Histogram.t;  (* successful queries, seconds *)
+  mu : Mutex.t;
+  conn_done : Condition.t;
+  exec_mu : Mutex.t;  (* serialises inline execution on sequential pools *)
+  mutable slot : slot;
+  mutable inflight : int;
+  mutable live_conns : int;
+  mutable conn_fds : Unix.file_descr list;
+  mutable served : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable reloads : int;
+  mutable stop : bool;
+  mutable wake : Unix.file_descr option;
+}
+
+let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
+    ?(semantics = Actualized.Subgraph) ?reload ?(extra_stats = fun () -> []) ~pool data =
+  if max_inflight < 0 then invalid_arg "Server.create: negative max_inflight";
+  if max_connections < 1 then invalid_arg "Server.create: max_connections must be positive";
+  { pool;
+    cache;
+    max_inflight;
+    max_connections;
+    query_timeout;
+    default_semantics = semantics;
+    reload_hook = reload;
+    extra_stats;
+    started = Timer.now ();
+    latency = Histogram.create ();
+    mu = Mutex.create ();
+    conn_done = Condition.create ();
+    exec_mu = Mutex.create ();
+    slot = { data; refs = 0; retired = false };
+    inflight = 0;
+    live_conns = 0;
+    conn_fds = [];
+    served = 0;
+    rejected = 0;
+    errors = 0;
+    timeouts = 0;
+    reloads = 0;
+    stop = false;
+    wake = None }
+
+let stopped t = t.stop
+
+let request_stop t =
+  Mutex.lock t.mu;
+  t.stop <- true;
+  let wake = t.wake in
+  Mutex.unlock t.mu;
+  match wake with
+  | Some fd -> (try ignore (Unix.write_substring fd "x" 0 1) with Unix.Unix_error _ -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Slots: admission + refcounted source generations                    *)
+(* ------------------------------------------------------------------ *)
+
+type admit =
+  | Admitted of slot
+  | Refused of string  (* typed error code *)
+
+let acquire t =
+  Mutex.lock t.mu;
+  let r =
+    if t.stop then Refused "shutting_down"
+    else if t.inflight >= t.max_inflight then begin
+      t.rejected <- t.rejected + 1;
+      Refused "overloaded"
+    end
+    else begin
+      t.inflight <- t.inflight + 1;
+      let s = t.slot in
+      s.refs <- s.refs + 1;
+      Admitted s
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+let release t s =
+  Mutex.lock t.mu;
+  t.inflight <- t.inflight - 1;
+  s.refs <- s.refs - 1;
+  let close_now = s.retired && s.refs = 0 in
+  Mutex.unlock t.mu;
+  if close_now then try s.data.close () with _ -> ()
+
+let swap_slot t data =
+  let fresh = { data; refs = 0; retired = false } in
+  Mutex.lock t.mu;
+  let old = t.slot in
+  t.slot <- fresh;
+  old.retired <- true;
+  let close_now = old.refs = 0 in
+  t.reloads <- t.reloads + 1;
+  Mutex.unlock t.mu;
+  if close_now then try old.data.close () with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Query execution on the pool                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [f] on a pool worker domain and wait for its outcome; inline
+   (serialised) when the pool is sequential.  The exec mutex in the
+   sequential case is what keeps the per-domain cache shard single-owner
+   when every connection systhread shares the one domain. *)
+let on_pool t f =
+  if Pool.size t.pool > 1 then begin
+    let mu = Mutex.create () in
+    let cv = Condition.create () in
+    let cell = ref None in
+    Pool.async t.pool (fun () ->
+        let outcome = match f () with v -> Ok v | exception e -> Error e in
+        Mutex.lock mu;
+        cell := Some outcome;
+        Condition.signal cv;
+        Mutex.unlock mu);
+    Mutex.lock mu;
+    while Option.is_none !cell do
+      Condition.wait cv mu
+    done;
+    let outcome = Option.get !cell in
+    Mutex.unlock mu;
+    match outcome with Ok v -> v | Error e -> raise e
+  end
+  else begin
+    Mutex.lock t.exec_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.exec_mu) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sem_name = function Actualized.Subgraph -> "subgraph" | Actualized.Simulation -> "simulation"
+
+let sem_of_string = function
+  | "subgraph" | "iso" -> Some Actualized.Subgraph
+  | "simulation" | "sim" -> Some Actualized.Simulation
+  | _ -> None
+
+let with_id id fields = match id with None -> fields | Some id -> ("id", id) :: fields
+
+let ok_response ?id fields = Json.Obj (with_id id (("ok", Json.Bool true) :: fields))
+
+let error_response ?id code msg =
+  Json.Obj
+    (with_id id
+       [ ("ok", Json.Bool false); ("error", Json.Str code); ("message", Json.Str msg) ])
+
+let matches_json ms =
+  Json.Arr (List.map (fun m -> Json.Arr (List.map (fun v -> Json.Int v) (Array.to_list m))) ms)
+
+let relation_json sim =
+  Json.Arr
+    (Array.to_list
+       (Array.map
+          (fun vs -> Json.Arr (List.map (fun v -> Json.Int v) (Array.to_list vs)))
+          sim))
+
+let answer_fields = function
+  | Bounded_eval.Matches ms ->
+    [ ("matches", matches_json ms); ("n", Json.Int (List.length ms)) ]
+  | Bounded_eval.Relation sim ->
+    [ ("relation", relation_json sim);
+      ("n", Json.Int (Array.fold_left (fun acc vs -> acc + Array.length vs) 0 sim)) ]
+
+(* Parse the request's pattern against the slot's label table.  Interning
+   new labels mutates the shared table; handlers run on connection
+   systhreads (one domain) or under the exec path, and pool workers only
+   ever read label ids, so the mutation is not racy. *)
+let pattern_of req (s : slot) =
+  match Json.member "pattern" req with
+  | Some (Json.Str text) ->
+    (match Pattern_parser.parse_string s.data.src.Exec.table text with
+     | q -> Ok q
+     | exception Failure msg -> Error ("parse", msg))
+  | Some _ -> Error ("bad_request", "\"pattern\" must be a string")
+  | None -> Error ("bad_request", "missing \"pattern\"")
+  | exception _ -> Error ("bad_request", "malformed request")
+
+let semantics_of t req =
+  match Json.member "semantics" req with
+  | None -> Ok t.default_semantics
+  | Some (Json.Str s) ->
+    (match sem_of_string s with
+     | Some sem -> Ok sem
+     | None -> Error (Printf.sprintf "unknown semantics %S (subgraph|simulation)" s))
+  | Some _ -> Error "\"semantics\" must be a string"
+
+let limit_of req =
+  match Json.member "limit" req with
+  | None -> Ok None
+  | Some j ->
+    (match Json.to_int_opt j with
+     | Some n when n >= 0 -> Ok (Some n)
+     | _ -> Error "\"limit\" must be a non-negative integer")
+
+let plan_in_slot t sem (s : slot) q =
+  let src = s.data.src in
+  match t.cache with
+  | Some c -> Qcache.plan_for_with c ?costs:s.data.costs sem src q
+  | None -> Qplan.generate ?costs:s.data.costs sem q src.Exec.constraints
+
+let handle_query t ?id req =
+  match acquire t with
+  | Refused code ->
+    error_response ?id code
+      (if code = "overloaded" then
+         Printf.sprintf "query queue full (max_inflight %d)" t.max_inflight
+       else "server is shutting down")
+  | Admitted s ->
+    Fun.protect ~finally:(fun () -> release t s) @@ fun () ->
+    (match (pattern_of req s, semantics_of t req, limit_of req) with
+     | Error (code, msg), _, _ -> error_response ?id code msg
+     | Ok _, Error msg, _ | Ok _, Ok _, Error msg ->
+       error_response ?id "bad_request" msg
+     | Ok q, Ok sem, Ok limit ->
+       let src = s.data.src in
+       let start = Timer.now () in
+       let outcome =
+         on_pool t (fun () ->
+             match plan_in_slot t sem s q with
+             | None -> `Unbounded
+             | Some plan ->
+               let deadline = Option.map Timer.deadline_after t.query_timeout in
+               (match
+                  match t.cache with
+                  | Some c -> Qcache.eval_plan_with c ~pool:t.pool ?deadline src plan
+                  | None -> Bounded_eval.run ~pool:t.pool ?deadline src plan
+                with
+                | answer -> `Answer answer
+                | exception Timer.Timeout -> `Timeout))
+       in
+       let elapsed = Timer.now () -. start in
+       (match outcome with
+        | `Answer answer ->
+          Histogram.add t.latency elapsed;
+          Mutex.lock t.mu;
+          t.served <- t.served + 1;
+          Mutex.unlock t.mu;
+          let answer =
+            (* The result tier caches full answers; apply the limit on
+               the way out exactly like the one-shot CLI does. *)
+            match (answer, limit) with
+            | Bounded_eval.Matches ms, Some l ->
+              Bounded_eval.Matches (List.filteri (fun i _ -> i < l) ms)
+            | answer, _ -> answer
+          in
+          ok_response ?id
+            (("semantics", Json.Str (sem_name sem))
+             :: answer_fields answer
+             @ [ ("elapsed_ms", Json.Float (elapsed *. 1000.0));
+                 ("stamp", Json.Int src.Exec.stamp) ])
+        | `Timeout ->
+          Mutex.lock t.mu;
+          t.timeouts <- t.timeouts + 1;
+          Mutex.unlock t.mu;
+          error_response ?id "timeout"
+            (Printf.sprintf "query exceeded the %.3fs budget"
+               (Option.value t.query_timeout ~default:0.0))
+        | `Unbounded ->
+          let d = Ebchk.diagnose sem q src.Exec.constraints in
+          error_response ?id "unbounded" (Ebchk.report q d)))
+
+let handle_explain t ?id req =
+  match acquire t with
+  | Refused code -> error_response ?id code "cannot explain right now"
+  | Admitted s ->
+    Fun.protect ~finally:(fun () -> release t s) @@ fun () ->
+    (match (pattern_of req s, semantics_of t req) with
+     | Error (code, msg), _ -> error_response ?id code msg
+     | Ok _, Error msg -> error_response ?id "bad_request" msg
+     | Ok q, Ok sem ->
+       (match on_pool t (fun () -> plan_in_slot t sem s q) with
+        | Some plan ->
+          ok_response ?id
+            [ ("semantics", Json.Str (sem_name sem));
+              ("plan", Json.Str (Explain.describe ?costs:s.data.costs plan)) ]
+        | None ->
+          let d = Ebchk.diagnose sem q s.data.src.Exec.constraints in
+          error_response ?id "unbounded" (Ebchk.report q d)))
+
+let latency_json t =
+  let ms = Option.map (fun s -> s *. 1000.0) in
+  Json.Obj
+    [ ("count", Json.Int (Histogram.count t.latency));
+      ("mean_ms", Json.of_float_opt (ms (Histogram.mean t.latency)));
+      ("p50_ms", Json.of_float_opt (ms (Histogram.percentile t.latency 0.5)));
+      ("p90_ms", Json.of_float_opt (ms (Histogram.percentile t.latency 0.9)));
+      ("p99_ms", Json.of_float_opt (ms (Histogram.percentile t.latency 0.99)));
+      ("max_ms", Json.of_float_opt (ms (Histogram.maximum t.latency))) ]
+
+let cache_json c =
+  let s = Qcache.stats c in
+  Json.Obj
+    [ ("plan_hits", Json.Int s.Qcache.plan_hits);
+      ("plan_misses", Json.Int s.Qcache.plan_misses);
+      ("fetch_hits", Json.Int s.Qcache.fetch_hits);
+      ("fetch_misses", Json.Int s.Qcache.fetch_misses);
+      ("result_hits", Json.Int s.Qcache.result_hits);
+      ("result_misses", Json.Int s.Qcache.result_misses);
+      ("result_stale", Json.Int s.Qcache.result_stale) ]
+
+let handle_stats t ?id () =
+  Mutex.lock t.mu;
+  let inflight = t.inflight
+  and served = t.served
+  and rejected = t.rejected
+  and errors = t.errors
+  and timeouts = t.timeouts
+  and reloads = t.reloads
+  and conns = t.live_conns
+  and stamp = t.slot.data.src.Exec.stamp
+  and graph_size = t.slot.data.src.Exec.graph_size in
+  Mutex.unlock t.mu;
+  ok_response ?id
+    ([ ("uptime_s", Json.Float (Timer.now () -. t.started));
+       ("stamp", Json.Int stamp);
+       ("graph_size", Json.Int graph_size);
+       ("connections", Json.Int conns);
+       ("inflight", Json.Int inflight);
+       ("served", Json.Int served);
+       ("rejected", Json.Int rejected);
+       ("errors", Json.Int errors);
+       ("timeouts", Json.Int timeouts);
+       ("reloads", Json.Int reloads);
+       ("jobs", Json.Int (Pool.size t.pool));
+       ("latency", latency_json t) ]
+     @ (match t.cache with Some c -> [ ("cache", cache_json c) ] | None -> [])
+     @ t.extra_stats ())
+
+let handle_reload t ?id () =
+  match t.reload_hook with
+  | None -> error_response ?id "bad_request" "this server has no reload hook"
+  | Some f ->
+    (match f () with
+     | data ->
+       swap_slot t data;
+       ok_response ?id
+         [ ("stamp", Json.Int data.src.Exec.stamp);
+           ("graph_size", Json.Int data.src.Exec.graph_size) ]
+     | exception e ->
+       Mutex.lock t.mu;
+       t.errors <- t.errors + 1;
+       Mutex.unlock t.mu;
+       error_response ?id "reload_failed" (Printexc.to_string e))
+
+let handle_json t req =
+  let id = Json.member "id" req in
+  match Json.member "op" req with
+  | Some (Json.Str "query") -> handle_query t ?id req
+  | Some (Json.Str "explain") -> handle_explain t ?id req
+  | Some (Json.Str "stats") -> handle_stats t ?id ()
+  | Some (Json.Str "reload") -> handle_reload t ?id ()
+  | Some (Json.Str "shutdown") ->
+    request_stop t;
+    ok_response ?id [ ("stopping", Json.Bool true) ]
+  | Some (Json.Str op) ->
+    error_response ?id "bad_request"
+      (Printf.sprintf "unknown op %S (query|explain|stats|reload|shutdown)" op)
+  | Some _ -> error_response ?id "bad_request" "\"op\" must be a string"
+  | None -> error_response ?id "bad_request" "missing \"op\""
+
+let handle_line t line =
+  let resp =
+    match Json.parse line with
+    | Ok (Json.Obj _ as req) -> (
+      try handle_json t req
+      with e ->
+        Mutex.lock t.mu;
+        t.errors <- t.errors + 1;
+        Mutex.unlock t.mu;
+        error_response "internal" (Printexc.to_string e))
+    | Ok _ -> error_response "bad_request" "request must be a JSON object"
+    | Error msg -> error_response "parse" ("invalid JSON: " ^ msg)
+  in
+  Json.to_string resp
+
+(* ------------------------------------------------------------------ *)
+(* Socket serving                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let track_conn t fd =
+  Mutex.lock t.mu;
+  t.live_conns <- t.live_conns + 1;
+  t.conn_fds <- fd :: t.conn_fds;
+  Mutex.unlock t.mu
+
+let untrack_conn t fd =
+  Mutex.lock t.mu;
+  t.live_conns <- t.live_conns - 1;
+  t.conn_fds <- List.filter (fun f -> f != fd) t.conn_fds;
+  Condition.signal t.conn_done;
+  Mutex.unlock t.mu
+
+let handle_conn t ?read_timeout ?write_timeout fd =
+  Sock.set_timeouts ?read:read_timeout ?write:write_timeout fd;
+  let rd = Sock.reader fd in
+  let rec loop () =
+    if not (stopped t) then
+      match Sock.read_line rd with
+      | None -> ()
+      | Some "" -> loop ()
+      | Some line ->
+        Sock.write_line fd (handle_line t line);
+        loop ()
+  in
+  (try loop () with
+   | e when Sock.is_disconnect e -> ()  (* client went away mid-request/response *)
+   | e when Sock.is_timeout e -> ()  (* idle past the read timeout: drop the client *)
+   | Failure _ -> ()  (* oversized line *));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  untrack_conn t fd
+
+(* Accept loop: blocks in select on the listener and a wake pipe;
+   `shutdown` (or {!request_stop}) writes the pipe to break the block.
+   Returns once every connection thread has drained.  The caller owns
+   the listening fd ({!Bpq_util.Sock.listen} / [close_listener]). *)
+let serve ?read_timeout ?write_timeout t lfd =
+  Sock.ignore_sigpipe ();
+  let wr, ww = Unix.pipe ~cloexec:true () in
+  Mutex.lock t.mu;
+  t.wake <- Some ww;
+  let stop_already = t.stop in
+  Mutex.unlock t.mu;
+  let rec accept_loop () =
+    if not (stopped t) then begin
+      (match Unix.select [ lfd; wr ] [] [] (-1.0) with
+       | rs, _, _ ->
+         if (not (stopped t)) && List.memq lfd rs then begin
+           match Unix.accept ~cloexec:true lfd with
+           | fd, _ ->
+             let over =
+               Mutex.lock t.mu;
+               let over = t.live_conns >= t.max_connections in
+               Mutex.unlock t.mu;
+               over
+             in
+             if over then begin
+               (* Graceful degradation: tell the client why, then close. *)
+               (try
+                  Sock.write_line fd
+                    (Json.to_string
+                       (error_response "overloaded"
+                          (Printf.sprintf "connection limit %d reached" t.max_connections)))
+                with _ -> ());
+               try Unix.close fd with Unix.Unix_error _ -> ()
+             end
+             else begin
+               track_conn t fd;
+               ignore (Thread.create (fun () -> handle_conn t ?read_timeout ?write_timeout fd) ())
+             end
+           | exception
+               Unix.Unix_error
+                 ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+             ()
+         end
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  if not stop_already then accept_loop ();
+  (* Stop: break connection threads out of blocking reads, then wait for
+     them to drain.  Shut down only the receive side — the thread that
+     carried the `shutdown` request may still be writing its ack, and
+     SHUTDOWN_ALL would discard it.  Each thread performs the one real
+     close itself. *)
+  Mutex.lock t.mu;
+  let fds = t.conn_fds in
+  Mutex.unlock t.mu;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    fds;
+  Mutex.lock t.mu;
+  while t.live_conns > 0 do
+    Condition.wait t.conn_done t.mu
+  done;
+  t.wake <- None;
+  Mutex.unlock t.mu;
+  (try Unix.close wr with Unix.Unix_error _ -> ());
+  (try Unix.close ww with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type conn = {
+    fd : Unix.file_descr;
+    rd : Sock.reader;
+  }
+
+  let connect ?read_timeout ?write_timeout addr =
+    let fd = Sock.connect addr in
+    Sock.set_timeouts ?read:read_timeout ?write:write_timeout fd;
+    { fd; rd = Sock.reader fd }
+
+  let send c j = Sock.write_line c.fd (Json.to_string j)
+
+  let recv c =
+    match Sock.read_line c.rd with
+    | None -> None
+    | Some line ->
+      (match Json.parse line with
+       | Ok j -> Some j
+       | Error msg -> failwith ("malformed response: " ^ msg))
+
+  let rpc c j =
+    send c j;
+    match recv c with
+    | Some r -> r
+    | None -> failwith "server closed the connection"
+
+  let query ?semantics ?limit c pattern =
+    rpc c
+      (Json.Obj
+         ([ ("op", Json.Str "query"); ("pattern", Json.Str pattern) ]
+          @ (match semantics with Some s -> [ ("semantics", Json.Str (sem_name s)) ] | None -> [])
+          @ (match limit with Some l -> [ ("limit", Json.Int l) ] | None -> [])))
+
+  let stats c = rpc c (Json.Obj [ ("op", Json.Str "stats") ])
+  let reload c = rpc c (Json.Obj [ ("op", Json.Str "reload") ])
+  let shutdown c = rpc c (Json.Obj [ ("op", Json.Str "shutdown") ])
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

@@ -27,6 +27,8 @@ type cmeta = {
 
 type t = {
   ic : in_channel;
+  path : string;
+  mutable closed : bool;  (* guarded by [mu]; see close *)
   mu : Mutex.t;
   pages : Bytes.t Lru.t;
   page_size : int;
@@ -53,6 +55,13 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Binfile.Corrupt s)) fmt
 
 (* ---------------- paged reads (call with [mu] held) ---------------- *)
 
+(* Call with [mu] held, before touching the channel or the page cache.
+   A closed store answers with a stable [Sys_error] instead of whatever
+   the runtime happens to raise on a closed channel — and never serves
+   stale cached pages after close. *)
+let ensure_open t =
+  if t.closed then raise (Sys_error (t.path ^ ": paged store is closed"))
+
 let load_page t pn =
   let off = pn * t.page_size in
   let len = min t.page_size (t.file_len - off) in
@@ -65,6 +74,7 @@ let load_page t pn =
   b
 
 let page t pn =
+  ensure_open t;
   match Lru.find t.pages pn with
   | Some b ->
     t.hits <- t.hits + 1;
@@ -226,6 +236,8 @@ let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) path =
         page_cache_mb * 1024 * 1024 / page_size
     in
     { ic;
+      path;
+      closed = false;
       mu = Mutex.create ();
       pages = Lru.create capacity;
       page_size;
@@ -252,7 +264,18 @@ let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) path =
     close_in_noerr ic;
     raise e
 
-let close t = with_lock t (fun () -> close_in t.ic)
+(* Idempotent: the reload path can race shutdown into a double close
+   (both the retiring slot and the final cleanup call it), which must be
+   a no-op, not a [Sys_error] out of [close_in].  The page cache is
+   dropped too, so a use-after-close can never be satisfied from stale
+   cached pages. *)
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Lru.clear t.pages;
+        close_in_noerr t.ic
+      end)
 
 (* ---------------- source operations ---------------- *)
 

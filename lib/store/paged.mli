@@ -43,7 +43,11 @@ val open_ : ?page_cache_mb:int -> ?cache_pages:int -> ?page_size:int -> string -
     @raise Sys_error when the file cannot be opened. *)
 
 val close : t -> unit
-(** Close the file handle; subsequent operations raise [Sys_error]. *)
+(** Close the file handle and drop the page cache.  Idempotent: a second
+    [close] — e.g. a snapshot-reload path racing shutdown — is a no-op.
+    Subsequent source operations raise [Sys_error "...: paged store is
+    closed"] deterministically (cached pages are never served after
+    close). *)
 
 val source : t -> Exec.source
 (** The query-serving interface.  Unknown constraints raise [Not_found]

@@ -1,14 +1,45 @@
+(* Crash-safe, durable writes: temp file + fsync + rename + directory
+   fsync.
+
+   The rename alone only guarantees that readers never see a partial
+   file under the target name while the process lives.  Durability
+   across a crash needs more: the temp file's data must reach stable
+   storage *before* the rename (otherwise the rename can survive a crash
+   while the data does not, leaving a truncated "checksummed" snapshot
+   that a restarting `bpq serve` would then refuse — or worse, partially
+   read), and the directory entry itself must be fsynced after the
+   rename for the new name to be durable. *)
+
+let fsync_dir dir =
+  (* Best-effort: some filesystems refuse O_RDONLY directory fsync; a
+     failure here degrades durability of the *name*, never integrity of
+     the data, so it must not fail the write. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
 let write path f =
   let dir = Filename.dirname path in
   let base = Filename.basename path in
   let tmp, oc = Filename.open_temp_file ~temp_dir:dir ~mode:[ Open_binary ] base ".tmp" in
   let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  (* Any failure before the rename — including [close_out] itself
+     raising on a full disk — must remove the temp file and leave [path]
+     untouched. *)
   (try
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+     f oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     cleanup ();
+     raise e);
+  (try Sys.rename tmp path
    with e ->
      cleanup ();
      raise e);
-  try Sys.rename tmp path
-  with e ->
-    cleanup ();
-    raise e
+  fsync_dir dir

@@ -1,13 +1,20 @@
-(** Crash-safe file writes: temp file + rename.
+(** Crash-safe, durable file writes: temp file + fsync + rename +
+    directory fsync.
 
     Every persistent artifact in the tree (text graphs, selectivity
     stats, binary snapshots) goes through {!write}, so a crash or kill
     mid-write can never leave a truncated file under the target name —
     the rename is atomic on POSIX filesystems and the temp file lives in
-    the target's own directory so the rename never crosses devices. *)
+    the target's own directory so the rename never crosses devices.
+    The data is fsynced {e before} the rename (otherwise a crash just
+    after the rename could commit the name while losing the bytes,
+    leaving a truncated snapshot for a restarting server to reload), and
+    the directory entry is fsynced after it, best-effort, so the new
+    name itself is durable. *)
 
 val write : string -> (out_channel -> unit) -> unit
 (** [write path f] opens a fresh temp file next to [path] (binary mode),
-    runs [f] on its channel, flushes, closes, and renames it over
-    [path].  If [f] raises, the temp file is removed and the exception
-    re-raised; [path] is untouched either way until the rename. *)
+    runs [f] on its channel, flushes, fsyncs, closes, renames it over
+    [path], and fsyncs the directory.  If [f], the flush, the fsync or
+    the close raises, the temp file is removed and the exception
+    re-raised; [path] is untouched until the rename succeeds. *)

@@ -1,0 +1,102 @@
+(* Log-bucketed latency histogram.
+
+   A long-lived serving process must report percentiles over an unbounded
+   stream of per-query latencies; keeping raw samples would grow without
+   bound, so observations land in geometrically spaced buckets and
+   percentiles are read back as the representative value (geometric
+   midpoint) of the bucket holding the requested rank.  With [gamma]
+   = 1.05 the relative error of a reported quantile is under ~2.5%, far
+   inside run-to-run noise, and the whole histogram is one small int
+   array.
+
+   Thread-safe: a serve daemon records from many connection threads and
+   pool domains; every operation takes the histogram's own mutex (the
+   critical sections are a few array writes). *)
+
+type t = {
+  mu : Mutex.t;
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+(* Buckets span [lo, lo * gamma^buckets): 1µs to >1000s for latencies in
+   seconds.  Values outside clamp to the edge buckets. *)
+let lo = 1e-6
+let gamma = 1.05
+let log_gamma = Float.log gamma
+let buckets = 430
+
+let create () =
+  { mu = Mutex.create ();
+    counts = Array.make buckets 0;
+    n = 0;
+    sum = 0.0;
+    minv = Float.infinity;
+    maxv = Float.neg_infinity }
+
+let bucket_of x =
+  if x <= lo then 0
+  else
+    let b = int_of_float (Float.log (x /. lo) /. log_gamma) in
+    if b >= buckets then buckets - 1 else b
+
+(* Geometric midpoint of bucket [b] — the value reported for ranks that
+   land in it. *)
+let value_of b = lo *. (gamma ** (float_of_int b +. 0.5))
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let add t x =
+  let x = if Float.is_finite x && x >= 0.0 then x else 0.0 in
+  with_lock t (fun () ->
+      t.counts.(bucket_of x) <- t.counts.(bucket_of x) + 1;
+      t.n <- t.n + 1;
+      t.sum <- t.sum +. x;
+      if x < t.minv then t.minv <- x;
+      if x > t.maxv then t.maxv <- x)
+
+let count t = with_lock t (fun () -> t.n)
+
+let mean t = with_lock t (fun () -> if t.n = 0 then None else Some (t.sum /. float_of_int t.n))
+let minimum t = with_lock t (fun () -> if t.n = 0 then None else Some t.minv)
+let maximum t = with_lock t (fun () -> if t.n = 0 then None else Some t.maxv)
+
+(* Nearest-rank on the bucketed distribution; the extreme ranks snap to
+   the exact observed min/max so p0/p100 are not bucket-quantised. *)
+let percentile t p =
+  with_lock t (fun () ->
+      if t.n = 0 then None
+      else begin
+        let p = Float.max 0.0 (Float.min 1.0 p) in
+        let rank = int_of_float (Float.round (p *. float_of_int (t.n - 1))) in
+        let seen = ref 0 in
+        let found = ref None in
+        (try
+           Array.iteri
+             (fun b c ->
+               seen := !seen + c;
+               if !seen > rank then begin
+                 found := Some b;
+                 raise Exit
+               end)
+             t.counts
+         with Exit -> ());
+        match !found with
+        | None -> Some t.maxv
+        | Some b ->
+          let v = value_of b in
+          Some (Float.max t.minv (Float.min t.maxv v))
+      end)
+
+let reset t =
+  with_lock t (fun () ->
+      Array.fill t.counts 0 buckets 0;
+      t.n <- 0;
+      t.sum <- 0.0;
+      t.minv <- Float.infinity;
+      t.maxv <- Float.neg_infinity)

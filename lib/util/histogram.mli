@@ -1,0 +1,33 @@
+(** Bounded-memory latency histogram for long-lived serving processes.
+
+    Observations land in geometrically spaced buckets (ratio 1.05 from
+    1µs up), so memory stays one small array however many queries a
+    daemon serves, and reported quantiles carry under ~2.5% relative
+    error — while the exact count, sum, minimum and maximum are tracked
+    alongside.  All operations are thread-safe (internal mutex): the
+    serve daemon records from every connection thread and pool domain. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation (seconds).  Non-finite and negative values
+    clamp to 0 rather than poisoning the statistics. *)
+
+val count : t -> int
+
+val mean : t -> float option
+(** Exact mean; [None] when no observations were recorded — feed through
+    {!Jsonx.of_float_opt} so empty buckets serialize as [null], never
+    [nan]. *)
+
+val minimum : t -> float option
+val maximum : t -> float option
+
+val percentile : t -> float -> float option
+(** [percentile t p] with [p] in [\[0,1\]], nearest-rank over the bucketed
+    distribution (clamped to the exact observed min/max); [None] when
+    empty. *)
+
+val reset : t -> unit

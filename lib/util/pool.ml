@@ -72,6 +72,20 @@ let submit st job =
   Condition.signal st.nonempty;
   Mutex.unlock st.mutex
 
+(* Fire-and-forget submission, for callers (the serve daemon's
+   connection threads) that want the job to run on a *worker domain*
+   rather than participating themselves: a pool worker owns its own
+   per-domain cache shards, so routing queries through [async] keeps
+   every shard single-owner.  With no workers (sequential pool) the job
+   runs inline in the caller; such callers must provide their own
+   exclusion (see Server).  The job must not raise — exceptions are
+   swallowed by the worker loop — so wrap results and exceptions into a
+   ref + condition on the caller side. *)
+let async t job =
+  match t.state with
+  | None -> job ()
+  | Some st -> submit st job
+
 let default_jobs () =
   match Sys.getenv_opt "BPQ_JOBS" with
   | Some s ->

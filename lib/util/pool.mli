@@ -57,3 +57,13 @@ val iter_array : t -> ('a -> unit) -> 'a array -> unit
 val run_all : t -> (unit -> unit) array -> unit
 (** Run independent thunks across the pool; exceptions as in
     {!map_array}. *)
+
+val async : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue the job for a {e worker} domain and return
+    immediately — unlike the map combinators, the caller does not
+    participate, so a job observes a genuine pool-worker [Domain.self]
+    (per-domain cache shards stay single-owner; this is what the serve
+    daemon's connection threads rely on).  On a sequential pool the job
+    runs inline in the caller before [async] returns.  The job must not
+    raise: worker loops swallow exceptions, so capture results and
+    errors on the caller side (ref + condition variable). *)

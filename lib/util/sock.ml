@@ -1,0 +1,178 @@
+(* Socket plumbing for the serve daemon and its clients: address
+   parsing, listeners, per-connection timeouts, line-framed reads, and
+   the exception taxonomy a long-lived server needs (which errors mean
+   "this client went away" vs "this connection idled out" vs "real
+   problem").
+
+   SIGPIPE: a client that disconnects mid-response turns the server's
+   next write into a SIGPIPE, whose default disposition kills the whole
+   process — every other in-flight query with it.  {!ignore_sigpipe}
+   turns that into a per-write [EPIPE], which {!is_disconnect}
+   classifies so the connection handler can drop just that client. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let parse s =
+  let unix_of p = if p = "" then Error "empty unix socket path" else Ok (Unix_path p) in
+  match String.index_opt s ':' with
+  | None ->
+    if String.contains s '/' then unix_of s
+    else Error (Printf.sprintf "cannot parse %S (expected unix:PATH, PATH, HOST:PORT or :PORT)" s)
+  | Some i ->
+    let before = String.sub s 0 i in
+    let after = String.sub s (i + 1) (String.length s - i - 1) in
+    if before = "unix" then unix_of after
+    else (
+      match int_of_string_opt after with
+      | Some p when p > 0 && p < 65536 ->
+        Ok (Tcp ((if before = "" then "127.0.0.1" else before), p))
+      | _ -> Error (Printf.sprintf "invalid port in %S" s))
+
+let ignore_sigpipe () =
+  (* No SIGPIPE on Windows; [Sys.set_signal] would raise. *)
+  if Sys.os_type = "Unix" then
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ ->
+        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+         with Not_found | Invalid_argument _ ->
+           failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let domain_of = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let listen ?(backlog = 64) addr =
+  (match addr with
+   | Unix_path p when Sys.file_exists p ->
+     (* A stale socket file from a previous run blocks bind; only ever
+        remove actual sockets, never a regular file at that path. *)
+     (match (Unix.stat p).Unix.st_kind with
+      | Unix.S_SOCK -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+      | _ -> failwith (Printf.sprintf "%s exists and is not a socket" p))
+   | _ -> ());
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true | Unix_path _ -> ());
+     Unix.bind fd (sockaddr_of addr);
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let close_listener addr fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match addr with
+  | Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let connect addr =
+  let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (sockaddr_of addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let set_timeouts ?read ?write fd =
+  let set opt = function
+    | Some s when s > 0.0 -> Unix.setsockopt_float fd opt s
+    | Some _ | None -> ()
+  in
+  set Unix.SO_RCVTIMEO read;
+  set Unix.SO_SNDTIMEO write
+
+(* Which exceptions mean "the peer went away"?  EPIPE and ECONNRESET are
+   the classic mid-stream deaths; EBADF/ENOTCONN appear when the fd was
+   torn down under a racing thread during shutdown. *)
+let is_disconnect = function
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ENOTCONN | Unix.EBADF | Unix.ESHUTDOWN), _, _) -> true
+  | End_of_file -> true
+  | _ -> false
+
+(* SO_RCVTIMEO / SO_SNDTIMEO surface as EAGAIN/EWOULDBLOCK (ETIMEDOUT on
+   some systems). *)
+let is_timeout = function
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> true
+  | _ -> false
+
+(* ---------------- line framing ---------------- *)
+
+(* Cap on one protocol line: a pattern query is a few hundred bytes;
+   anything this big is a confused or hostile client, not a query. *)
+let max_line = 16 * 1024 * 1024
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable start : int;  (* unconsumed bytes are buf[start, stop) *)
+  mutable stop : int;
+}
+
+let reader fd = { fd; buf = Bytes.create 65536; start = 0; stop = 0 }
+
+let trim_cr line =
+  let len = String.length line in
+  if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line
+
+(* One LF-terminated line (CR trimmed), [None] at EOF.  Lines longer
+   than the buffer accumulate in a side buffer, capped at [max_line].
+   Read timeouts (SO_RCVTIMEO) surface as the Unix EAGAIN family — see
+   {!is_timeout}. *)
+let read_line r =
+  let spill = Buffer.create 0 in
+  let rec loop () =
+    let nl =
+      match Bytes.index_from_opt r.buf r.start '\n' with
+      | Some i when i < r.stop -> Some i
+      | Some _ | None -> None
+    in
+    match nl with
+    | Some i ->
+      let chunk = Bytes.sub_string r.buf r.start (i - r.start) in
+      r.start <- i + 1;
+      Some
+        (trim_cr
+           (if Buffer.length spill = 0 then chunk
+            else begin
+              Buffer.add_string spill chunk;
+              Buffer.contents spill
+            end))
+    | None ->
+      Buffer.add_subbytes spill r.buf r.start (r.stop - r.start);
+      r.start <- 0;
+      r.stop <- 0;
+      if Buffer.length spill > max_line then failwith "line too long";
+      (match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+       | 0 ->
+         (* EOF: a trailing unterminated line still counts as a line. *)
+         if Buffer.length spill = 0 then None else Some (trim_cr (Buffer.contents spill))
+       | n ->
+         r.stop <- n;
+         loop ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos len
+  end
+
+let write_line fd s =
+  write_all fd s 0 (String.length s);
+  write_all fd "\n" 0 1

@@ -1,0 +1,60 @@
+(** Socket plumbing for the serve daemon and its clients: addresses,
+    listeners, per-connection timeouts, line framing, and the exception
+    taxonomy a long-lived server needs (client-went-away vs idled-out
+    vs real failure). *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path. *)
+  | Tcp of string * int  (** Host (name or dotted quad) and port. *)
+
+val parse : string -> (addr, string) result
+(** Accepts [unix:PATH], a bare path containing ['/'], [HOST:PORT], and
+    [:PORT] (loopback). *)
+
+val to_string : addr -> string
+
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignore (no-op on platforms without it).  Must run
+    before serving: with the default disposition, one client
+    disconnecting mid-response kills the whole daemon; ignored, the
+    write fails with [EPIPE], which {!is_disconnect} classifies so only
+    that connection is dropped. *)
+
+val listen : ?backlog:int -> addr -> Unix.file_descr
+(** Bound, listening socket.  For a unix address, a {e stale socket
+    file} at the path is removed first; a non-socket file at the path is
+    an error ([Failure]), never removed. *)
+
+val close_listener : addr -> Unix.file_descr -> unit
+(** Close and, for unix addresses, unlink the socket path.  Never
+    raises. *)
+
+val connect : addr -> Unix.file_descr
+
+val set_timeouts : ?read:float -> ?write:float -> Unix.file_descr -> unit
+(** Per-connection SO_RCVTIMEO / SO_SNDTIMEO in seconds; non-positive or
+    absent values leave the direction blocking. *)
+
+val is_disconnect : exn -> bool
+(** Did the peer go away?  [EPIPE], [ECONNRESET] and friends, plus
+    [End_of_file]. *)
+
+val is_timeout : exn -> bool
+(** Did a read/write hit its SO_RCVTIMEO / SO_SNDTIMEO? *)
+
+(** {1 Line framing} *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val read_line : reader -> string option
+(** Next LF-terminated line with the terminator (and a trailing CR)
+    stripped; [None] at EOF.  Raises [Failure] on lines over 16 MiB and
+    re-raises socket errors (including timeouts — {!is_timeout}). *)
+
+val write_all : Unix.file_descr -> string -> int -> int -> unit
+(** [write_all fd s pos len], retrying on [EINTR]. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** The string followed by ['\n']. *)

@@ -38,27 +38,29 @@ let min_stride = 1
 let max_stride = 65536
 let target_interval = 0.01 (* seconds between clock consultations *)
 
+(* A deadline that is already (or immediately) expired must report so on
+   its very first consultation — a stride of [initial_stride] would let
+   [deadline_after 0.0] survive 31 calls before ever reading the clock,
+   and a serve daemon admitting a query against an exhausted budget
+   would do real work before noticing. *)
+let first_stride ~limit ~at = if limit <= at then min_stride else initial_stride
+
 let deadline_after s =
   let start = now () in
-  Until
-    { limit = start +. s;
-      budget = s;
-      countdown = initial_stride;
-      stride = initial_stride;
-      last_check = start }
+  let limit = start +. s in
+  let stride = first_stride ~limit ~at:start in
+  Until { limit; budget = s; countdown = stride; stride; last_check = start }
 
 (* A [deadline] carries mutable stride state and must not be shared across
    domains.  Parallel matchers hand each worker a clone: same absolute
-   cut-off, fresh stride bookkeeping. *)
+   cut-off, fresh stride bookkeeping — except that a clone of an expired
+   deadline keeps the minimum stride, so it too trips on first use. *)
 let clone = function
   | Never -> Never
   | Until d ->
-    Until
-      { limit = d.limit;
-        budget = d.budget;
-        countdown = initial_stride;
-        stride = initial_stride;
-        last_check = now () }
+    let t = now () in
+    let stride = first_stride ~limit:d.limit ~at:t in
+    Until { limit = d.limit; budget = d.budget; countdown = stride; stride; last_check = t }
 
 let expired = function
   | Never -> false
@@ -85,5 +87,8 @@ let expired = function
       in
       d.stride <- max min_stride (min max_stride scaled);
       d.countdown <- d.stride;
-      remaining < 0.0
+      (* [<=], not [<]: a zero-budget deadline whose first consultation
+         lands on the exact limit instant is expired, not one tick away
+         from it. *)
+      remaining <= 0.0
     end

@@ -17,12 +17,17 @@ type deadline
 
 val no_deadline : deadline
 val deadline_after : float -> deadline
-(** [deadline_after s] expires [s] seconds from now. *)
+(** [deadline_after s] expires [s] seconds from now.  A zero or negative
+    budget yields a deadline that is already expired: the very first
+    {!expired} consultation reports [true] (pinned by property tests —
+    no stride warm-up window survives it). *)
 
 val clone : deadline -> deadline
 (** Same absolute cut-off, fresh stride bookkeeping.  A [deadline]'s stride
     state is mutable and single-domain; parallel matchers give each worker
-    its own clone instead of sharing one record across domains. *)
+    its own clone instead of sharing one record across domains.  Cloning
+    an already-expired deadline yields one whose first {!expired} call
+    reports [true]. *)
 
 val expired : deadline -> bool
 (** Cheap check: consults the clock only every [stride] calls, where the

@@ -29,4 +29,5 @@ let () =
       ("distributed", Test_distributed.suite);
       ("semantics", Test_semantics.suite);
       ("snapshot", Test_snapshot.suite);
-      ("store", Test_store.suite) ]
+      ("store", Test_store.suite);
+      ("serve", Test_serve.suite) ]

@@ -1,0 +1,332 @@
+(* The serve daemon: protocol routing, byte-identity with in-process
+   evaluation under concurrent clients, disconnect survival, admission
+   control, and live snapshot reload with cache retention. *)
+
+open Bpq_graph
+open Bpq_pattern
+open Bpq_access
+open Bpq_core
+module W = Bpq_workload.Workload
+module Pool = Bpq_util.Pool
+module Sock = Bpq_util.Sock
+module Json = Bpq_util.Jsonx
+
+let ds = lazy (W.imdb ~scale:0.02 ())
+
+let slot_of_schema ?(close = ignore) schema =
+  { Server.src = Exec.source_of_schema schema; costs = None; close }
+
+let fresh_slot () = slot_of_schema (Lazy.force ds).W.schema
+
+let q0_text () = Pattern_parser.to_source (W.q0 (Lazy.force ds).W.table)
+
+(* The direct, one-shot answer every served response must reproduce. *)
+let direct_matches schema text =
+  let src = Exec.source_of_schema schema in
+  let q = Pattern_parser.parse_string src.Exec.table text in
+  match Qplan.generate Actualized.Subgraph q src.Exec.constraints with
+  | None -> invalid_arg "direct_matches: not bounded"
+  | Some plan ->
+    (match Bounded_eval.run src plan with
+     | Bounded_eval.Matches ms -> ms
+     | Bounded_eval.Relation _ -> assert false)
+
+let decode_matches j =
+  match Json.member "matches" j with
+  | Some (Json.Arr rows) ->
+    Some
+      (List.map
+         (function
+           | Json.Arr cells ->
+             Array.of_list
+               (List.map
+                  (fun c -> match Json.to_int_opt c with Some v -> v | None -> min_int)
+                  cells)
+           | _ -> [||])
+         rows)
+  | _ -> None
+
+let response server line =
+  match Json.parse (Server.handle_line server line) with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "response is not valid JSON: %s" msg
+
+let check_error server line code =
+  let j = response server line in
+  Helpers.check_true (code ^ ": ok=false") (Json.member "ok" j = Some (Json.Bool false));
+  Alcotest.(check (option string))
+    (code ^ ": error code") (Some code)
+    (Option.bind (Json.member "error" j) Json.to_string_opt)
+
+(* Protocol routing through handle_line, no socket involved. *)
+let test_protocol () =
+  let server = Server.create ~pool:Pool.sequential (fresh_slot ()) in
+  check_error server "not json at all" "parse";
+  check_error server "{\"op\":\"query\",}" "parse";
+  check_error server "[1,2,3]" "bad_request";
+  check_error server "{}" "bad_request";
+  check_error server "{\"op\":42}" "bad_request";
+  check_error server "{\"op\":\"frobnicate\"}" "bad_request";
+  check_error server "{\"op\":\"query\"}" "bad_request";
+  check_error server "{\"op\":\"query\",\"pattern\":7}" "bad_request";
+  check_error server "{\"op\":\"query\",\"pattern\":\"e 1 2\"}" "parse";
+  check_error server "{\"op\":\"query\",\"pattern\":\"n a award\",\"semantics\":\"magic\"}"
+    "bad_request";
+  check_error server "{\"op\":\"query\",\"pattern\":\"n a award\",\"limit\":-3}" "bad_request";
+  check_error server "{\"op\":\"reload\"}" "bad_request";
+  (* An uncovered pattern gets the typed unbounded error with the
+     EBChk diagnosis, not a crash. *)
+  let schema = (Lazy.force ds).W.schema in
+  let tbl = (Lazy.force ds).W.table in
+  let unb = "n a award\nn m movie\ne a m\n" in
+  Helpers.check_false "fixture really is unbounded"
+    (Ebchk.check Actualized.Subgraph
+       (Pattern_parser.parse_string tbl unb)
+       (Lazy.force ds).W.constrs);
+  check_error server
+    (Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str unb) ]))
+    "unbounded";
+  (* The happy path answers exactly like direct evaluation and echoes
+     the request id. *)
+  let req =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ()));
+           ("id", Json.Int 7) ])
+  in
+  let j = response server req in
+  Helpers.check_true "ok" (Json.member "ok" j = Some (Json.Bool true));
+  Helpers.check_true "id echoed" (Json.member "id" j = Some (Json.Int 7));
+  let expected = direct_matches schema (q0_text ()) in
+  Helpers.check_true "matches identical" (decode_matches j = Some expected);
+  Helpers.check_int "n field" (List.length expected)
+    (Option.value ~default:(-1) (Option.bind (Json.member "n" j) Json.to_int_opt));
+  (* limit truncates exactly like `bpq run --limit`. *)
+  let lim =
+    response server
+      (Json.to_string
+         (Json.Obj
+            [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ()));
+              ("limit", Json.Int 2) ]))
+  in
+  Helpers.check_true "limited matches are the prefix"
+    (decode_matches lim = Some (List.filteri (fun i _ -> i < 2) expected));
+  (* stats reflects the served queries. *)
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_true "stats ok" (Json.member "ok" st = Some (Json.Bool true));
+  Helpers.check_int "served" 2
+    (Option.value ~default:(-1) (Option.bind (Json.member "served" st) Json.to_int_opt));
+  Helpers.check_true "latency percentiles present"
+    (match Json.member "latency" st with
+     | Some lat -> Option.bind (Json.member "p50_ms" lat) Json.to_float_opt <> None
+     | None -> false);
+  (* explain describes the plan for a bounded pattern. *)
+  let ex =
+    response server
+      (Json.to_string
+         (Json.Obj [ ("op", Json.Str "explain"); ("pattern", Json.Str (q0_text ())) ]))
+  in
+  Helpers.check_true "explain has a plan"
+    (match Option.bind (Json.member "plan" ex) Json.to_string_opt with
+     | Some s -> String.length s > 0
+     | None -> false);
+  (* shutdown flips the server to refusing with a typed error. *)
+  let sd = response server "{\"op\":\"shutdown\"}" in
+  Helpers.check_true "stopping" (Json.member "stopping" sd = Some (Json.Bool true));
+  Helpers.check_true "stopped" (Server.stopped server);
+  check_error server req "shutting_down"
+
+(* max_inflight 0 refuses every query with the typed overloaded error
+   (graceful degradation, not a hang or a dropped connection). *)
+let test_admission () =
+  let server = Server.create ~max_inflight:0 ~pool:Pool.sequential (fresh_slot ()) in
+  check_error server
+    (Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ())) ]))
+    "overloaded";
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "rejected counted" 1
+    (Option.value ~default:(-1) (Option.bind (Json.member "rejected" st) Json.to_int_opt))
+
+(* A query timeout surfaces as the typed timeout error; with the
+   zero/negative-budget Timer fix, even a degenerate budget expires on
+   its first consultation instead of sneaking one stride of work. *)
+let test_query_timeout () =
+  let server =
+    Server.create ~query_timeout:1e-12 ~pool:Pool.sequential (fresh_slot ())
+  in
+  check_error server
+    (Json.to_string (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ())) ]))
+    "timeout";
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "timeout counted" 1
+    (Option.value ~default:(-1) (Option.bind (Json.member "timeouts" st) Json.to_int_opt))
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?cache ?max_inflight ?query_timeout ?reload ?(pool = Pool.sequential) slot f =
+  let server = Server.create ?cache ?max_inflight ?query_timeout ?reload ~pool slot in
+  let path = Filename.temp_file "bpq_serve" ".sock" in
+  Sys.remove path;
+  let addr = Sock.Unix_path path in
+  let lfd = Sock.listen addr in
+  let th = Thread.create (fun () -> Server.serve server lfd) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Thread.join th;
+      Sock.close_listener addr lfd)
+    (fun () -> f server addr)
+
+(* Eight concurrent clients, each asking the same workload repeatedly
+   over its own connection; every response must be byte-identical to
+   the direct answer.  The pool has real worker domains, so this also
+   drives queries through Pool.async scheduling. *)
+let test_concurrent_clients () =
+  let schema = (Lazy.force ds).W.schema in
+  let expected = direct_matches schema (q0_text ()) in
+  let pool = Pool.create 2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  with_server ~cache:(Qcache.create ()) ~pool (fresh_slot ()) @@ fun server addr ->
+  let clients = 8 and rounds = 5 in
+  let failures = Atomic.make 0 in
+  let threads =
+    List.init clients (fun _ ->
+        Thread.create
+          (fun () ->
+            let conn = Server.Client.connect addr in
+            Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+            for _ = 1 to rounds do
+              let j = Server.Client.query conn (q0_text ()) in
+              if decode_matches j <> Some expected then Atomic.incr failures
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Helpers.check_int "all responses identical to direct evaluation" 0 (Atomic.get failures);
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "every request served" (clients * rounds)
+    (Option.value ~default:(-1) (Option.bind (Json.member "served" st) Json.to_int_opt))
+
+(* A client that vanishes — mid-request, or before reading its answer —
+   must cost the server nothing but that one connection: its in-flight
+   query still completes (the served counter ticks), and other clients
+   keep getting correct answers. *)
+let test_client_disconnect () =
+  let schema = (Lazy.force ds).W.schema in
+  let expected = direct_matches schema (q0_text ()) in
+  with_server (fresh_slot ()) @@ fun server addr ->
+  (* Vanish without reading the response. *)
+  let c1 = Server.Client.connect addr in
+  Server.Client.send c1
+    (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ())) ]);
+  Server.Client.close c1;
+  (* Vanish mid-line (no terminating newline). *)
+  let c2 = Server.Client.connect addr in
+  (match c2 with
+   | _ ->
+     let fd = Sock.connect addr in
+     Sock.write_all fd "{\"op\":\"qu" 0 9;
+     (try Unix.close fd with Unix.Unix_error _ -> ()));
+  Server.Client.close c2;
+  (* The dropped client's query still ran to completion. *)
+  let rec wait_served tries =
+    let st = response server "{\"op\":\"stats\"}" in
+    let served =
+      Option.value ~default:0 (Option.bind (Json.member "served" st) Json.to_int_opt)
+    in
+    if served >= 1 then ()
+    else if tries = 0 then Alcotest.fail "dropped client's query never completed"
+    else begin
+      Thread.delay 0.05;
+      wait_served (tries - 1)
+    end
+  in
+  wait_served 100;
+  (* And the server is fine for everyone else. *)
+  let c3 = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close c3) @@ fun () ->
+  let j = Server.Client.query c3 (q0_text ()) in
+  Helpers.check_true "survivor gets the right answer" (decode_matches j = Some expected);
+  Helpers.check_false "server still up" (Server.stopped server)
+
+(* Live reload through the snapshot lineage, mid-load: the new
+   generation answers identically, the old generation's close runs once
+   its queries drain, and the plan-tier cache stays warm because
+   Schema.save/load preserves the stamp. *)
+let test_live_reload () =
+  let d = Lazy.force ds in
+  let snap = Filename.temp_file "bpq_serve" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+  @@ fun () ->
+  Schema.save d.W.schema snap;
+  let closes = Atomic.make 0 in
+  let load_slot () =
+    let schema, _ = Schema.load (Label.create_table ()) snap in
+    slot_of_schema ~close:(fun () -> Atomic.incr closes) schema
+  in
+  let cache = Qcache.create () in
+  let text = q0_text () in
+  let expected = direct_matches d.W.schema text in
+  with_server ~cache ~reload:load_slot (load_slot ()) @@ fun server addr ->
+  let conn = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+  (* Warm the plan tier. *)
+  let j1 = Server.Client.query conn text in
+  Helpers.check_true "pre-reload answer" (decode_matches j1 = Some expected);
+  let misses_before = (Qcache.stats cache).Qcache.plan_misses in
+  let stamp1 =
+    Option.value ~default:(-1) (Option.bind (Json.member "stamp" j1) Json.to_int_opt)
+  in
+  (* Reload while another client keeps querying — nobody may observe a
+     wrong answer or an error during the swap. *)
+  let racing_failures = Atomic.make 0 in
+  let racer =
+    Thread.create
+      (fun () ->
+        let c = Server.Client.connect addr in
+        Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+        for _ = 1 to 20 do
+          let j = Server.Client.query c text in
+          if decode_matches j <> Some expected then Atomic.incr racing_failures
+        done)
+      ()
+  in
+  let r = Server.Client.reload conn in
+  Helpers.check_true "reload ok" (Json.member "ok" r = Some (Json.Bool true));
+  Thread.join racer;
+  Helpers.check_int "no wrong answers during reload" 0 (Atomic.get racing_failures);
+  (* New generation: same stamp (same snapshot lineage), same answers. *)
+  let j2 = Server.Client.query conn text in
+  Helpers.check_true "post-reload answer" (decode_matches j2 = Some expected);
+  let stamp2 =
+    Option.value ~default:(-2) (Option.bind (Json.member "stamp" j2) Json.to_int_opt)
+  in
+  Helpers.check_int "stamp lineage preserved" stamp1 stamp2;
+  (* The plan tier survived the reload: the post-reload query planned
+     from cache, not from scratch. *)
+  Helpers.check_int "no new plan misses after reload" misses_before
+    ((Qcache.stats cache).Qcache.plan_misses);
+  (* The retired generation was closed exactly once after draining. *)
+  let rec wait_close tries =
+    if Atomic.get closes >= 1 then ()
+    else if tries = 0 then Alcotest.fail "old generation never closed"
+    else begin
+      Thread.delay 0.05;
+      wait_close (tries - 1)
+    end
+  in
+  wait_close 100;
+  Helpers.check_int "old generation closed once" 1 (Atomic.get closes);
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "reload counted" 1
+    (Option.value ~default:(-1) (Option.bind (Json.member "reloads" st) Json.to_int_opt))
+
+let suite =
+  [ Alcotest.test_case "protocol routing" `Quick test_protocol;
+    Alcotest.test_case "admission control" `Quick test_admission;
+    Alcotest.test_case "query timeout" `Quick test_query_timeout;
+    Alcotest.test_case "8 concurrent clients, identical answers" `Quick test_concurrent_clients;
+    Alcotest.test_case "client disconnect survival" `Quick test_client_disconnect;
+    Alcotest.test_case "live reload keeps the cache warm" `Quick test_live_reload ]

@@ -245,6 +245,46 @@ let test_store_handle () =
             (canon (Exec.run_with (Store.source mem) plan)
             = canon (Exec.run_with (Store.source paged) plan))))
 
+(* close is idempotent — a snapshot-reload path racing shutdown may
+   close twice — and a closed store fails deterministically instead of
+   serving stale cached pages or hitting a closed channel. *)
+let test_paged_close () =
+  let _, g, constrs, r = Helpers.random_instance 2015 in
+  let schema = Schema.build g constrs in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      let p = Paged.open_ ~cache_pages:8 path in
+      let src = Paged.source p in
+      (* Touch some data so the page cache holds live pages. *)
+      (match Qplan.generate Actualized.Subgraph (Bpq_pattern.Qgen.from_walk r g) constrs with
+       | Some plan -> ignore (Exec.run_with src plan)
+       | None -> ());
+      Paged.close p;
+      Paged.close p;
+      (* second close is a no-op *)
+      let is_closed = function
+        | Sys_error msg ->
+          Helpers.check_true "diagnostic names the store"
+            (String.length msg >= String.length path);
+          true
+        | _ -> false
+      in
+      (match Paged.source p with
+       | src2 ->
+         (match src2.Exec.graph_size with
+          | _ -> ()  (* metadata stays readable: loaded at open *)
+          | exception _ -> Alcotest.fail "metadata should not need the file");
+         (match List.nth_opt (Paged.constraints p) 0 with
+          | Some c ->
+            (match src2.Exec.lookup c [] with
+             | _ -> Alcotest.fail "lookup after close should raise"
+             | exception e -> Helpers.check_true "lookup raises Sys_error" (is_closed e))
+          | None -> ()));
+      (* Reopening the same snapshot works fine after a close. *)
+      let p2 = Paged.open_ ~cache_pages:8 path in
+      Helpers.check_int "reopen sees the same graph" (Paged.graph_size p2) (Paged.graph_size p);
+      Paged.close p2)
+
 let suite =
   [ backends_identical;
     answers_identical;
@@ -255,4 +295,5 @@ let suite =
     Alcotest.test_case "qcache serves both backends" `Quick test_qcache_across_backends;
     Alcotest.test_case "distributed over paged store" `Quick test_distributed_over_paged;
     Alcotest.test_case "batch over paged store" `Quick test_batch_over_paged;
-    Alcotest.test_case "unified store handle" `Quick test_store_handle ]
+    Alcotest.test_case "unified store handle" `Quick test_store_handle;
+    Alcotest.test_case "paged close idempotent, use-after-close typed" `Quick test_paged_close ]

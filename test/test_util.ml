@@ -326,6 +326,217 @@ let lru_model =
       && Lru.to_list l = !model
       && Lru.length l = List.length !model)
 
+(* Zero and negative budgets: the deadline must report expiry on its
+   very first consultation — a serve daemon admitting a query against an
+   exhausted budget would otherwise do a stride's worth of real work
+   before noticing. *)
+let test_timer_degenerate_budgets () =
+  Helpers.check_true "zero budget trips on first call"
+    (Timer.expired (Timer.deadline_after 0.0));
+  Helpers.check_true "negative budget trips on first call"
+    (Timer.expired (Timer.deadline_after (-5.0)))
+
+let timer_nonpositive_budget_first_call =
+  Helpers.qcheck ~count:200 "any non-positive budget expires on first consultation"
+    QCheck2.Gen.(float_bound_inclusive 1000.0)
+    (fun mag -> Timer.expired (Timer.deadline_after (-.Float.abs mag)))
+
+let test_timer_clone_after_expiry () =
+  let d = Timer.deadline_after 0.0 in
+  Helpers.check_true "original expired" (Timer.expired d);
+  (* A clone of an expired deadline must trip on its own first
+     consultation too — parallel matchers hand clones to workers, and a
+     worker starting after the cut-off must not run a fresh stride. *)
+  Helpers.check_true "clone trips on first call" (Timer.expired (Timer.clone d));
+  (* Cloning a live deadline keeps it live. *)
+  let live = Timer.deadline_after 1000.0 in
+  Helpers.check_false "clone of live deadline is live" (Timer.expired (Timer.clone live));
+  Helpers.check_false "clone of Never never expires" (Timer.expired (Timer.clone Timer.no_deadline))
+
+(* Stats _opt variants: total on empty input (None), agreeing with the
+   plain forms elsewhere; the plain forms keep returning nan on empty so
+   existing float arithmetic degrades instead of raising. *)
+let test_stats_opt_empty () =
+  Helpers.check_true "mean_opt" (Stats.mean_opt [] = None);
+  Helpers.check_true "median_opt" (Stats.median_opt [] = None);
+  Helpers.check_true "minimum_opt" (Stats.minimum_opt [] = None);
+  Helpers.check_true "maximum_opt" (Stats.maximum_opt [] = None);
+  Helpers.check_true "percentile_opt" (Stats.percentile_opt 0.5 [] = None);
+  Helpers.check_true "geometric_mean_opt" (Stats.geometric_mean_opt [] = None);
+  Helpers.check_true "plain mean is nan" (Float.is_nan (Stats.mean []));
+  Helpers.check_true "plain percentile is nan" (Float.is_nan (Stats.percentile 0.99 []))
+
+let stats_opt_agrees =
+  Helpers.qcheck ~count:200 "_opt forms agree with plain forms on non-empty input"
+    QCheck2.Gen.(pair (list_size (int_range 1 20) (float_bound_inclusive 100.0))
+                   (float_bound_inclusive 1.0))
+    (fun (xs, p) ->
+      Stats.mean_opt xs = Some (Stats.mean xs)
+      && Stats.percentile_opt p xs = Some (Stats.percentile p xs)
+      && Stats.minimum_opt xs = Some (Stats.minimum xs)
+      && Stats.maximum_opt xs = Some (Stats.maximum xs))
+
+(* Jsonx *)
+
+let test_jsonx_print () =
+  let j =
+    Jsonx.Obj
+      [ ("s", Jsonx.Str "a\"b\\c\nd");
+        ("i", Jsonx.Int (-42));
+        ("f", Jsonx.Float 1.5);
+        ("b", Jsonx.Bool true);
+        ("z", Jsonx.Null);
+        ("a", Jsonx.Arr [ Jsonx.Int 1; Jsonx.Str "x" ]) ]
+  in
+  Alcotest.(check string) "print"
+    "{\"s\":\"a\\\"b\\\\c\\nd\",\"i\":-42,\"f\":1.5,\"b\":true,\"z\":null,\"a\":[1,\"x\"]}"
+    (Jsonx.to_string j);
+  (* Non-finite floats degrade to null — never a bare NaN literal that
+     breaks jq downstream. *)
+  Alcotest.(check string) "nan is null" "[null,null,null]"
+    (Jsonx.to_string (Jsonx.Arr [ Jsonx.Float Float.nan; Jsonx.Float infinity; Jsonx.Float neg_infinity ]));
+  Helpers.check_true "of_float_opt None" (Jsonx.of_float_opt None = Jsonx.Null);
+  Helpers.check_true "of_float_opt Some" (Jsonx.of_float_opt (Some 2.0) = Jsonx.Float 2.0)
+
+let test_jsonx_parse () =
+  let ok s = match Jsonx.parse s with Ok j -> j | Error e -> Alcotest.failf "parse %S: %s" s e in
+  Helpers.check_true "null" (ok "null" = Jsonx.Null);
+  Helpers.check_true "bools" (ok " true " = Jsonx.Bool true && ok "false" = Jsonx.Bool false);
+  Helpers.check_true "int" (ok "-17" = Jsonx.Int (-17));
+  Helpers.check_true "float" (ok "2.5e1" = Jsonx.Float 25.0);
+  Helpers.check_true "string escapes"
+    (ok "\"a\\n\\t\\\"\\\\b\\u0041\"" = Jsonx.Str "a\n\t\"\\bA");
+  Helpers.check_true "surrogate pair" (ok "\"\\ud83d\\ude00\"" = Jsonx.Str "\xf0\x9f\x98\x80");
+  Helpers.check_true "nested"
+    (ok "{\"a\":[1,{\"b\":null}],\"c\":\"d\"}"
+    = Jsonx.Obj
+        [ ("a", Jsonx.Arr [ Jsonx.Int 1; Jsonx.Obj [ ("b", Jsonx.Null) ] ]);
+          ("c", Jsonx.Str "d") ]);
+  let bad s = match Jsonx.parse s with Ok _ -> false | Error _ -> true in
+  Helpers.check_true "empty" (bad "");
+  Helpers.check_true "trailing garbage" (bad "1 2");
+  Helpers.check_true "unterminated string" (bad "\"abc");
+  Helpers.check_true "unterminated object" (bad "{\"a\":1");
+  Helpers.check_true "bare word" (bad "nope");
+  Helpers.check_true "trailing comma" (bad "[1,2,]")
+
+let test_jsonx_accessors () =
+  let j = Jsonx.Obj [ ("n", Jsonx.Int 3); ("s", Jsonx.Str "x"); ("f", Jsonx.Float 1.5) ] in
+  Helpers.check_true "member hit" (Jsonx.member "n" j = Some (Jsonx.Int 3));
+  Helpers.check_true "member miss" (Jsonx.member "zz" j = None);
+  Helpers.check_true "to_int_opt" (Jsonx.to_int_opt (Jsonx.Int 3) = Some 3);
+  Helpers.check_true "to_float_opt accepts int" (Jsonx.to_float_opt (Jsonx.Int 3) = Some 3.0);
+  Helpers.check_true "to_string_opt" (Jsonx.to_string_opt (Jsonx.Str "x") = Some "x");
+  Helpers.check_true "to_string_opt rejects int" (Jsonx.to_string_opt (Jsonx.Int 1) = None);
+  Helpers.check_true "to_list_opt" (Jsonx.to_list_opt (Jsonx.Arr [ Jsonx.Null ]) = Some [ Jsonx.Null ])
+
+let jsonx_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [ return Jsonx.Null;
+                map (fun b -> Jsonx.Bool b) bool;
+                map (fun i -> Jsonx.Int i) int;
+                map (fun s -> Jsonx.Str s) (string_size (int_range 0 10));
+                map (fun f -> Jsonx.Float f) (float_bound_inclusive 1000.0) ]
+          in
+          if n <= 0 then leaf
+          else
+            oneof
+              [ leaf;
+                map (fun l -> Jsonx.Arr l) (list_size (int_range 0 4) (self (n / 2)));
+                map
+                  (fun kvs -> Jsonx.Obj kvs)
+                  (list_size (int_range 0 4)
+                     (pair (string_size (int_range 0 6)) (self (n / 2)))) ]))
+  in
+  Helpers.qcheck ~count:300 "jsonx print/parse roundtrip" gen (fun j ->
+      match Jsonx.parse (Jsonx.to_string j) with
+      | Ok j2 -> j2 = j
+      | Error _ -> false)
+
+(* Histogram *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Helpers.check_int "count" 0 (Histogram.count h);
+  Helpers.check_true "percentile None" (Histogram.percentile h 0.5 = None);
+  Helpers.check_true "mean None" (Histogram.mean h = None);
+  Helpers.check_true "min None" (Histogram.minimum h = None);
+  Helpers.check_true "max None" (Histogram.maximum h = None)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i /. 1000.0)
+  done;
+  Helpers.check_int "count" 1000 (Histogram.count h);
+  let check name p want =
+    match Histogram.percentile h p with
+    | None -> Alcotest.failf "%s: no value" name
+    | Some v ->
+      (* Log-bucketed with gamma 1.05: ~2.5%% relative error. *)
+      Helpers.check_true name (Float.abs (v -. want) /. want < 0.05)
+  in
+  check "p50" 0.5 0.5;
+  check "p99" 0.99 0.99;
+  Alcotest.(check (float 1e-9)) "max exact" 1.0 (Option.get (Histogram.maximum h));
+  Alcotest.(check (float 1e-9)) "min exact" 0.001 (Option.get (Histogram.minimum h));
+  Alcotest.(check (float 1e-3)) "mean" 0.5005 (Option.get (Histogram.mean h));
+  Histogram.reset h;
+  Helpers.check_int "reset clears" 0 (Histogram.count h);
+  (* Non-finite and negative samples clamp to the zero bucket rather
+     than poisoning the counters. *)
+  Histogram.add h Float.nan;
+  Histogram.add h (-1.0);
+  Helpers.check_int "degenerate samples counted" 2 (Histogram.count h);
+  Helpers.check_true "their percentile is finite"
+    (match Histogram.percentile h 0.5 with Some v -> Float.is_finite v | None -> false)
+
+(* Atomic_file *)
+
+let test_atomic_file_write () =
+  let path = Filename.temp_file "bpq_atomic" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Atomic_file.write path (fun oc -> output_string oc "hello");
+  Alcotest.(check string) "content" "hello"
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* Overwrite goes through the same temp+rename path. *)
+  Atomic_file.write path (fun oc -> output_string oc "world");
+  Alcotest.(check string) "overwritten" "world"
+    (In_channel.with_open_bin path In_channel.input_all)
+
+let test_atomic_file_failure_cleanup () =
+  let dir = Filename.get_temp_dir_name () in
+  let path = Filename.concat dir (Printf.sprintf "bpq_atomic_%d.out" (Unix.getpid ())) in
+  (try Sys.remove path with Sys_error _ -> ());
+  let boom = Failure "writer exploded" in
+  let before = Sys.readdir dir in
+  (match Atomic_file.write path (fun oc -> output_string oc "partial"; raise boom) with
+   | () -> Alcotest.fail "write should have re-raised"
+   | exception Failure _ -> ());
+  Helpers.check_false "destination not created" (Sys.file_exists path);
+  (* No temp droppings left behind. *)
+  let after = Sys.readdir dir in
+  let tmps files =
+    Array.to_list files
+    |> List.filter (fun f ->
+           String.length f >= 4 && String.sub f 0 4 = "bpq_" && Filename.check_suffix f ".tmp")
+  in
+  Helpers.check_true "no temp files leak" (List.length (tmps after) <= List.length (tmps before));
+  (* A failing writer must not clobber an existing destination. *)
+  Atomic_file.write path (fun oc -> output_string oc "stable");
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Atomic_file.write path (fun _ -> raise boom) with
+   | () -> Alcotest.fail "second write should have re-raised"
+   | exception Failure _ -> ());
+  Alcotest.(check string) "existing content preserved" "stable"
+    (In_channel.with_open_bin path In_channel.input_all)
+
 let suite =
   [ Alcotest.test_case "vec push/pop" `Quick test_vec_push_pop;
     Alcotest.test_case "vec get/set" `Quick test_vec_get_set;
@@ -351,4 +562,17 @@ let suite =
     Alcotest.test_case "table cells" `Quick test_table_cells;
     Alcotest.test_case "timer deadline" `Quick test_timer_deadline;
     Alcotest.test_case "timer time" `Quick test_timer_time;
-    Alcotest.test_case "timer adaptive stride" `Quick test_timer_adaptive_stride ]
+    Alcotest.test_case "timer adaptive stride" `Quick test_timer_adaptive_stride;
+    Alcotest.test_case "timer degenerate budgets" `Quick test_timer_degenerate_budgets;
+    timer_nonpositive_budget_first_call;
+    Alcotest.test_case "timer clone after expiry" `Quick test_timer_clone_after_expiry;
+    Alcotest.test_case "stats _opt on empty" `Quick test_stats_opt_empty;
+    stats_opt_agrees;
+    Alcotest.test_case "jsonx print" `Quick test_jsonx_print;
+    Alcotest.test_case "jsonx parse" `Quick test_jsonx_parse;
+    Alcotest.test_case "jsonx accessors" `Quick test_jsonx_accessors;
+    jsonx_roundtrip;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "atomic file write" `Quick test_atomic_file_write;
+    Alcotest.test_case "atomic file failure cleanup" `Quick test_atomic_file_failure_cleanup ]
