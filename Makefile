@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store bench-serve clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store bench-serve bench-serve-open clean check-tree ci
 
 all: build
 
@@ -62,6 +62,17 @@ bench-serve:
 	BENCH_FAST=1 dune exec bench/main.exe -- serve --json _bench
 	jq -e '.serve.identical and .serve.throughput_qps > 0 and (.serve.p99_ms != null)' _bench/BENCH_serve.json >/dev/null
 	@echo "bench-serve: _bench/BENCH_serve.json OK"
+
+# Open-loop serving experiment: Poisson arrivals at a sweep of target
+# rates against the daemon, duplicate-heavy and duplicate-free mixes.
+# jq gates the invariants, not the timings: answers byte-identical to
+# the coalescing-off control, the duplicate-heavy mix must actually
+# coalesce (follower count > 0 — a dead single-flight path would fail
+# this), and the lowest swept rate must report a real p99.
+bench-serve-open:
+	BENCH_FAST=1 dune exec bench/main.exe -- serve --open-loop --json _bench
+	jq -e '.serve_open.identical and .serve_open.dupheavy.followers_total > 0 and (.serve_open.dupfree.rates[0].p99_ms != null)' _bench/BENCH_serve_open.json >/dev/null
+	@echo "bench-serve-open: _bench/BENCH_serve_open.json OK"
 
 clean:
 	dune clean

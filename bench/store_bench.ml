@@ -88,8 +88,11 @@ let measure scale =
       (* Backend identity for every plan: reloaded snapshot, paged with a
          comfortable cache, paged with a starved one. *)
       let schema2, _ = Schema.load (Label.create_table ()) path in
-      let starved = Paged.open_ ~cache_pages:1 path in
-      let p = Paged.open_ ~page_cache_mb:16 path in
+      (* Readahead off: this experiment charges each bounded query its
+         demand I/O, and prefetch bytes would blur the flatness metric
+         (a 1-page cache would also just churn prefetched pages). *)
+      let starved = Paged.open_ ~cache_pages:1 ~readahead:0 path in
+      let p = Paged.open_ ~page_cache_mb:16 ~readahead:0 path in
       Fun.protect
         ~finally:(fun () ->
           Paged.close p;

@@ -299,6 +299,12 @@ let run_cmd =
          & info [ "io-stats" ]
              ~doc:"Print pages faulted / bytes read / cache hits after evaluation (paged backend).")
   in
+  let readahead_arg =
+    Arg.(value & opt int 8
+         & info [ "readahead" ] ~docv:"N"
+             ~doc:"Pages to prefetch after a sequential miss with --backend paged \
+                   (default 8; 0 disables).")
+  in
   let print_cache_stats cache =
     let s = Qcache.stats cache in
     let t = Bpq_util.Table.create [ "tier"; "hits"; "misses"; "evictions"; "other" ] in
@@ -415,7 +421,7 @@ let run_cmd =
     !status
   in
   let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats
-      backend page_cache io_stats =
+      backend page_cache readahead io_stats =
     guard @@ fun () ->
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
@@ -431,7 +437,7 @@ let run_cmd =
          | None -> ());
         let store =
           with_file graph (fun () ->
-              Store.open_snapshot ~backend ~page_cache_mb:page_cache graph)
+              Store.open_snapshot ~backend ~page_cache_mb:page_cache ~readahead graph)
         in
         (store, Option.map Costs.make (Store.selectivity store))
       end
@@ -489,8 +495,9 @@ let run_cmd =
       if io_stats then begin
         match Store.io_counters store with
         | Some c ->
-          Printf.printf "# io: %d pages faulted, %d bytes read, %d cache hits\n"
-            c.Paged.faults c.Paged.bytes_read c.Paged.hits
+          Printf.printf
+            "# io: %d pages faulted, %d bytes read, %d cache hits, %d prefetched\n"
+            c.Paged.faults c.Paged.bytes_read c.Paged.hits c.Paged.prefetched
         | None -> print_endline "# io: in-memory backend, no paging"
       end;
       status
@@ -498,7 +505,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
     Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_opt $ limit
           $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
-          $ io_stats_arg)
+          $ readahead_arg $ io_stats_arg)
 
 (* serve *)
 
@@ -548,6 +555,19 @@ let serve_cmd =
     Arg.(value & opt int 16
          & info [ "page-cache" ] ~docv:"MB" ~doc:"Page-cache budget for --backend paged.")
   in
+  let readahead_arg =
+    Arg.(value & opt int 8
+         & info [ "readahead" ] ~docv:"N"
+             ~doc:"Pages to prefetch after a sequential miss with --backend paged \
+                   (default 8; 0 disables).")
+  in
+  let no_coalesce_arg =
+    Arg.(value & flag
+         & info [ "no-coalesce" ]
+             ~doc:"Disable single-flight coalescing of concurrent identical queries \
+                   (each request then evaluates independently; answers are identical \
+                   either way).")
+  in
   let max_inflight_arg =
     Arg.(value & opt int 64
          & info [ "max-inflight" ] ~docv:"N"
@@ -577,13 +597,14 @@ let serve_cmd =
   (* One resolution path for the initial open and every live reload: a
      snapshot reopens (picking up a refreshed file atomically renamed
      into place); a text graph reloads and rebuilds its schema. *)
-  let open_store ~pool ~backend ~page_cache graph constraints =
+  let open_store ~pool ~backend ~page_cache ~readahead graph constraints =
     if Graph_io.is_snapshot graph then begin
       (match constraints with
        | Some _ -> failwith (Printf.sprintf "%s: snapshots embed their constraints; drop -a" graph)
        | None -> ());
       let store =
-        with_file graph (fun () -> Store.open_snapshot ~backend ~page_cache_mb:page_cache graph)
+        with_file graph (fun () ->
+            Store.open_snapshot ~backend ~page_cache_mb:page_cache ~readahead graph)
       in
       (store, Option.map Costs.make (Store.selectivity store))
     end
@@ -607,8 +628,8 @@ let serve_cmd =
       (Store.of_schema ~selectivity:(Gstats.selectivity g) schema, Some (Costs.of_graph g))
     end
   in
-  let run semantics graph constraints listen jobs cache_mb backend page_cache max_inflight
-      max_conns read_timeout write_timeout query_timeout =
+  let run semantics graph constraints listen jobs cache_mb backend page_cache readahead
+      no_coalesce max_inflight max_conns read_timeout write_timeout query_timeout =
     guard @@ fun () ->
     let addr =
       match Sock.parse listen with Ok a -> a | Error msg -> failwith ("--listen " ^ msg)
@@ -621,12 +642,12 @@ let serve_cmd =
         costs;
         close = (fun () -> Store.close store) }
     in
-    let store0, costs0 = open_store ~pool ~backend ~page_cache graph constraints in
+    let store0, costs0 = open_store ~pool ~backend ~page_cache ~readahead graph constraints in
     (* The stats hook follows reloads so `stats` always reports the live
        generation's I/O counters. *)
     let current = ref store0 in
     let reload () =
-      let store, costs = open_store ~pool ~backend ~page_cache graph constraints in
+      let store, costs = open_store ~pool ~backend ~page_cache ~readahead graph constraints in
       current := store;
       slot_of store costs
     in
@@ -637,14 +658,15 @@ let serve_cmd =
            Bpq_util.Jsonx.Obj
              [ ("faults", Bpq_util.Jsonx.Int c.Paged.faults);
                ("bytes_read", Bpq_util.Jsonx.Int c.Paged.bytes_read);
-               ("hits", Bpq_util.Jsonx.Int c.Paged.hits) ]) ]
+               ("hits", Bpq_util.Jsonx.Int c.Paged.hits);
+               ("prefetched", Bpq_util.Jsonx.Int c.Paged.prefetched) ]) ]
       | None -> []
     in
     let opt_pos v = if v > 0.0 then Some v else None in
     let server =
       Server.create ?cache ~max_inflight ~max_connections:max_conns
-        ?query_timeout:(opt_pos query_timeout) ~semantics ~reload ~extra_stats ~pool
-        (slot_of store0 costs0)
+        ?query_timeout:(opt_pos query_timeout) ~semantics ~coalesce:(not no_coalesce)
+        ~reload ~extra_stats ~pool (slot_of store0 costs0)
     in
     let stop_on signal =
       try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Server.request_stop server))
@@ -666,8 +688,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve pattern queries from a warm engine over a socket (line-delimited JSON).")
     Term.(const run $ semantics_arg $ graph_arg $ constraints_opt $ listen_arg $ jobs
-          $ cache_mb $ backend_arg $ page_cache_arg $ max_inflight_arg $ max_conns_arg
-          $ read_timeout_arg $ write_timeout_arg $ query_timeout_arg)
+          $ cache_mb $ backend_arg $ page_cache_arg $ readahead_arg $ no_coalesce_arg
+          $ max_inflight_arg $ max_conns_arg $ read_timeout_arg $ write_timeout_arg
+          $ query_timeout_arg)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in

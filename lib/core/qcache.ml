@@ -205,6 +205,22 @@ let result_key stamp (plan : Plan.t) limit =
     ((stamp : int), sem_tag plan.semantics, nodes, Pattern.edges q, limit)
     []
 
+(* Identity of an in-flight evaluation for single-flight coalescing on
+   the serve path: schema stamp, semantics, canonical structural
+   fingerprint, the exact nodes (label and predicate, in pattern node
+   order) and edges, and the requested limit.  The fingerprint covers
+   shape only; the explicit node/edge arrays pin the numbering, so two
+   renumbered isomorphs — whose answers list columns in different node
+   orders — never share a flight. *)
+let flight_key ?limit semantics ~stamp q =
+  let fp = Pattern.fingerprint q in
+  let nodes =
+    Array.init (Pattern.n_nodes q) (fun u -> (Pattern.label q u, Pattern.pred q u))
+  in
+  Marshal.to_string
+    ((stamp : int), sem_tag semantics, fp, nodes, Pattern.edges q, limit)
+    []
+
 let eval_plan_with t ?pool ?deadline ?limit (src : Exec.source) (plan : Plan.t) =
   let s = shard_for t in
   let key = result_key src.Exec.stamp plan limit in

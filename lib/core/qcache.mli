@@ -145,6 +145,16 @@ val fetch_tier : t -> Fetch_cache.t
 (** The calling domain's fetch-cache shard — for passing to
     {!Bounded_eval} / {!Exec} directly. *)
 
+val flight_key :
+  ?limit:int -> Actualized.semantics -> stamp:int -> Pattern.t -> string
+(** Identity of an in-flight evaluation for single-flight coalescing
+    ({!Bpq_core.Server}): schema stamp, semantics, canonical structural
+    fingerprint, the exact nodes (label, predicate) and edges, and the
+    match limit.  Two requests with equal keys are guaranteed
+    byte-identical answers against the same source, so one evaluation may
+    serve both; renumbered isomorphs (whose answer columns differ) never
+    collide.  Pure — no cache state is read or written. *)
+
 val note_delta : t -> Digraph.t -> Digraph.delta -> unit
 (** [note_delta t g delta] — [g] is the {e pre-delta} graph.  Bumps the
     generation of every label the delta can affect (labels of changed

@@ -47,6 +47,25 @@ type slot = {
   mutable retired : bool;  (* swapped out by reload; close on last release *)
 }
 
+(* Outcome of one evaluation.  Every variant is shareable with coalesced
+   followers: for a given flight key and slot, a timeout or an unbounded
+   verdict is as deterministic as an answer. *)
+type eval_outcome = [ `Answer of Bounded_eval.answer | `Timeout | `Unbounded ]
+
+(* One in-flight evaluation.  The leader that registered the flight
+   publishes under the server mutex and broadcasts [landed]; followers
+   wait on it.  [fgen] pins the slot generation the flight took off
+   under — publication revalidates it (see [coalesced_eval]). *)
+type flight = {
+  fgen : int;
+  mutable published : publish option;
+  landed : Condition.t;
+}
+
+and publish =
+  | P_share of eval_outcome  (* generation still current: followers share *)
+  | P_retry  (* generation moved (or leader died): followers re-dispatch *)
+
 type t = {
   pool : Pool.t;
   cache : Qcache.t option;
@@ -54,6 +73,7 @@ type t = {
   max_connections : int;
   query_timeout : float option;
   default_semantics : Actualized.semantics;
+  coalesce : bool;
   reload_hook : (unit -> slot_data) option;
   extra_stats : unit -> (string * Json.t) list;
   started : float;
@@ -61,6 +81,8 @@ type t = {
   mu : Mutex.t;
   conn_done : Condition.t;
   exec_mu : Mutex.t;  (* serialises inline execution on sequential pools *)
+  flights : (string, flight) Hashtbl.t;  (* under mu *)
+  mutable flight_gen : int;  (* bumped by swap_slot; part of flight keys *)
   mutable slot : slot;
   mutable inflight : int;
   mutable live_conns : int;
@@ -70,12 +92,16 @@ type t = {
   mutable errors : int;
   mutable timeouts : int;
   mutable reloads : int;
+  mutable sf_leaders : int;  (* flights registered *)
+  mutable sf_followers : int;  (* requests that joined an existing flight *)
+  mutable sf_redispatches : int;  (* followers re-dispatched after a swap *)
   mutable stop : bool;
   mutable wake : Unix.file_descr option;
 }
 
 let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
-    ?(semantics = Actualized.Subgraph) ?reload ?(extra_stats = fun () -> []) ~pool data =
+    ?(semantics = Actualized.Subgraph) ?(coalesce = true) ?reload
+    ?(extra_stats = fun () -> []) ~pool data =
   if max_inflight < 0 then invalid_arg "Server.create: negative max_inflight";
   if max_connections < 1 then invalid_arg "Server.create: max_connections must be positive";
   { pool;
@@ -84,6 +110,7 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     max_connections;
     query_timeout;
     default_semantics = semantics;
+    coalesce;
     reload_hook = reload;
     extra_stats;
     started = Timer.now ();
@@ -91,6 +118,8 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     mu = Mutex.create ();
     conn_done = Condition.create ();
     exec_mu = Mutex.create ();
+    flights = Hashtbl.create 64;
+    flight_gen = 0;
     slot = { data; refs = 0; retired = false };
     inflight = 0;
     live_conns = 0;
@@ -100,6 +129,9 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     errors = 0;
     timeouts = 0;
     reloads = 0;
+    sf_leaders = 0;
+    sf_followers = 0;
+    sf_redispatches = 0;
     stop = false;
     wake = None }
 
@@ -156,6 +188,10 @@ let swap_slot t data =
   old.retired <- true;
   let close_now = old.refs = 0 in
   t.reloads <- t.reloads + 1;
+  (* Invalidate every open flight: leaders still publish, but since the
+     generation no longer matches they publish a retry verdict, and new
+     arrivals (keyed by the new generation) never join pre-swap flights. *)
+  t.flight_gen <- t.flight_gen + 1;
   Mutex.unlock t.mu;
   if close_now then try old.data.close () with _ -> ()
 
@@ -265,6 +301,104 @@ let plan_in_slot t sem (s : slot) q =
   | Some c -> Qcache.plan_for_with c ?costs:s.data.costs sem src q
   | None -> Qplan.generate ?costs:s.data.costs sem q src.Exec.constraints
 
+(* One full (uncoalesced) evaluation of [q] against slot [s]. *)
+let evaluate_in_slot t sem (s : slot) q : eval_outcome =
+  let src = s.data.src in
+  on_pool t (fun () ->
+      match plan_in_slot t sem s q with
+      | None -> `Unbounded
+      | Some plan ->
+        let deadline = Option.map Timer.deadline_after t.query_timeout in
+        (match
+           match t.cache with
+           | Some c -> Qcache.eval_plan_with c ~pool:t.pool ?deadline src plan
+           | None -> Bounded_eval.run ~pool:t.pool ?deadline src plan
+         with
+        | answer -> `Answer answer
+        | exception Timer.Timeout -> `Timeout))
+
+(* Single-flight coalescing: concurrent requests with equal
+   {!Qcache.flight_key}s (stamp, semantics, canonical shape, exact
+   predicates, limit) cost one evaluation.  The first arrival registers
+   a flight and evaluates (leader); identical arrivals while it runs
+   wait on the flight (followers) and share the published outcome.
+   The leader never holds [t.mu] while evaluating, and followers wait
+   in [Condition.wait] which releases it — stats and reload stay
+   responsive under a slow flight.
+
+   Stamp revalidation at publish: the flight key embeds the slot
+   generation counter, and the leader re-reads it when publishing.  If a
+   `reload` swapped generations mid-flight, the leader's outcome — still
+   valid for its own pinned slot — is published as a retry verdict
+   instead of an answer, so followers coalesced before the swap release
+   their admission and re-dispatch against the current slot; they can
+   never observe the pre-swap result.  Arrivals after the swap compute a
+   new-generation key and never join the old flight at all.
+
+   [held] tracks the slot this request currently has admitted
+   (re-dispatch swaps it); the caller's final release follows it.  The
+   parsed pattern is reused across a re-dispatch: label ids are stable
+   within a schema lineage (snapshot save/load preserves intern order),
+   the same property the warm plan tier relies on across reloads. *)
+let coalesced_eval t held sem q limit : (slot * eval_outcome, string) result =
+  let rec attempt tries (s : slot) =
+    if tries >= 4 then
+      (* Re-dispatched through several back-to-back reloads; stop
+         coalescing and just evaluate on the slot we hold. *)
+      Ok (s, evaluate_in_slot t sem s q)
+    else begin
+      let qkey = Qcache.flight_key ?limit sem ~stamp:s.data.src.Exec.stamp q in
+      Mutex.lock t.mu;
+      let key = string_of_int t.flight_gen ^ ":" ^ qkey in
+      match Hashtbl.find_opt t.flights key with
+      | Some fl ->
+        t.sf_followers <- t.sf_followers + 1;
+        while fl.published = None do
+          Condition.wait fl.landed t.mu
+        done;
+        let p = Option.get fl.published in
+        Mutex.unlock t.mu;
+        (match p with
+         | P_share o -> Ok (s, o)
+         | P_retry ->
+           Mutex.lock t.mu;
+           t.sf_redispatches <- t.sf_redispatches + 1;
+           Mutex.unlock t.mu;
+           release t s;
+           held := None;
+           (match acquire t with
+            | Refused code -> Error code
+            | Admitted s' ->
+              held := Some s';
+              attempt (tries + 1) s'))
+      | None ->
+        let fl = { fgen = t.flight_gen; published = None; landed = Condition.create () } in
+        Hashtbl.replace t.flights key fl;
+        t.sf_leaders <- t.sf_leaders + 1;
+        Mutex.unlock t.mu;
+        let result =
+          match evaluate_in_slot t sem s q with
+          | o -> Ok o
+          | exception e -> Error e
+        in
+        Mutex.lock t.mu;
+        (* The key embeds the generation and followers never insert, so
+           this binding is necessarily the flight registered above. *)
+        Hashtbl.remove t.flights key;
+        fl.published <-
+          Some
+            (match result with
+             | Ok o when t.flight_gen = fl.fgen -> P_share o
+             | Ok _ | Error _ -> P_retry);
+        Condition.broadcast fl.landed;
+        Mutex.unlock t.mu;
+        (* The leader always uses its own result: it is valid for the
+           slot it holds, whatever the generation did meanwhile. *)
+        (match result with Ok o -> Ok (s, o) | Error e -> raise e)
+    end
+  in
+  attempt 0 (Option.get !held)
+
 let handle_query t ?id req =
   match acquire t with
   | Refused code ->
@@ -272,59 +406,60 @@ let handle_query t ?id req =
       (if code = "overloaded" then
          Printf.sprintf "query queue full (max_inflight %d)" t.max_inflight
        else "server is shutting down")
-  | Admitted s ->
-    Fun.protect ~finally:(fun () -> release t s) @@ fun () ->
-    (match (pattern_of req s, semantics_of t req, limit_of req) with
+  | Admitted s0 ->
+    let held = ref (Some s0) in
+    Fun.protect ~finally:(fun () -> Option.iter (release t) !held) @@ fun () ->
+    (match (pattern_of req s0, semantics_of t req, limit_of req) with
      | Error (code, msg), _, _ -> error_response ?id code msg
      | Ok _, Error msg, _ | Ok _, Ok _, Error msg ->
        error_response ?id "bad_request" msg
      | Ok q, Ok sem, Ok limit ->
-       let src = s.data.src in
        let start = Timer.now () in
-       let outcome =
-         on_pool t (fun () ->
-             match plan_in_slot t sem s q with
-             | None -> `Unbounded
-             | Some plan ->
-               let deadline = Option.map Timer.deadline_after t.query_timeout in
-               (match
-                  match t.cache with
-                  | Some c -> Qcache.eval_plan_with c ~pool:t.pool ?deadline src plan
-                  | None -> Bounded_eval.run ~pool:t.pool ?deadline src plan
-                with
-                | answer -> `Answer answer
-                | exception Timer.Timeout -> `Timeout))
+       let result =
+         if t.coalesce then coalesced_eval t held sem q limit
+         else Ok (s0, evaluate_in_slot t sem s0 q)
        in
+       (* Latency from the request's own start: a coalesced follower's
+          elapsed time includes its wait on the leader — the honest
+          client-observed figure. *)
        let elapsed = Timer.now () -. start in
-       (match outcome with
-        | `Answer answer ->
-          Histogram.add t.latency elapsed;
-          Mutex.lock t.mu;
-          t.served <- t.served + 1;
-          Mutex.unlock t.mu;
-          let answer =
-            (* The result tier caches full answers; apply the limit on
-               the way out exactly like the one-shot CLI does. *)
-            match (answer, limit) with
-            | Bounded_eval.Matches ms, Some l ->
-              Bounded_eval.Matches (List.filteri (fun i _ -> i < l) ms)
-            | answer, _ -> answer
-          in
-          ok_response ?id
-            (("semantics", Json.Str (sem_name sem))
-             :: answer_fields answer
-             @ [ ("elapsed_ms", Json.Float (elapsed *. 1000.0));
-                 ("stamp", Json.Int src.Exec.stamp) ])
-        | `Timeout ->
-          Mutex.lock t.mu;
-          t.timeouts <- t.timeouts + 1;
-          Mutex.unlock t.mu;
-          error_response ?id "timeout"
-            (Printf.sprintf "query exceeded the %.3fs budget"
-               (Option.value t.query_timeout ~default:0.0))
-        | `Unbounded ->
-          let d = Ebchk.diagnose sem q src.Exec.constraints in
-          error_response ?id "unbounded" (Ebchk.report q d)))
+       (match result with
+        | Error code ->
+          error_response ?id code
+            (if code = "overloaded" then
+               Printf.sprintf "query queue full (max_inflight %d)" t.max_inflight
+             else "server is shutting down")
+        | Ok (s, outcome) ->
+          let src = s.data.src in
+          (match outcome with
+           | `Answer answer ->
+             Histogram.add t.latency elapsed;
+             Mutex.lock t.mu;
+             t.served <- t.served + 1;
+             Mutex.unlock t.mu;
+             let answer =
+               (* The result tier caches full answers; apply the limit on
+                  the way out exactly like the one-shot CLI does. *)
+               match (answer, limit) with
+               | Bounded_eval.Matches ms, Some l ->
+                 Bounded_eval.Matches (List.filteri (fun i _ -> i < l) ms)
+               | answer, _ -> answer
+             in
+             ok_response ?id
+               (("semantics", Json.Str (sem_name sem))
+                :: answer_fields answer
+                @ [ ("elapsed_ms", Json.Float (elapsed *. 1000.0));
+                    ("stamp", Json.Int src.Exec.stamp) ])
+           | `Timeout ->
+             Mutex.lock t.mu;
+             t.timeouts <- t.timeouts + 1;
+             Mutex.unlock t.mu;
+             error_response ?id "timeout"
+               (Printf.sprintf "query exceeded the %.3fs budget"
+                  (Option.value t.query_timeout ~default:0.0))
+           | `Unbounded ->
+             let d = Ebchk.diagnose sem q src.Exec.constraints in
+             error_response ?id "unbounded" (Ebchk.report q d))))
 
 let handle_explain t ?id req =
   match acquire t with
@@ -365,6 +500,19 @@ let cache_json c =
       ("result_misses", Json.Int s.Qcache.result_misses);
       ("result_stale", Json.Int s.Qcache.result_stale) ]
 
+let coalescing_json t =
+  (* Caller holds no locks; the three counters are read under [t.mu]. *)
+  Mutex.lock t.mu;
+  let leaders = t.sf_leaders
+  and followers = t.sf_followers
+  and redispatches = t.sf_redispatches in
+  Mutex.unlock t.mu;
+  Json.Obj
+    [ ("enabled", Json.Bool t.coalesce);
+      ("leaders", Json.Int leaders);
+      ("followers", Json.Int followers);
+      ("redispatches", Json.Int redispatches) ]
+
 let handle_stats t ?id () =
   Mutex.lock t.mu;
   let inflight = t.inflight
@@ -389,9 +537,91 @@ let handle_stats t ?id () =
        ("timeouts", Json.Int timeouts);
        ("reloads", Json.Int reloads);
        ("jobs", Json.Int (Pool.size t.pool));
+       ("coalescing", coalescing_json t);
        ("latency", latency_json t) ]
      @ (match t.cache with Some c -> [ ("cache", cache_json c) ] | None -> [])
      @ t.extra_stats ())
+
+(* Prometheus text exposition (version 0.0.4): one scrape-ready page of
+   counters, gauges and a latency summary.  Carried inside the JSON
+   protocol as the "text" field of the `metrics` op — a scraping bridge
+   peels it out; the daemon itself stays single-protocol. *)
+let metrics_text t =
+  Mutex.lock t.mu;
+  let inflight = t.inflight
+  and served = t.served
+  and rejected = t.rejected
+  and errors = t.errors
+  and timeouts = t.timeouts
+  and reloads = t.reloads
+  and conns = t.live_conns
+  and leaders = t.sf_leaders
+  and followers = t.sf_followers
+  and redispatches = t.sf_redispatches
+  and stamp = t.slot.data.src.Exec.stamp
+  and graph_size = t.slot.data.src.Exec.graph_size in
+  Mutex.unlock t.mu;
+  let b = Buffer.create 2048 in
+  let metric name typ help value =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n%s %s\n" name help name typ name value
+  in
+  let counter name help v = metric name "counter" help (string_of_int v) in
+  let gauge name help v = metric name "gauge" help (string_of_int v) in
+  counter "bpq_queries_served_total" "Queries answered successfully." served;
+  counter "bpq_queries_rejected_total" "Requests refused by admission control." rejected;
+  counter "bpq_errors_total" "Requests that raised an internal error." errors;
+  counter "bpq_timeouts_total" "Queries that exceeded the time budget." timeouts;
+  counter "bpq_reloads_total" "Live snapshot reloads." reloads;
+  counter "bpq_coalesce_leaders_total" "Evaluations that led a single-flight." leaders;
+  counter "bpq_coalesce_followers_total" "Requests that joined an existing flight." followers;
+  counter "bpq_coalesce_redispatches_total"
+    "Followers re-dispatched after a mid-flight reload." redispatches;
+  gauge "bpq_inflight" "Queries queued or running." inflight;
+  gauge "bpq_connections" "Live client connections." conns;
+  gauge "bpq_jobs" "Pool worker count." (Pool.size t.pool);
+  gauge "bpq_stamp" "Schema stamp of the current slot." stamp;
+  gauge "bpq_graph_size" "Nodes + edges of the served graph." graph_size;
+  metric "bpq_uptime_seconds" "gauge" "Seconds since the server started."
+    (Printf.sprintf "%.3f" (Timer.now () -. t.started));
+  (match t.cache with
+   | None -> ()
+   | Some c ->
+     let s = Qcache.stats c in
+     Printf.bprintf b
+       "# HELP bpq_cache_hits_total Cache hits by tier.\n\
+        # TYPE bpq_cache_hits_total counter\n";
+     Printf.bprintf b "bpq_cache_hits_total{tier=\"plan\"} %d\n" s.Qcache.plan_hits;
+     Printf.bprintf b "bpq_cache_hits_total{tier=\"fetch\"} %d\n" s.Qcache.fetch_hits;
+     Printf.bprintf b "bpq_cache_hits_total{tier=\"result\"} %d\n" s.Qcache.result_hits;
+     Printf.bprintf b
+       "# HELP bpq_cache_misses_total Cache misses by tier.\n\
+        # TYPE bpq_cache_misses_total counter\n";
+     Printf.bprintf b "bpq_cache_misses_total{tier=\"plan\"} %d\n" s.Qcache.plan_misses;
+     Printf.bprintf b "bpq_cache_misses_total{tier=\"fetch\"} %d\n" s.Qcache.fetch_misses;
+     Printf.bprintf b "bpq_cache_misses_total{tier=\"result\"} %d\n" s.Qcache.result_misses);
+  let n = Histogram.count t.latency in
+  let sum =
+    match Histogram.mean t.latency with
+    | Some m -> m *. float_of_int n
+    | None -> 0.0
+  in
+  Printf.bprintf b
+    "# HELP bpq_query_latency_seconds Latency of successful queries.\n\
+     # TYPE bpq_query_latency_seconds summary\n";
+  List.iter
+    (fun q ->
+      match Histogram.percentile t.latency q with
+      | Some v -> Printf.bprintf b "bpq_query_latency_seconds{quantile=\"%g\"} %.9g\n" q v
+      | None -> ())
+    [ 0.5; 0.9; 0.99 ];
+  Printf.bprintf b "bpq_query_latency_seconds_sum %.9g\n" sum;
+  Printf.bprintf b "bpq_query_latency_seconds_count %d\n" n;
+  Buffer.contents b
+
+let handle_metrics t ?id () =
+  ok_response ?id
+    [ ("content_type", Json.Str "text/plain; version=0.0.4");
+      ("text", Json.Str (metrics_text t)) ]
 
 let handle_reload t ?id () =
   match t.reload_hook with
@@ -415,13 +645,14 @@ let handle_json t req =
   | Some (Json.Str "query") -> handle_query t ?id req
   | Some (Json.Str "explain") -> handle_explain t ?id req
   | Some (Json.Str "stats") -> handle_stats t ?id ()
+  | Some (Json.Str "metrics") -> handle_metrics t ?id ()
   | Some (Json.Str "reload") -> handle_reload t ?id ()
   | Some (Json.Str "shutdown") ->
     request_stop t;
     ok_response ?id [ ("stopping", Json.Bool true) ]
   | Some (Json.Str op) ->
     error_response ?id "bad_request"
-      (Printf.sprintf "unknown op %S (query|explain|stats|reload|shutdown)" op)
+      (Printf.sprintf "unknown op %S (query|explain|stats|metrics|reload|shutdown)" op)
   | Some _ -> error_response ?id "bad_request" "\"op\" must be a string"
   | None -> error_response ?id "bad_request" "missing \"op\""
 
@@ -583,6 +814,7 @@ module Client = struct
           @ (match limit with Some l -> [ ("limit", Json.Int l) ] | None -> [])))
 
   let stats c = rpc c (Json.Obj [ ("op", Json.Str "stats") ])
+  let metrics c = rpc c (Json.Obj [ ("op", Json.Str "metrics") ])
   let reload c = rpc c (Json.Obj [ ("op", Json.Str "reload") ])
   let shutdown c = rpc c (Json.Obj [ ("op", Json.Str "shutdown") ])
   let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -5,15 +5,31 @@
     {1 Protocol}
 
     One request per line, one response per line, both JSON objects.
-    Requests carry an ["op"] of [query], [explain], [stats], [reload] or
-    [shutdown]; [query]/[explain] add ["pattern"] (concrete syntax for
-    {!Bpq_pattern.Pattern_parser}), optional ["semantics"]
+    Requests carry an ["op"] of [query], [explain], [stats], [metrics],
+    [reload] or [shutdown]; [query]/[explain] add ["pattern"] (concrete
+    syntax for {!Bpq_pattern.Pattern_parser}), optional ["semantics"]
     (["subgraph"]|["simulation"]) and optional ["limit"].  An optional
     ["id"] is echoed back verbatim.  Responses are
     [{"ok":true, ...}] or
     [{"ok":false, "error":CODE, "message":...}] with codes
     [parse], [bad_request], [unbounded], [overloaded], [timeout],
-    [shutting_down], [reload_failed] and [internal].
+    [shutting_down], [reload_failed] and [internal].  [metrics] returns
+    the counters as a Prometheus text-format page in its ["text"] field
+    (see {!metrics_text}).
+
+    {1 Single-flight coalescing}
+
+    Concurrent identical queries — equal {!Qcache.flight_key}: stamp,
+    semantics, canonical shape, exact predicates, limit — cost one
+    evaluation: the first arrival leads and evaluates on the pool,
+    identical arrivals while it runs wait and share the outcome
+    (answer, timeout or unbounded verdict alike).  Publication
+    revalidates the slot generation: followers of a flight that a
+    [reload] overtook are re-dispatched against the current slot rather
+    than handed the pre-swap result, and the leader keeps its own result
+    (valid for its pinned generation).  Answers are byte-identical with
+    coalescing on or off; [stats] reports leaders / followers /
+    re-dispatches.  Disable with [~coalesce:false] to measure.
 
     {1 Concurrency}
 
@@ -50,6 +66,7 @@ val create :
   ?max_connections:int ->
   ?query_timeout:float ->
   ?semantics:Actualized.semantics ->
+  ?coalesce:bool ->
   ?reload:(unit -> slot_data) ->
   ?extra_stats:(unit -> (string * Jsonx.t) list) ->
   pool:Pool.t ->
@@ -62,10 +79,18 @@ val create :
     clients.  [query_timeout] bounds each query with
     {!Bpq_util.Timer.deadline_after}.  [semantics] (default
     {!Actualized.Subgraph}) applies when a request names none.
+    [coalesce] (default [true]) enables single-flight coalescing of
+    concurrent identical queries.
     [reload] serves the [reload] op; without it the op fails typed.
     [extra_stats] fields are appended to every [stats] response.
     @raise Invalid_argument on negative [max_inflight] or
     non-positive [max_connections]. *)
+
+val metrics_text : t -> string
+(** The Prometheus text-exposition page (format 0.0.4) behind the
+    [metrics] op: request/error/reload counters, single-flight leaders /
+    followers / re-dispatches, inflight and connection gauges, cache
+    tier counters, and a latency summary with interpolated quantiles. *)
 
 val handle_line : t -> string -> string
 (** [handle_line t line] routes one request line and returns the
@@ -113,6 +138,7 @@ module Client : sig
     ?semantics:Actualized.semantics -> ?limit:int -> conn -> string -> Jsonx.t
 
   val stats : conn -> Jsonx.t
+  val metrics : conn -> Jsonx.t
   val reload : conn -> Jsonx.t
   val shutdown : conn -> Jsonx.t
   val close : conn -> unit

@@ -11,6 +11,7 @@ type io_counters = {
   faults : int;
   bytes_read : int;
   hits : int;
+  prefetched : int;  (* pages pulled in by sequential readahead *)
 }
 
 (* Per-constraint index metadata, decoded once at open; [keys_off] and
@@ -36,6 +37,9 @@ type t = {
   mutable faults : int;
   mutable bytes_read : int;
   mutable hits : int;
+  mutable prefetched : int;
+  readahead : int;  (* pages to prefetch past a sequential miss; 0 = off *)
+  mutable next_seq : int;  (* page after the most recent access *)
   table : Label.table;
   n_nodes : int;
   n_edges : int;
@@ -73,8 +77,32 @@ let load_page t pn =
   t.bytes_read <- t.bytes_read + len;
   b
 
+(* Sequential readahead: when a demand miss lands on the page right
+   after the previously accessed one — an index-bucket payload stream or
+   a value-blob read crossing pages — the next [readahead] pages are
+   pulled into the cache in the same pass, while the channel is already
+   positioned there (its buffer makes them near-free).  Prefetched pages
+   count in [prefetched] and [bytes_read], not [faults]; a later access
+   to one is an ordinary hit. *)
+let prefetch_after t pn =
+  let last = min (pn + t.readahead) ((t.file_len - 1) / t.page_size) in
+  for p = pn + 1 to last do
+    if not (Lru.mem t.pages p) then begin
+      let off = p * t.page_size in
+      let len = min t.page_size (t.file_len - off) in
+      let b = Bytes.create len in
+      seek_in t.ic off;
+      really_input t.ic b 0 len;
+      t.prefetched <- t.prefetched + 1;
+      t.bytes_read <- t.bytes_read + len;
+      Lru.add t.pages p b
+    end
+  done
+
 let page t pn =
   ensure_open t;
+  let seq = t.readahead > 0 && pn = t.next_seq in
+  t.next_seq <- pn + 1;
   match Lru.find t.pages pn with
   | Some b ->
     t.hits <- t.hits + 1;
@@ -82,6 +110,7 @@ let page t pn =
   | None ->
     let b = load_page t pn in
     Lru.add t.pages pn b;
+    if seq then prefetch_after t pn;
     b
 
 (* An aligned i64 never spans a page boundary (the container 8-aligns
@@ -118,9 +147,10 @@ let require sects tag what =
   | Some s -> s
   | None -> corrupt "snapshot has no %s section" what
 
-let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) path =
+let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) ?(readahead = 8) path =
   if page_size <= 0 || page_size mod 8 <> 0 then
     invalid_arg "Paged.open_: page_size must be a positive multiple of 8";
+  if readahead < 0 then invalid_arg "Paged.open_: negative readahead";
   let ic = open_in_bin path in
   match
     let file_len = in_channel_length ic in
@@ -245,6 +275,9 @@ let open_ ?(page_cache_mb = 16) ?cache_pages ?(page_size = page_size) path =
       faults = 0;
       bytes_read = 0;
       hits = 0;
+      prefetched = 0;
+      readahead;
+      next_seq = -1;
       table;
       n_nodes = n;
       n_edges = m;
@@ -411,12 +444,17 @@ let selectivity t = t.selectivity
 let page_size_of t = t.page_size
 
 let io_counters t =
-  with_lock t (fun () -> { faults = t.faults; bytes_read = t.bytes_read; hits = t.hits })
+  with_lock t (fun () ->
+      { faults = t.faults;
+        bytes_read = t.bytes_read;
+        hits = t.hits;
+        prefetched = t.prefetched })
 
 let reset_io t =
   with_lock t (fun () ->
       t.faults <- 0;
       t.bytes_read <- 0;
-      t.hits <- 0)
+      t.hits <- 0;
+      t.prefetched <- 0)
 
 let drop_cache t = with_lock t (fun () -> Lru.clear t.pages)

@@ -27,7 +27,8 @@ type t
 val page_size : int
 (** The default page granularity, 4096 bytes. *)
 
-val open_ : ?page_cache_mb:int -> ?cache_pages:int -> ?page_size:int -> string -> t
+val open_ :
+  ?page_cache_mb:int -> ?cache_pages:int -> ?page_size:int -> ?readahead:int -> string -> t
 (** [open_ path] validates the header and directory (not the checksum —
     run {!Bpq_graph.Binfile.verify} first for a full integrity pass) and
     loads the small metadata.  The page-cache budget is [page_cache_mb]
@@ -35,12 +36,18 @@ val open_ : ?page_cache_mb:int -> ?cache_pages:int -> ?page_size:int -> string -
     count — 0 is legal and makes every access a fault.  [page_size]
     (default {!page_size}) sets the fault granularity and must be a
     positive multiple of 8 — the container 8-aligns every array element,
-    so an aligned i64 never spans a page at any such size.  I/O counters
-    start at zero (open-time reads are not counted).
+    so an aligned i64 never spans a page at any such size.  [readahead]
+    (default 8, 0 disables) prefetches that many further pages whenever a
+    demand miss immediately follows an access to the preceding page — the
+    signature of an index-payload or value-blob scan — trading a little
+    extra sequential I/O for fewer faults on cold scans; prefetched pages
+    are accounted separately ({!io_counters}).  I/O counters start at
+    zero (open-time reads are not counted).
     @raise Binfile.Corrupt on malformed snapshots (including snapshots
     without a schema section — the paged store serves index lookups, so
     it needs the indexes).
-    @raise Sys_error when the file cannot be opened. *)
+    @raise Sys_error when the file cannot be opened.
+    @raise Invalid_argument on a negative [readahead]. *)
 
 val close : t -> unit
 (** Close the file handle and drop the page cache.  Idempotent: a second
@@ -79,9 +86,10 @@ val page_size_of : t -> int
 (** {1 I/O accounting} *)
 
 type io_counters = {
-  faults : int;  (** Pages read from disk (cache misses). *)
-  bytes_read : int;  (** Bytes those faults transferred. *)
+  faults : int;  (** Pages read from disk on demand (cache misses). *)
+  bytes_read : int;  (** Bytes transferred, demand faults and prefetches. *)
   hits : int;  (** Page accesses served by the cache. *)
+  prefetched : int;  (** Pages pulled in by sequential readahead. *)
 }
 
 val io_counters : t -> io_counters

@@ -17,7 +17,8 @@ type t =
 let of_schema ?selectivity schema =
   In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema }
 
-let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?(verify = false) path =
+let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(verify = false)
+    path =
   match backend with
   | Mem ->
     (* Schema.load reads and checksums the whole file already. *)
@@ -25,7 +26,7 @@ let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?(verify = false)
     In_mem { schema; sel; src = Exec.source_of_schema schema }
   | Paged ->
     if verify then Binfile.verify path;
-    On_disk (Paged.open_ ?page_cache_mb ?cache_pages path)
+    On_disk (Paged.open_ ?page_cache_mb ?cache_pages ?readahead path)
 
 let backend = function In_mem _ -> Mem | On_disk _ -> Paged
 let source = function In_mem m -> m.src | On_disk p -> Paged.source p

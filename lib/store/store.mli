@@ -26,14 +26,16 @@ val open_snapshot :
   ?backend:backend ->
   ?page_cache_mb:int ->
   ?cache_pages:int ->
+  ?readahead:int ->
   ?verify:bool ->
   string ->
   t
 (** Open a {!Bpq_access.Schema.save} snapshot.  [backend] defaults to
     [Mem].  [page_cache_mb] / [cache_pages] size the paged backend's
-    cache ({!Paged.open_}; ignored under [Mem]).  [verify] (default
-    [false]) forces a full checksum pass even for the paged backend —
-    [Mem] always verifies, since it reads the whole file anyway.
+    cache and [readahead] its sequential prefetch depth ({!Paged.open_};
+    all ignored under [Mem]).  [verify] (default [false]) forces a full
+    checksum pass even for the paged backend — [Mem] always verifies,
+    since it reads the whole file anyway.
     @raise Binfile.Corrupt on malformed or damaged snapshots. *)
 
 val backend : t -> backend

@@ -66,32 +66,55 @@ let mean t = with_lock t (fun () -> if t.n = 0 then None else Some (t.sum /. flo
 let minimum t = with_lock t (fun () -> if t.n = 0 then None else Some t.minv)
 let maximum t = with_lock t (fun () -> if t.n = 0 then None else Some t.maxv)
 
-(* Nearest-rank on the bucketed distribution; the extreme ranks snap to
-   the exact observed min/max so p0/p100 are not bucket-quantised. *)
+(* Interpolated quantile on the bucketed distribution.  The real-valued
+   rank [r = p * (n - 1)] falls inside some bucket; treating that
+   bucket's [c] samples as spread at positions [(i + 0.5) / c] of its
+   geometric span gives a within-bucket fraction, and the reported value
+   is [lo * gamma^(b + frac)] — so quantiles move smoothly with [p]
+   instead of snapping to bucket midpoints, which matters for p99 at low
+   counts.  The result clamps to the exact observed min/max so p0/p100
+   are never bucket-quantised. *)
 let percentile t p =
   with_lock t (fun () ->
       if t.n = 0 then None
       else begin
         let p = Float.max 0.0 (Float.min 1.0 p) in
-        let rank = int_of_float (Float.round (p *. float_of_int (t.n - 1))) in
-        let seen = ref 0 in
-        let found = ref None in
-        (try
-           Array.iteri
-             (fun b c ->
-               seen := !seen + c;
-               if !seen > rank then begin
-                 found := Some b;
-                 raise Exit
-               end)
-             t.counts
-         with Exit -> ());
-        match !found with
-        | None -> Some t.maxv
-        | Some b ->
-          let v = value_of b in
-          Some (Float.max t.minv (Float.min t.maxv v))
+        let r = p *. float_of_int (t.n - 1) in
+        let b = ref 0 and cum = ref 0 in
+        while
+          !b < buckets - 1
+          && float_of_int (!cum + t.counts.(!b)) <= r
+        do
+          cum := !cum + t.counts.(!b);
+          incr b
+        done;
+        let c = t.counts.(!b) in
+        let v =
+          if c = 0 then value_of !b
+          else begin
+            let frac = (r -. float_of_int !cum +. 0.5) /. float_of_int c in
+            let frac = Float.max 0.0 (Float.min 1.0 frac) in
+            lo *. (gamma ** (float_of_int !b +. frac))
+          end
+        in
+        Some (Float.max t.minv (Float.min t.maxv v))
       end)
+
+(* Fold [src] into [dst].  The source is snapshotted under its own lock
+   first and the copy folded in under the destination's lock, so the two
+   mutexes are never held together (no ordering to get wrong, merging in
+   both directions concurrently cannot deadlock). *)
+let merge dst ~from =
+  let counts, n, sum, minv, maxv =
+    with_lock from (fun () ->
+        (Array.copy from.counts, from.n, from.sum, from.minv, from.maxv))
+  in
+  with_lock dst (fun () ->
+      Array.iteri (fun b c -> dst.counts.(b) <- dst.counts.(b) + c) counts;
+      dst.n <- dst.n + n;
+      dst.sum <- dst.sum +. sum;
+      if minv < dst.minv then dst.minv <- minv;
+      if maxv > dst.maxv then dst.maxv <- maxv)
 
 let reset t =
   with_lock t (fun () ->

@@ -26,8 +26,19 @@ val minimum : t -> float option
 val maximum : t -> float option
 
 val percentile : t -> float -> float option
-(** [percentile t p] with [p] in [\[0,1\]], nearest-rank over the bucketed
-    distribution (clamped to the exact observed min/max); [None] when
-    empty. *)
+(** [percentile t p] with [p] in [\[0,1\]].  The real-valued rank
+    [p * (n-1)] is located in its bucket and interpolated geometrically
+    within it, so quantiles vary smoothly with [p] rather than snapping
+    to bucket midpoints (clamped to the exact observed min/max so p0 and
+    p100 are exact); [None] when empty. *)
+
+val merge : t -> from:t -> unit
+(** [merge dst ~from] folds every observation of [from] into [dst]
+    (bucket counts, count, sum, min, max); [from] is left unchanged.
+    Safe against concurrent [add]s on either side: the source is
+    snapshotted under its own lock, then folded in under the
+    destination's — the two locks are never held together.  Per-client
+    histograms merged into one report equal a single histogram fed the
+    concatenated stream. *)
 
 val reset : t -> unit

@@ -323,10 +323,243 @@ let test_live_reload () =
   Helpers.check_int "reload counted" 1
     (Option.value ~default:(-1) (Option.bind (Json.member "reloads" st) Json.to_int_opt))
 
+(* ------------------------------------------------------------------ *)
+(* Single-flight coalescing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A source whose index lookups block on a gate: holds the leader's
+   evaluation open deterministically while followers pile onto the
+   flight.  Only lookups gate — planning and pattern parsing never
+   touch them, so the requests reach the flight table unimpeded. *)
+let gated_source schema =
+  let base = Exec.source_of_schema schema in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let opened = ref false in
+  let wait () =
+    Mutex.lock mu;
+    while not !opened do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  in
+  let release () =
+    Mutex.lock mu;
+    opened := true;
+    Condition.broadcast cv;
+    Mutex.unlock mu
+  in
+  ( { base with
+      Exec.lookup = (fun c k -> wait (); base.Exec.lookup c k);
+      lookup_iter = (fun c k f -> wait (); base.Exec.lookup_iter c k f) },
+    release )
+
+let coalescing_member st name =
+  Option.value ~default:(-1)
+    (Option.bind
+       (Option.bind (Json.member "coalescing" st) (Json.member name))
+       Json.to_int_opt)
+
+let rec wait_for ?(tries = 400) msg pred =
+  if pred () then ()
+  else if tries = 0 then Alcotest.fail msg
+  else begin
+    Thread.delay 0.01;
+    wait_for ~tries:(tries - 1) msg pred
+  end
+
+let query_req () =
+  Json.to_string
+    (Json.Obj [ ("op", Json.Str "query"); ("pattern", Json.Str (q0_text ())) ])
+
+(* Five identical concurrent requests cost exactly one evaluation: the
+   gate pins the leader inside its lookup until stats shows the other
+   four waiting as followers, so the schedule is deterministic. *)
+let test_coalescing_dedup () =
+  let d = Lazy.force ds in
+  let expected = direct_matches d.W.schema (q0_text ()) in
+  let src, release = gated_source d.W.schema in
+  (* result_capacity 0 disables the result tier, so result_misses
+     counts actual evaluations. *)
+  let cache = Qcache.create ~result_capacity:0 () in
+  let server =
+    Server.create ~cache ~pool:Pool.sequential
+      { Server.src; costs = None; close = ignore }
+  in
+  let req = query_req () in
+  let answers = Array.make 5 None in
+  let threads =
+    List.init 5 (fun i ->
+        Thread.create (fun () -> answers.(i) <- decode_matches (response server req)) ())
+  in
+  wait_for "followers never joined the flight" (fun () ->
+      coalescing_member (response server "{\"op\":\"stats\"}") "followers" = 4);
+  release ();
+  List.iter Thread.join threads;
+  Array.iter
+    (fun a -> Helpers.check_true "coalesced answer identical" (a = Some expected))
+    answers;
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "one leader" 1 (coalescing_member st "leaders");
+  Helpers.check_int "four followers" 4 (coalescing_member st "followers");
+  Helpers.check_int "no redispatches" 0 (coalescing_member st "redispatches");
+  Helpers.check_int "all five served" 5
+    (Option.value ~default:(-1) (Option.bind (Json.member "served" st) Json.to_int_opt));
+  Helpers.check_int "exactly one evaluation" 1 (Qcache.stats cache).Qcache.result_misses
+
+(* Byte-identity with coalescing on and off, across pool shapes, under
+   concurrent clients mixing limits (the limit is part of the flight
+   key, so a limited and an unlimited request must never share). *)
+let test_coalescing_identity () =
+  let d = Lazy.force ds in
+  let text = q0_text () in
+  let expected = direct_matches d.W.schema text in
+  List.iter
+    (fun jobs ->
+      let pool = if jobs = 0 then Pool.sequential else Pool.create jobs in
+      Fun.protect ~finally:(fun () -> if jobs > 0 then Pool.shutdown pool)
+      @@ fun () ->
+      List.iter
+        (fun coalesce ->
+          let server =
+            Server.create ~cache:(Qcache.create ()) ~coalesce ~pool (fresh_slot ())
+          in
+          let failures = Atomic.make 0 in
+          let threads =
+            List.init 6 (fun i ->
+                Thread.create
+                  (fun () ->
+                    for r = 1 to 4 do
+                      let limit = if (i + r) mod 2 = 0 then None else Some 2 in
+                      let fields =
+                        [ ("op", Json.Str "query"); ("pattern", Json.Str text) ]
+                        @
+                        match limit with
+                        | None -> []
+                        | Some l -> [ ("limit", Json.Int l) ]
+                      in
+                      let j = response server (Json.to_string (Json.Obj fields)) in
+                      let want =
+                        match limit with
+                        | None -> expected
+                        | Some l -> List.filteri (fun k _ -> k < l) expected
+                      in
+                      if decode_matches j <> Some want then Atomic.incr failures
+                    done)
+                  ())
+          in
+          List.iter Thread.join threads;
+          Helpers.check_int
+            (Printf.sprintf "identical answers (jobs=%d coalesce=%b)" jobs coalesce)
+            0 (Atomic.get failures))
+        [ true; false ])
+    [ 0; 2 ]
+
+(* Reload mid-flight: followers that coalesced behind a leader before a
+   snapshot swap must re-evaluate on the new generation — never observe
+   the pre-swap result — while the leader keeps its own answer, valid
+   for the slot it has pinned. *)
+let test_coalescing_reload () =
+  let d = Lazy.force ds in
+  let text = q0_text () in
+  let expected1 = direct_matches d.W.schema text in
+  (* The post-swap snapshot drops one edge of the first match
+     (movie -> award), so its answer observably differs. *)
+  let m = List.hd expected1 in
+  let delta = { Digraph.empty_delta with removed_edges = [ (m.(2), m.(0)) ] } in
+  let graph2 = Digraph.apply_delta d.W.graph delta in
+  let schema2 = Schema.build graph2 d.W.constrs in
+  let expected2 = direct_matches schema2 text in
+  Helpers.check_true "the swap changes the answer" (expected1 <> expected2);
+  let src1, release = gated_source d.W.schema in
+  let server =
+    Server.create
+      ~cache:(Qcache.create ~result_capacity:0 ())
+      ~reload:(fun () -> slot_of_schema schema2)
+      ~pool:Pool.sequential
+      { Server.src = src1; costs = None; close = ignore }
+  in
+  let req = query_req () in
+  let leader_ans = ref None in
+  let lt = Thread.create (fun () -> leader_ans := decode_matches (response server req)) () in
+  wait_for "leader never took off" (fun () ->
+      coalescing_member (response server "{\"op\":\"stats\"}") "leaders" = 1);
+  let follower_ans = Array.make 2 None in
+  let fts =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () -> follower_ans.(i) <- decode_matches (response server req))
+          ())
+  in
+  wait_for "followers never joined" (fun () ->
+      coalescing_member (response server "{\"op\":\"stats\"}") "followers" = 2);
+  (* Swap generations under the leader's feet, then let it land. *)
+  let r = response server "{\"op\":\"reload\"}" in
+  Helpers.check_true "reload ok" (Json.member "ok" r = Some (Json.Bool true));
+  release ();
+  Thread.join lt;
+  List.iter Thread.join fts;
+  Helpers.check_true "leader answers from its pinned pre-swap slot"
+    (!leader_ans = Some expected1);
+  Array.iter
+    (fun a ->
+      Helpers.check_false "follower never observes the pre-swap answer"
+        (a = Some expected1);
+      Helpers.check_true "follower re-evaluated on the new generation"
+        (a = Some expected2))
+    follower_ans;
+  let st = response server "{\"op\":\"stats\"}" in
+  Helpers.check_int "both followers re-dispatched" 2 (coalescing_member st "redispatches")
+
+(* The metrics op carries a Prometheus 0.0.4 page inside the JSON
+   protocol; spot-check shape and a few families, via handle_line and
+   the client helper both. *)
+let test_metrics () =
+  let server = Server.create ~cache:(Qcache.create ()) ~pool:Pool.sequential (fresh_slot ()) in
+  ignore (response server (query_req ()));
+  let j = response server "{\"op\":\"metrics\"}" in
+  Helpers.check_true "metrics ok" (Json.member "ok" j = Some (Json.Bool true));
+  Alcotest.(check (option string))
+    "content type" (Some "text/plain; version=0.0.4")
+    (Option.bind (Json.member "content_type" j) Json.to_string_opt);
+  let text =
+    match Option.bind (Json.member "text" j) Json.to_string_opt with
+    | Some s -> s
+    | None -> Alcotest.fail "metrics has no text"
+  in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle -> Helpers.check_true ("page contains " ^ needle) (contains needle))
+    [ "# TYPE bpq_queries_served_total counter";
+      "bpq_queries_served_total 1";
+      "bpq_coalesce_followers_total 0";
+      "bpq_cache_hits_total{tier=\"plan\"}";
+      "bpq_query_latency_seconds{quantile=\"0.99\"}";
+      "bpq_query_latency_seconds_count 1";
+      "bpq_inflight 0" ];
+  (* And over a socket through the client helper. *)
+  with_server (fresh_slot ()) @@ fun _server addr ->
+  let conn = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+  let j = Server.Client.metrics conn in
+  Helpers.check_true "client metrics ok" (Json.member "ok" j = Some (Json.Bool true))
+
 let suite =
   [ Alcotest.test_case "protocol routing" `Quick test_protocol;
     Alcotest.test_case "admission control" `Quick test_admission;
     Alcotest.test_case "query timeout" `Quick test_query_timeout;
     Alcotest.test_case "8 concurrent clients, identical answers" `Quick test_concurrent_clients;
     Alcotest.test_case "client disconnect survival" `Quick test_client_disconnect;
-    Alcotest.test_case "live reload keeps the cache warm" `Quick test_live_reload ]
+    Alcotest.test_case "live reload keeps the cache warm" `Quick test_live_reload;
+    Alcotest.test_case "single-flight dedup: 5 requests, 1 evaluation" `Quick
+      test_coalescing_dedup;
+    Alcotest.test_case "coalescing identity across pools and limits" `Quick
+      test_coalescing_identity;
+    Alcotest.test_case "mid-flight reload: followers re-dispatch" `Quick
+      test_coalescing_reload;
+    Alcotest.test_case "prometheus metrics page" `Quick test_metrics ]

@@ -13,8 +13,8 @@ let with_temp_file f =
   let path = Filename.temp_file "bpq_store" ".snap" in
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
 
-let with_paged ?page_cache_mb ?cache_pages path f =
-  let p = Paged.open_ ?page_cache_mb ?cache_pages path in
+let with_paged ?page_cache_mb ?cache_pages ?readahead path f =
+  let p = Paged.open_ ?page_cache_mb ?cache_pages ?readahead path in
   Fun.protect ~finally:(fun () -> Paged.close p) (fun () -> f p)
 
 (* Strict result identity: arrays verbatim, stats, trace and the exact
@@ -104,9 +104,10 @@ let test_io_counters () =
           ignore (Exec.run_with src plan);
           let cold = Paged.io_counters p in
           Helpers.check_true "cold run faults" (cold.Paged.faults > 0);
-          Helpers.check_true "bytes follow faults"
+          Helpers.check_true "bytes follow faults and prefetches"
             (cold.Paged.bytes_read > 0
-            && cold.Paged.bytes_read <= cold.Paged.faults * Paged.page_size);
+            && cold.Paged.bytes_read
+               <= (cold.Paged.faults + cold.Paged.prefetched) * Paged.page_size);
           (* Warm run: the budget holds the working set, so no new
              faults. *)
           Paged.reset_io p;
@@ -127,6 +128,37 @@ let test_io_counters () =
           let c = Paged.io_counters p in
           Helpers.check_true "uncached store faults" (c.Paged.faults > 0);
           Helpers.check_int "uncached store never hits" 0 c.Paged.hits))
+
+(* Sequential readahead: same answers, separately-counted prefetch I/O,
+   and never more demand faults than the readahead-free run. *)
+let test_readahead () =
+  let schema, plan = q0_setup () in
+  with_temp_file (fun path ->
+      Schema.save schema path;
+      let reference = canon (Exec.run schema plan) in
+      let demand =
+        with_paged ~page_cache_mb:64 ~readahead:0 path (fun p ->
+            Helpers.check_true "readahead 0 identical"
+              (canon (Exec.run_with (Paged.source p) plan) = reference);
+            let c = Paged.io_counters p in
+            Helpers.check_int "readahead 0 never prefetches" 0 c.Paged.prefetched;
+            Helpers.check_true "demand bytes bounded by faults"
+              (c.Paged.bytes_read <= c.Paged.faults * Paged.page_size);
+            c)
+      in
+      with_paged ~page_cache_mb:64 ~readahead:8 path (fun p ->
+          Helpers.check_true "readahead 8 identical"
+            (canon (Exec.run_with (Paged.source p) plan) = reference);
+          let c = Paged.io_counters p in
+          Helpers.check_true "sequential scans trigger prefetch" (c.Paged.prefetched > 0);
+          Helpers.check_true "prefetch only converts faults, never adds them"
+            (c.Paged.faults <= demand.Paged.faults);
+          Helpers.check_true "prefetched pages are charged as bytes"
+            (c.Paged.bytes_read
+             <= (c.Paged.faults + c.Paged.prefetched) * Paged.page_size));
+      Alcotest.check_raises "negative readahead rejected"
+        (Invalid_argument "Paged.open_: negative readahead")
+        (fun () -> ignore (Paged.open_ ~readahead:(-1) path)))
 
 let test_source_metadata () =
   let schema, _ = q0_setup () in
@@ -290,6 +322,7 @@ let suite =
     answers_identical;
     Alcotest.test_case "q0 parity across pools" `Quick test_q0_parity_and_pools;
     Alcotest.test_case "io counters" `Quick test_io_counters;
+    Alcotest.test_case "sequential readahead" `Quick test_readahead;
     Alcotest.test_case "source metadata" `Quick test_source_metadata;
     Alcotest.test_case "unknown constraint raises" `Quick test_unknown_constraint_raises;
     Alcotest.test_case "qcache serves both backends" `Quick test_qcache_across_backends;

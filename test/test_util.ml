@@ -495,6 +495,77 @@ let test_histogram_percentiles () =
   Helpers.check_true "their percentile is finite"
     (match Histogram.percentile h 0.5 with Some v -> Float.is_finite v | None -> false)
 
+(* Interpolated quantiles against a sorted-array oracle.  The geometric
+   buckets (gamma 1.05) bound the error: the reported quantile lives in
+   the bucket of the sample at rank floor(p*(n-1)), so it can sit at
+   most one gamma factor below that sample or above the sample at the
+   ceiling rank. *)
+let histogram_sample_gen =
+  QCheck2.Gen.(map (fun f -> 1e-3 +. f) (float_bound_inclusive 900.0))
+
+let histogram_quantile_oracle =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 150) histogram_sample_gen)
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+  in
+  Helpers.qcheck ~count:300 "histogram quantile vs sorted-array oracle" gen
+    (fun (l, (p1, p2)) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) l;
+      let s = Array.of_list l in
+      Array.sort compare s;
+      let n = Array.length s in
+      let bracket p v =
+        let r = p *. float_of_int (n - 1) in
+        let fl = s.(int_of_float (Float.floor r))
+        and ce = s.(int_of_float (Float.ceil r)) in
+        let gamma = 1.05 in
+        v >= fl /. gamma *. 0.999 && v <= ce *. gamma *. 1.001
+      in
+      match (Histogram.percentile h p1, Histogram.percentile h p2) with
+      | Some v1, Some v2 ->
+        bracket p1 v1 && bracket p2 v2
+        (* Monotone in p, including across bucket boundaries. *)
+        && (if p1 <= p2 then v1 <= v2 else v2 <= v1)
+      | _ -> false)
+
+(* merge folds one histogram's buckets into another: the result must be
+   indistinguishable (same counts, hence exactly equal quantiles) from a
+   histogram fed the concatenated samples, and the source must survive
+   untouched. *)
+let histogram_merge_oracle =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 120) histogram_sample_gen)
+        (list_size (int_range 0 120) histogram_sample_gen))
+  in
+  Helpers.qcheck ~count:300 "histogram merge == histogram of concatenation" gen
+    (fun (a, b) ->
+      let build l =
+        let h = Histogram.create () in
+        List.iter (Histogram.add h) l;
+        h
+      in
+      let ha = build a and hb = build b and hab = build (a @ b) in
+      Histogram.merge ha ~from:hb;
+      let ps = [ 0.0; 0.1; 0.5; 0.9; 0.99; 1.0 ] in
+      Histogram.count ha = Histogram.count hab
+      && Histogram.count hb = List.length b
+      && List.for_all
+           (fun p -> Histogram.percentile ha p = Histogram.percentile hab p)
+           ps
+      && Histogram.minimum ha = Histogram.minimum hab
+      && Histogram.maximum ha = Histogram.maximum hab
+      &&
+      match (Histogram.mean ha, Histogram.mean hab) with
+      | None, None -> true
+      (* Sums are accumulated in a different association order. *)
+      | Some x, Some y -> Float.abs (x -. y) <= 1e-9 *. (1.0 +. Float.abs y)
+      | _ -> false)
+
 (* Atomic_file *)
 
 let test_atomic_file_write () =
@@ -574,5 +645,7 @@ let suite =
     jsonx_roundtrip;
     Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
     Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    histogram_quantile_oracle;
+    histogram_merge_oracle;
     Alcotest.test_case "atomic file write" `Quick test_atomic_file_write;
     Alcotest.test_case "atomic file failure cleanup" `Quick test_atomic_file_failure_cleanup ]
