@@ -1,6 +1,6 @@
 # Development entry points.  `make ci` is what the CI workflow runs.
 
-.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store bench-serve bench-serve-open clean check-tree ci
+.PHONY: all build test bench-fast bench-micro bench-cache bench-intra bench-store bench-distributed bench-serve bench-serve-open clean check-tree ci
 
 all: build
 
@@ -51,6 +51,16 @@ bench-store:
 	BENCH_FAST=1 dune exec bench/main.exe -- store --json _bench
 	jq -e '.store.identical and (.store.flatness < 2) and (.store.size_growth >= 10)' _bench/BENCH_store.json >/dev/null
 	@echo "bench-store: _bench/BENCH_store.json OK"
+
+# Distributed-execution experiment: the same scale axis with the graph
+# hash-partitioned over 4 workers speaking the framed fetch protocol.
+# jq gates the invariants: sharded answers byte-identical to single-node
+# at every scale and at shard counts 1/2/4; wire bytes-per-query for the
+# bounded point queries flat (< 1.5x) while the graph sweep spans >= 10x.
+bench-distributed:
+	BENCH_FAST=1 dune exec bench/main.exe -- distributed --json _bench
+	jq -e '.distributed.identical and (.distributed.flatness < 1.5) and (.distributed.size_growth >= 10)' _bench/BENCH_distributed.json >/dev/null
+	@echo "bench-distributed: _bench/BENCH_distributed.json OK"
 
 # Serving experiment: closed-loop clients against the serve daemon over
 # a unix socket.  jq gates the invariants: every response byte-identical

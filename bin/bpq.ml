@@ -6,6 +6,8 @@
      check     decide effective boundedness of a pattern under constraints
      plan      print the generated (worst-case-optimal) query plan
      freeze    build a schema and write a binary snapshot (graph + indexes)
+     shard     hash-partition a snapshot into per-worker shard files
+     worker    serve one shard over the framed fetch protocol
      run       evaluate a pattern on a graph through its bounded plan *)
 
 open Cmdliner
@@ -15,13 +17,20 @@ open Bpq_access
 open Bpq_core
 module Store = Bpq_store.Store
 module Paged = Bpq_store.Paged
+module Shard = Bpq_store.Shard
+module Remote = Bpq_store.Remote
+module Sock = Bpq_util.Sock
 
 (* Operational failures — unreadable files, parse errors, damaged
-   snapshots — exit with a one-line diagnostic, never a backtrace. *)
+   snapshots, dead workers — exit with a one-line diagnostic, never a
+   backtrace. *)
 let guard f =
   try f () with
   | Failure msg | Binfile.Corrupt msg | Sys_error msg ->
     Printf.eprintf "bpq: %s\n" msg;
+    3
+  | Remote.Worker_died { shard; detail } ->
+    Printf.eprintf "bpq: worker for shard %d died: %s\n" shard detail;
     3
 
 (* Prefix parse/corruption errors with the file they came from (parsers
@@ -186,6 +195,68 @@ let plan_cmd =
 
 module Pool = Bpq_util.Pool
 
+(* Storage backend selection, shared by run and serve. *)
+
+let backend_conv =
+  let parse = function
+    | "mem" -> Ok Store.Mem
+    | "paged" -> Ok Store.Paged
+    | "sharded" -> Ok Store.Sharded
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mem|paged|sharded)" s))
+  in
+  let print fmt = function
+    | Store.Mem -> Format.pp_print_string fmt "mem"
+    | Store.Paged -> Format.pp_print_string fmt "paged"
+    | Store.Sharded -> Format.pp_print_string fmt "sharded"
+  in
+  Arg.conv (parse, print)
+
+let backend_name = function
+  | Store.Mem -> "mem"
+  | Store.Paged -> "paged"
+  | Store.Sharded -> "sharded"
+
+(* Open a sharded store from a `bpq shard` output directory: spawned
+   worker processes by default, or connections to externally started
+   `bpq worker --listen` processes when [workers] lists their
+   addresses (comma-separated, one per shard, any order). *)
+let open_sharded ?workers graph =
+  let m = with_file graph (fun () -> Shard.load_manifest graph) in
+  match workers with
+  | None -> Store.of_remote (Remote.spawn m)
+  | Some spec ->
+    let addrs = String.split_on_char ',' spec in
+    if List.length addrs <> m.Shard.shards then
+      failwith
+        (Printf.sprintf "--workers lists %d addresses, the manifest has %d shards"
+           (List.length addrs) m.Shard.shards);
+    let fds =
+      List.map
+        (fun a ->
+          match Sock.parse a with
+          | Ok addr -> Sock.connect addr
+          | Error msg -> failwith ("--workers " ^ msg))
+        addrs
+    in
+    Store.of_remote (Remote.attach m (Array.of_list fds))
+
+let print_shard_traffic r =
+  let st : Remote.stats = Remote.stats r in
+  let t = Bpq_util.Table.create [ "shard"; "messages"; "sent"; "received"; "items" ] in
+  Array.iteri
+    (fun s m ->
+      Bpq_util.Table.add_row t
+        [ string_of_int s;
+          string_of_int m;
+          string_of_int st.bytes_sent.(s);
+          string_of_int st.bytes_received.(s);
+          string_of_int st.items.(s) ])
+    st.messages;
+  Bpq_util.Table.print t;
+  let messages, bytes = Remote.traffic st in
+  Printf.printf "# shard traffic: %d rounds, %d messages, %d bytes\n" st.rounds messages
+    bytes
+
 (* freeze *)
 
 let freeze_cmd =
@@ -225,6 +296,99 @@ let freeze_cmd =
     (Cmd.info "freeze"
        ~doc:"Build indexes and statistics, then write a binary snapshot for `run --backend`.")
     Term.(const run $ graph_arg $ constraints_arg $ out $ jobs)
+
+(* shard *)
+
+let shard_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Number of shards.")
+  in
+  let snapshot =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SNAPSHOT" ~doc:"Input snapshot (`bpq freeze` output).")
+  in
+  let outdir =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"OUTDIR"
+             ~doc:"Output directory (created if missing) for the shard files and MANIFEST.")
+  in
+  let run shards snapshot outdir =
+    guard @@ fun () ->
+    if shards <= 0 then failwith "--shards must be positive";
+    let m = with_file snapshot (fun () -> Shard.partition ~shards ~snapshot ~dir:outdir) in
+    Array.iteri
+      (fun s (f : Shard.shard_file) ->
+        Printf.printf "shard %d: %s — %d edges, %d index keys, %d payload entries\n" s
+          f.file f.n_edges f.n_keys f.payload_ints)
+      m.files;
+    Printf.printf "wrote %s: %d shards over %d nodes, %d edges, %d constraints\n"
+      (Shard.manifest_path outdir) m.shards m.n_nodes m.n_edges (List.length m.constraints);
+    0
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Hash-partition a snapshot into per-worker shard files plus a manifest, for \
+             `run --backend sharded` and `worker`.")
+    Term.(const run $ shards $ snapshot $ outdir)
+
+(* worker *)
+
+let worker_cmd =
+  let shard_file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SHARD" ~doc:"Shard file (`bpq shard` output).")
+  in
+  let listen =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve coordinator connections on a socket (unix:PATH, HOST:PORT or \
+                   :PORT).  Without it, the worker serves its stdin/stdout — the mode a \
+                   spawning coordinator uses.")
+  in
+  let accept =
+    Arg.(value & opt int 1
+         & info [ "accept" ] ~docv:"N"
+             ~doc:"With --listen, serve N coordinator connections (one at a time) then \
+                   exit; 0 keeps accepting forever.")
+  in
+  let page_cache =
+    Arg.(value & opt int 16
+         & info [ "page-cache" ] ~docv:"MB" ~doc:"Page-cache budget for the shard file.")
+  in
+  let run shard_file listen accept page_cache =
+    guard @@ fun () ->
+    Sock.ignore_sigpipe ();
+    match listen with
+    | None ->
+      (* Stdout is the protocol channel: nothing else may print there. *)
+      (try Remote.serve ~page_cache_mb:page_cache ~input:Unix.stdin ~output:Unix.stdout
+             shard_file
+       with e when Sock.is_disconnect e -> ());
+      0
+    | Some spec ->
+      let addr =
+        match Sock.parse spec with Ok a -> a | Error msg -> failwith ("--listen " ^ msg)
+      in
+      let meta = Shard.read_shard_meta shard_file in
+      let lfd = Sock.listen addr in
+      Fun.protect ~finally:(fun () -> Sock.close_listener addr lfd) @@ fun () ->
+      Printf.eprintf "bpq: worker for shard %d/%d serving %s on %s\n%!" meta.Shard.shard
+        meta.Shard.shards shard_file (Sock.to_string addr);
+      let served = ref 0 in
+      while accept = 0 || !served < accept do
+        let conn, _ = Unix.accept lfd in
+        (try Remote.serve ~page_cache_mb:page_cache ~input:conn ~output:conn shard_file
+         with e when Sock.is_disconnect e -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        incr served
+      done;
+      0
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Serve one shard file over the framed fetch protocol (spawned by a sharded \
+             coordinator, or started standalone with --listen).")
+    Term.(const run $ shard_file $ listen $ accept $ page_cache)
 
 (* run *)
 
@@ -270,24 +434,19 @@ let run_cmd =
     Arg.(value & flag
          & info [ "cache-stats" ] ~doc:"Print cache hit/miss/eviction counters after evaluation.")
   in
-  let backend_conv =
-    let parse = function
-      | "mem" -> Ok Store.Mem
-      | "paged" -> Ok Store.Paged
-      | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mem|paged)" s))
-    in
-    let print fmt = function
-      | Store.Mem -> Format.pp_print_string fmt "mem"
-      | Store.Paged -> Format.pp_print_string fmt "paged"
-    in
-    Arg.conv (parse, print)
-  in
   let backend_arg =
     Arg.(value & opt backend_conv Store.Mem
          & info [ "backend" ] ~docv:"B"
-             ~doc:"Storage backend for snapshot graphs: 'mem' loads the snapshot fully, \
-                   'paged' serves queries out-of-core through a page cache.  Answers are \
-                   identical either way.")
+             ~doc:"Storage backend: 'mem' loads a snapshot fully, 'paged' serves it \
+                   out-of-core through a page cache, 'sharded' runs worker processes \
+                   over a `bpq shard` directory.  Answers are identical in every case.")
+  in
+  let workers_arg =
+    Arg.(value & opt (some string) None
+         & info [ "workers" ] ~docv:"ADDRS"
+             ~doc:"With --backend sharded: comma-separated worker addresses \
+                   (unix:PATH or HOST:PORT, one per shard, any order) of externally \
+                   started `bpq worker --listen` processes, instead of spawning them.")
   in
   let page_cache_arg =
     Arg.(value & opt int 16
@@ -421,16 +580,24 @@ let run_cmd =
     !status
   in
   let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats
-      backend page_cache readahead io_stats =
+      backend page_cache readahead io_stats workers =
     guard @@ fun () ->
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
-    (* Resolve the storage backend: a snapshot opens directly (its
+    (* Resolve the storage backend: a shard directory spawns (or
+       connects to) worker processes; a snapshot opens directly (its
        constraints, indexes and statistics are embedded); a text graph
        builds the schema in memory. *)
     let store, costs =
-      if Graph_io.is_snapshot graph then begin
+      if backend = Store.Sharded then begin
+        (match constraints with
+         | Some _ ->
+           failwith (Printf.sprintf "%s: shard manifests embed their constraints; drop -a" graph)
+         | None -> ());
+        (open_sharded ?workers graph, None)
+      end
+      else if Graph_io.is_snapshot graph then begin
         (match constraints with
          | Some _ ->
            failwith (Printf.sprintf "%s: snapshots embed their constraints; drop -a" graph)
@@ -445,6 +612,7 @@ let run_cmd =
         (match backend with
          | Store.Paged ->
            failwith "--backend paged needs a snapshot (build one with `bpq freeze`)"
+         | Store.Sharded -> assert false (* handled above *)
          | Store.Mem -> ());
         let cfile =
           match constraints with
@@ -492,7 +660,10 @@ let run_cmd =
         | _ -> run_batch pool semantics fb_graph src queries limit fallback cache
       in
       if cache_stats then Option.iter print_cache_stats cache;
-      if io_stats then begin
+      (* Shard traffic rides along with both diagnostics views; the
+         default output stays byte-identical to the other backends. *)
+      if io_stats || explain then Option.iter print_shard_traffic (Store.remote store);
+      if io_stats && Option.is_none (Store.remote store) then begin
         match Store.io_counters store with
         | Some c ->
           Printf.printf
@@ -505,11 +676,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
     Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_opt $ limit
           $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
-          $ readahead_arg $ io_stats_arg)
+          $ readahead_arg $ io_stats_arg $ workers_arg)
 
 (* serve *)
-
-module Sock = Bpq_util.Sock
 
 let serve_cmd =
   let listen_arg =
@@ -535,21 +704,10 @@ let serve_cmd =
              ~doc:"Cross-query cache budget in megabytes (default 64; 0 disables).")
   in
   let backend_arg =
-    let backend_conv =
-      let parse = function
-        | "mem" -> Ok Store.Mem
-        | "paged" -> Ok Store.Paged
-        | s -> Error (`Msg (Printf.sprintf "unknown backend %S (mem|paged)" s))
-      in
-      let print fmt = function
-        | Store.Mem -> Format.pp_print_string fmt "mem"
-        | Store.Paged -> Format.pp_print_string fmt "paged"
-      in
-      Arg.conv (parse, print)
-    in
     Arg.(value & opt backend_conv Store.Mem
          & info [ "backend" ] ~docv:"B"
-             ~doc:"Storage backend for snapshot graphs: 'mem' or 'paged' (out-of-core).")
+             ~doc:"Storage backend: 'mem', 'paged' (out-of-core) or 'sharded' (worker \
+                   processes over a `bpq shard` directory).")
   in
   let page_cache_arg =
     Arg.(value & opt int 16
@@ -598,7 +756,14 @@ let serve_cmd =
      snapshot reopens (picking up a refreshed file atomically renamed
      into place); a text graph reloads and rebuilds its schema. *)
   let open_store ~pool ~backend ~page_cache ~readahead graph constraints =
-    if Graph_io.is_snapshot graph then begin
+    if backend = Store.Sharded then begin
+      (match constraints with
+       | Some _ ->
+         failwith (Printf.sprintf "%s: shard manifests embed their constraints; drop -a" graph)
+       | None -> ());
+      (open_sharded graph, None)
+    end
+    else if Graph_io.is_snapshot graph then begin
       (match constraints with
        | Some _ -> failwith (Printf.sprintf "%s: snapshots embed their constraints; drop -a" graph)
        | None -> ());
@@ -611,6 +776,7 @@ let serve_cmd =
     else begin
       (match backend with
        | Store.Paged -> failwith "--backend paged needs a snapshot (build one with `bpq freeze`)"
+       | Store.Sharded -> assert false (* handled above *)
        | Store.Mem -> ());
       let cfile =
         match constraints with
@@ -652,21 +818,61 @@ let serve_cmd =
       slot_of store costs
     in
     let extra_stats () =
-      match Store.io_counters !current with
-      | Some c ->
-        [ ("io",
-           Bpq_util.Jsonx.Obj
-             [ ("faults", Bpq_util.Jsonx.Int c.Paged.faults);
-               ("bytes_read", Bpq_util.Jsonx.Int c.Paged.bytes_read);
-               ("hits", Bpq_util.Jsonx.Int c.Paged.hits);
-               ("prefetched", Bpq_util.Jsonx.Int c.Paged.prefetched) ]) ]
-      | None -> []
+      let io =
+        match Store.io_counters !current with
+        | Some c ->
+          [ ("io",
+             Bpq_util.Jsonx.Obj
+               [ ("faults", Bpq_util.Jsonx.Int c.Paged.faults);
+                 ("bytes_read", Bpq_util.Jsonx.Int c.Paged.bytes_read);
+                 ("hits", Bpq_util.Jsonx.Int c.Paged.hits);
+                 ("prefetched", Bpq_util.Jsonx.Int c.Paged.prefetched) ]) ]
+        | None -> []
+      in
+      let shards =
+        match Store.remote !current with
+        | Some r ->
+          let st : Remote.stats = Remote.stats r in
+          let ints a = Bpq_util.Jsonx.Arr (List.map (fun v -> Bpq_util.Jsonx.Int v) (Array.to_list a)) in
+          [ ("shards",
+             Bpq_util.Jsonx.Obj
+               [ ("count", Bpq_util.Jsonx.Int st.shards);
+                 ("rounds", Bpq_util.Jsonx.Int st.rounds);
+                 ("messages", ints st.messages);
+                 ("bytes_sent", ints st.bytes_sent);
+                 ("bytes_received", ints st.bytes_received);
+                 ("items", ints st.items) ]) ]
+        | None -> []
+      in
+      io @ shards
+    in
+    let extra_metrics () =
+      match Store.remote !current with
+      | None -> ""
+      | Some r ->
+        let st : Remote.stats = Remote.stats r in
+        let b = Buffer.create 512 in
+        let per_shard name help values =
+          Printf.bprintf b "# HELP %s %s\n# TYPE %s counter\n" name help name;
+          Array.iteri (fun s v -> Printf.bprintf b "%s{shard=\"%d\"} %d\n" name s v) values
+        in
+        per_shard "bpq_shard_messages_total" "Request frames sent to each worker."
+          st.messages;
+        per_shard "bpq_shard_bytes_sent_total" "Request bytes sent to each worker."
+          st.bytes_sent;
+        per_shard "bpq_shard_bytes_received_total" "Reply bytes received from each worker."
+          st.bytes_received;
+        per_shard "bpq_shard_items_total" "Result items decoded from each worker." st.items;
+        Printf.bprintf b
+          "# HELP bpq_shard_rounds_total Batched request rounds (supersteps).\n\
+           # TYPE bpq_shard_rounds_total counter\nbpq_shard_rounds_total %d\n" st.rounds;
+        Buffer.contents b
     in
     let opt_pos v = if v > 0.0 then Some v else None in
     let server =
       Server.create ?cache ~max_inflight ~max_connections:max_conns
         ?query_timeout:(opt_pos query_timeout) ~semantics ~coalesce:(not no_coalesce)
-        ~reload ~extra_stats ~pool (slot_of store0 costs0)
+        ~reload ~extra_stats ~extra_metrics ~pool (slot_of store0 costs0)
     in
     let stop_on signal =
       try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Server.request_stop server))
@@ -676,8 +882,7 @@ let serve_cmd =
     stop_on Sys.sigterm;
     let lfd = Sock.listen addr in
     Printf.printf "bpq: serving %s on %s (%d jobs, backend %s)\n%!" graph (Sock.to_string addr)
-      (Pool.size pool)
-      (match backend with Store.Mem -> "mem" | Store.Paged -> "paged");
+      (Pool.size pool) (backend_name backend);
     Fun.protect ~finally:(fun () -> Sock.close_listener addr lfd) @@ fun () ->
     Server.serve ?read_timeout:(opt_pos read_timeout) ?write_timeout:(opt_pos write_timeout)
       server lfd;
@@ -698,5 +903,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; run_cmd;
-            serve_cmd ]))
+          [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; shard_cmd;
+            worker_cmd; run_cmd; serve_cmd ]))

@@ -54,7 +54,12 @@ let run t plan =
         (fun src dst ->
           let shard = shard_of_node t src in
           probes.(shard) <- probes.(shard) + 1;
-          base.Exec.probe_edge src dst) }
+          base.Exec.probe_edge src dst);
+      (* Per-access accounting is the whole point of the simulation, so
+         the batching shortcuts are disabled: every lookup and probe
+         must pass through the counting wrappers above. *)
+      probe_edges = None;
+      prefetch = None }
   in
   let result = Exec.run_with source plan in
   ( result,

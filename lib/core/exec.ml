@@ -135,6 +135,8 @@ type source = {
   lookup : Constr.t -> int list -> int array;
   lookup_iter : Constr.t -> int array -> (int -> unit) -> unit;
   probe_edge : int -> int -> bool;
+  probe_edges : ((int * int) array -> bool array) option;
+  prefetch : (Constr.t -> int array array -> unit) option;
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Value.t;
   table : Bpq_graph.Label.table;
@@ -149,6 +151,8 @@ let source_of_schema schema =
     lookup_iter =
       (fun c tuple f -> Index.lookup_tuple_iter (Schema.index_of schema c) tuple f);
     probe_edge = Digraph.has_edge g;
+    probe_edges = None;
+    prefetch = None;
     node_label = Digraph.label g;
     node_value = Digraph.value g;
     table = Digraph.label_table g;
@@ -270,6 +274,14 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
       Some (Pool.map_array p (fun (lo, hi) -> task lo hi) ranges)
     | Some _ | None -> None
   in
+  (* Batching hint: before each operation drives its lookups, hand the
+     source the constraint and the full anchor rows, so a remote backend
+     can resolve every key of the operation in one round trip per shard
+     (Bpq_store.Remote).  Purely an optimisation hook — the per-lookup
+     calls that follow must return the same buckets either way. *)
+  let maybe_prefetch c arrays =
+    match src.prefetch with Some pf -> pf c arrays | None -> ()
+  in
   let q = plan.pattern in
   let nq = Pattern.n_nodes q in
   let cmat = Array.make nq [||] in
@@ -294,12 +306,14 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
         !streamed
       in
       if f.anchors = [] then begin
+        maybe_prefetch f.constr [||];
         incr fetch_lookups;
         fetched := !fetched + streamed_of seq_src hits [||]
       end
       else begin
         let arrays = anchor_rows cmat f.anchors in
         let total = total_tuples arrays in
+        maybe_prefetch f.constr arrays;
         match
           fan_out total (fun lo hi ->
               let s = task_src () in
@@ -357,43 +371,73 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
       let row = cmat.(ec.target_side) in
       let arrays = anchor_rows cmat ec.anchors in
       let total = total_tuples arrays in
-      let probe_with (s : source) push tuple =
+      maybe_prefetch ec.via arrays;
+      (* Two passes.  Pass 1 walks the tuple odometer collecting the
+         candidate directed pairs (index hit + membership in the target
+         row); pass 2 probes them for direction and inserts the certified
+         edges.  Splitting the probe out lets a remote source answer all
+         of an operation's probes in one batched round trip per shard —
+         and since probes are pure, the certified set (hence the dedup
+         table, the realized count and every counter) is the same as the
+         old probe-as-you-go loop. *)
+      let collect (s : source) push tuple =
         let v_other = tuple.(other_slot) in
         let cands = ref 0 in
         s.lookup_iter ec.via tuple (fun w ->
             if mem_sorted row w then begin
               incr cands;
               let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
-              if s.probe_edge e_src e_dst then push (pack_edge e_src e_dst)
+              push (pack_edge e_src e_dst)
             end);
         !cands
+      in
+      (* Distinct candidate pairs in first-appearance order (pairs recur
+         across tuples; one probe per distinct pair suffices). *)
+      let distinct = Vec.create ~capacity:64 () in
+      let seen = Int_tbl.create 64 in
+      let note packed =
+        if not (Int_tbl.mem seen packed) then begin
+          Int_tbl.replace seen packed ();
+          Vec.push distinct packed
+        end
       in
       (match
          fan_out total (fun lo hi ->
              let s = task_src () in
-             let edges = Vec.create ~capacity:64 () in
+             let pairs = Vec.create ~capacity:64 () in
              let lookups = ref 0 and cands = ref 0 in
              iter_tuples_slice arrays ~lo ~hi (fun tuple ->
                  incr lookups;
-                 cands := !cands + probe_with s (Vec.push edges) tuple);
-             (edges, !lookups, !cands))
+                 cands := !cands + collect s (Vec.push pairs) tuple);
+             (pairs, !lookups, !cands))
        with
       | Some parts ->
-        (* Certified edges land in the dedup table in range order; the
-           table holds a set, so the contents — and the realized count —
-           match the sequential insertion. *)
+        (* Candidate pairs merge in range order, so the distinct-pair
+           sequence matches the sequential pass. *)
         Array.iter
-          (fun (edges, lookups, cands) ->
+          (fun (pairs, lookups, cands) ->
             edge_lookups := !edge_lookups + lookups;
             edge_candidates := !edge_candidates + cands;
-            Vec.iter (fun packed -> Int_tbl.replace gq_edges packed ()) edges)
+            Vec.iter note pairs)
           parts
       | None ->
         iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
             incr edge_lookups;
-            edge_candidates :=
-              !edge_candidates
-              + probe_with seq_src (fun packed -> Int_tbl.replace gq_edges packed ()) tuple));
+            edge_candidates := !edge_candidates + collect seq_src note tuple));
+      let pairs = Vec.to_array distinct in
+      let verdicts =
+        match src.probe_edges with
+        | Some f when Array.length pairs > 0 -> f (Array.map unpack_edge pairs)
+        | _ ->
+          Array.map
+            (fun packed ->
+              let e_src, e_dst = unpack_edge packed in
+              seq_src.probe_edge e_src e_dst)
+            pairs
+      in
+      Array.iteri
+        (fun i packed -> if verdicts.(i) then Int_tbl.replace gq_edges packed ())
+        pairs;
       trace :=
         { op = `Edge ec.edge;
           estimate = ec.est;

@@ -92,6 +92,21 @@ type source = {
           odometer buffer for every tuple).  This is the form the hot loop
           drives. *)
   probe_edge : int -> int -> bool;  (** Directed-edge membership. *)
+  probe_edges : ((int * int) array -> bool array) option;
+      (** Batched directed-edge membership, answering each [(src, dst)]
+          pair positionally.  When present, the executor routes each edge
+          operation's distinct candidate pairs through one call instead
+          of per-pair {!probe_edge}s — the hook a remote backend uses to
+          spend one round trip per shard per operation.  Must agree with
+          {!probe_edge} pointwise; [None] means probe one at a time. *)
+  prefetch : (Constr.t -> int array array -> unit) option;
+      (** Batching hint: called once per plan operation, before any of
+          its lookups, with the constraint and the anchor candidate rows
+          ([[||]] for an anchorless fetch).  The operation's key set is
+          exactly the cartesian product of those rows, so a remote
+          backend can resolve all of them in one round trip per shard.
+          Purely advisory — the per-key [lookup_iter] calls that follow
+          must return identical buckets whether or not it ran. *)
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Bpq_graph.Value.t;
   table : Bpq_graph.Label.table;

@@ -76,6 +76,7 @@ type t = {
   coalesce : bool;
   reload_hook : (unit -> slot_data) option;
   extra_stats : unit -> (string * Json.t) list;
+  extra_metrics : unit -> string;
   started : float;
   latency : Histogram.t;  (* successful queries, seconds *)
   mu : Mutex.t;
@@ -101,7 +102,7 @@ type t = {
 
 let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     ?(semantics = Actualized.Subgraph) ?(coalesce = true) ?reload
-    ?(extra_stats = fun () -> []) ~pool data =
+    ?(extra_stats = fun () -> []) ?(extra_metrics = fun () -> "") ~pool data =
   if max_inflight < 0 then invalid_arg "Server.create: negative max_inflight";
   if max_connections < 1 then invalid_arg "Server.create: max_connections must be positive";
   { pool;
@@ -113,6 +114,7 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     coalesce;
     reload_hook = reload;
     extra_stats;
+    extra_metrics;
     started = Timer.now ();
     latency = Histogram.create ();
     mu = Mutex.create ();
@@ -616,6 +618,7 @@ let metrics_text t =
     [ 0.5; 0.9; 0.99 ];
   Printf.bprintf b "bpq_query_latency_seconds_sum %.9g\n" sum;
   Printf.bprintf b "bpq_query_latency_seconds_count %d\n" n;
+  Buffer.add_string b (t.extra_metrics ());
   Buffer.contents b
 
 let handle_metrics t ?id () =

@@ -69,6 +69,7 @@ val create :
   ?coalesce:bool ->
   ?reload:(unit -> slot_data) ->
   ?extra_stats:(unit -> (string * Jsonx.t) list) ->
+  ?extra_metrics:(unit -> string) ->
   pool:Pool.t ->
   slot_data ->
   t
@@ -83,6 +84,9 @@ val create :
     concurrent identical queries.
     [reload] serves the [reload] op; without it the op fails typed.
     [extra_stats] fields are appended to every [stats] response.
+    [extra_metrics] returns extra Prometheus exposition text (complete
+    lines, or [""]) appended to every [metrics] page — the hook backend
+    counters (e.g. sharded-store traffic) publish through.
     @raise Invalid_argument on negative [max_inflight] or
     non-positive [max_connections]. *)
 

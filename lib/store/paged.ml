@@ -427,6 +427,8 @@ let source t =
          deadlock on the store's mutex. *)
       (fun c tuple f -> Array.iter f (lookup_tuple t c tuple));
     probe_edge = (fun s d -> probe_edge t s d);
+    probe_edges = None;
+    prefetch = None;
     node_label = (fun v -> node_label t v);
     node_value = (fun v -> node_value t v);
     table = t.table;

@@ -1,0 +1,592 @@
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+module Sock = Bpq_util.Sock
+
+exception Worker_died of { shard : int; detail : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_died { shard; detail } ->
+      Some (Printf.sprintf "worker for shard %d died: %s" shard detail)
+    | _ -> None)
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Binfile.Corrupt s)) fmt
+
+(* Request opcodes; replies open with 0 (ok) or 1 (error + message). *)
+let op_hello = 1
+let op_fetch = 2
+let op_probe = 3
+let op_nodes = 4
+let op_shutdown = 5
+
+(* ---------------- worker side ---------------- *)
+
+let serve ?page_cache_mb ~input ~output shard_file =
+  (* A vanished peer must surface as EPIPE (which [Sock.is_disconnect]
+     classifies), not kill the process. *)
+  Sock.ignore_sigpipe ();
+  (* Fails fast on a non-shard file (and pins the partition version)
+     before the paged open does anything expensive. *)
+  let meta = Shard.read_shard_meta shard_file in
+  let p = Paged.open_ ?page_cache_mb shard_file in
+  Fun.protect
+    ~finally:(fun () -> Paged.close p)
+    (fun () ->
+      let src = Paged.source p in
+      let cons = Array.of_list (Paged.constraints p) in
+      let buf = Buffer.create 4096 in
+      let reply fill =
+        Buffer.clear buf;
+        fill buf;
+        Sock.send_frame output (Buffer.contents buf)
+      in
+      let ok fill = reply (fun b -> Binfile.add_i64 b 0; fill b) in
+      let err msg = reply (fun b -> Binfile.add_i64 b 1; Binfile.add_string b msg) in
+      let running = ref true in
+      while !running do
+        match Sock.recv_frame input with
+        | None -> running := false
+        | Some frame -> (
+          let c = Binfile.Cur.of_bytes frame in
+          try
+            match Binfile.Cur.i64 c with
+            | op when op = op_hello ->
+              ok (fun b ->
+                  Binfile.add_i64 b meta.Shard.shard;
+                  Binfile.add_i64 b meta.Shard.shards;
+                  Binfile.add_i64 b (Paged.stamp p);
+                  Binfile.add_i64 b (Paged.n_nodes p);
+                  Binfile.add_i64 b meta.Shard.n_edges_global)
+            | op when op = op_fetch ->
+              let cid = Binfile.Cur.i64 c in
+              if cid < 0 || cid >= Array.length cons then
+                failwith (Printf.sprintf "unknown constraint id %d" cid);
+              let con = cons.(cid) in
+              let arity = Constr.arity con in
+              let nkeys = Binfile.Cur.i64 c in
+              if nkeys < 0 then failwith "negative key count";
+              let keys = Array.init nkeys (fun _ -> Binfile.Cur.array c arity) in
+              ok (fun b ->
+                  Binfile.add_i64 b nkeys;
+                  Array.iter
+                    (fun tuple ->
+                      let hits = src.Exec.lookup con (Array.to_list tuple) in
+                      Binfile.add_i64 b (Array.length hits);
+                      Binfile.add_array b hits)
+                    keys)
+            | op when op = op_probe ->
+              let n = Binfile.Cur.i64 c in
+              if n < 0 then failwith "negative pair count";
+              let verdicts = Bytes.create n in
+              for i = 0 to n - 1 do
+                let s = Binfile.Cur.i64 c in
+                let d = Binfile.Cur.i64 c in
+                Bytes.set verdicts i (if src.Exec.probe_edge s d then '\001' else '\000')
+              done;
+              ok (fun b ->
+                  Binfile.add_i64 b n;
+                  Binfile.add_string b (Bytes.to_string verdicts))
+            | op when op = op_nodes ->
+              let n = Binfile.Cur.i64 c in
+              if n < 0 then failwith "negative id count";
+              let ids = Binfile.Cur.array c n in
+              ok (fun b ->
+                  Binfile.add_i64 b n;
+                  let vb = Buffer.create 16 in
+                  Array.iter
+                    (fun v ->
+                      Binfile.add_i64 b (src.Exec.node_label v);
+                      Buffer.clear vb;
+                      Graph_io.add_value_blob vb (src.Exec.node_value v);
+                      Binfile.add_string b (Buffer.contents vb))
+                    ids)
+            | op when op = op_shutdown ->
+              ok (fun _ -> ());
+              running := false
+            | op -> err (Printf.sprintf "unknown opcode %d" op)
+          with
+          | Sock.Frame_too_large _ as e -> raise e
+          | e when Sock.is_disconnect e -> raise e
+          | e -> err (Printexc.to_string e))
+      done)
+
+(* ---------------- coordinator side ---------------- *)
+
+type conn = { fd : Unix.file_descr; pid : int option }
+
+type t = {
+  m : Shard.manifest;
+  conns : conn array;  (* index = shard *)
+  cons : Constr.t array;  (* manifest order = wire constraint ids *)
+  cid_of : (Constr.t, int) Hashtbl.t;
+  arity : int array;
+  mutex : Mutex.t;
+  (* (cid, native record) → bucket; refilled by each operation's
+     prefetch, consulted by the per-key lookups that follow. *)
+  buckets : (int * int array, int array) Hashtbl.t;
+  (* node id → (label, value); warmed in batch after fetch rounds. *)
+  attrs : (int, Label.t * Value.t) Hashtbl.t;
+  messages : int array;
+  bytes_sent : int array;
+  bytes_received : int array;
+  items : int array;
+  mutable rounds : int;
+  mutable closed : bool;
+}
+
+type stats = {
+  shards : int;
+  messages : int array;
+  bytes_sent : int array;
+  bytes_received : int array;
+  items : int array;
+  rounds : int;
+}
+
+let manifest t = t.m
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let died shard e = raise (Worker_died { shard; detail = Printexc.to_string e })
+
+let send t shard payload =
+  (try Sock.send_frame t.conns.(shard).fd payload
+   with e when Sock.is_disconnect e -> died shard e);
+  t.messages.(shard) <- t.messages.(shard) + 1;
+  t.bytes_sent.(shard) <- t.bytes_sent.(shard) + String.length payload + 8
+
+let recv t shard =
+  let frame =
+    try Sock.recv_frame t.conns.(shard).fd with e when Sock.is_disconnect e -> died shard e
+  in
+  match frame with
+  | None -> died shard End_of_file
+  | Some b ->
+    t.bytes_received.(shard) <- t.bytes_received.(shard) + Bytes.length b + 8;
+    b
+
+let open_reply shard b =
+  let c = Binfile.Cur.of_bytes b in
+  (match Binfile.Cur.i64 c with
+  | 0 -> ()
+  | 1 -> failwith (Printf.sprintf "shard %d worker: %s" shard (Binfile.Cur.str c))
+  | s -> corrupt "shard %d: unknown reply status %d" shard s);
+  c
+
+(* One superstep: every request frame goes out before any reply is
+   read, so the workers compute in parallel and the round costs one
+   straggler, not a sum. *)
+let round t reqs =
+  List.iter (fun (shard, payload) -> send t shard payload) reqs;
+  let replies = List.map (fun (shard, _) -> (shard, open_reply shard (recv t shard))) reqs in
+  if reqs <> [] then t.rounds <- t.rounds + 1;
+  replies
+
+let frame fill =
+  let b = Buffer.create 256 in
+  fill b;
+  Buffer.contents b
+
+(* The native key record for a raw anchor-order tuple — must match what
+   [Shard.partition] hashed ({!Index.export_buckets} form), which is
+   also what the worker's paged lookup searches for. *)
+let native_record ~arity (tuple : int array) =
+  if Array.length tuple <> arity then None
+  else
+    match arity with
+    | 0 -> Some [| 0 |]
+    | 1 -> Some [| tuple.(0) |]
+    | 2 -> Some [| Index.pack2 tuple.(0) tuple.(1) |]
+    | _ ->
+      let copy = Array.copy tuple in
+      Array.sort Int.compare copy;
+      Some copy
+
+let record_of_list ~arity vs =
+  if List.length vs <> arity then None else Some (Array.of_list vs)
+
+(* Retention is an optimisation only — correctness never depends on a
+   cache hit — so a hard cap with wholesale reset is enough. *)
+let max_cached_attrs = 2_000_000
+let max_prefetch_keys = 65_536
+
+let decode_value_str s =
+  Graph_io.decode_value (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+(* Batch-resolve the attributes of every id the last fetch round
+   returned: one nodes frame per owning shard, one more superstep. *)
+let warm_attrs t ids =
+  let fresh = List.filter (fun v -> not (Hashtbl.mem t.attrs v)) ids in
+  if fresh <> [] then begin
+    if Hashtbl.length t.attrs > max_cached_attrs then Hashtbl.reset t.attrs;
+    let per_shard = Array.make t.m.Shard.shards [] in
+    List.iter
+      (fun v ->
+        let s = Shard.owner_of_node ~shards:t.m.Shard.shards v in
+        per_shard.(s) <- v :: per_shard.(s))
+      fresh;
+    let reqs = ref [] in
+    Array.iteri
+      (fun s ids ->
+        if ids <> [] then begin
+          let ids = Array.of_list ids in
+          let payload =
+            frame (fun b ->
+                Binfile.add_i64 b op_nodes;
+                Binfile.add_i64 b (Array.length ids);
+                Binfile.add_array b ids)
+          in
+          reqs := (s, payload) :: (!reqs);
+          per_shard.(s) <- Array.to_list ids (* keep request order for decode *)
+        end)
+      per_shard;
+    let replies = round t (!reqs) in
+    List.iter
+      (fun (shard, c) ->
+        let n = Binfile.Cur.i64 c in
+        let sent = per_shard.(shard) in
+        if n <> List.length sent then corrupt "shard %d: nodes reply length mismatch" shard;
+        List.iter
+          (fun v ->
+            let label = Binfile.Cur.i64 c in
+            let value = decode_value_str (Binfile.Cur.str c) in
+            t.items.(shard) <- t.items.(shard) + 1;
+            Hashtbl.replace t.attrs v (label, value))
+          sent)
+      replies
+  end
+
+let node_attrs t v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.attrs v with
+      | Some a -> a
+      | None ->
+        warm_attrs t [ v ];
+        (match Hashtbl.find_opt t.attrs v with
+        | Some a -> a
+        | None -> corrupt "shard reply missing node %d" v))
+
+let cid_of t con =
+  match Hashtbl.find_opt t.cid_of con with
+  | Some cid -> cid
+  | None -> raise Not_found (* like Schema.index_of / Paged on unknown constraints *)
+
+(* Resolve one key right now (prefetch miss or un-prefetched path):
+   its own one-frame round to the owning shard. *)
+let fetch_single t cid record tuple =
+  let shard = Shard.owner_of_key ~shards:t.m.Shard.shards ~cid record in
+  let payload =
+    frame (fun b ->
+        Binfile.add_i64 b op_fetch;
+        Binfile.add_i64 b cid;
+        Binfile.add_i64 b 1;
+        Binfile.add_array b tuple)
+  in
+  match round t [ (shard, payload) ] with
+  | [ (_, c) ] ->
+    let n = Binfile.Cur.i64 c in
+    if n <> 1 then corrupt "shard %d: fetch reply length mismatch" shard;
+    let len = Binfile.Cur.i64 c in
+    if len < 0 then corrupt "shard %d: negative bucket length" shard;
+    let hits = Binfile.Cur.array c len in
+    t.items.(shard) <- t.items.(shard) + len;
+    Hashtbl.replace t.buckets (cid, record) hits;
+    hits
+  | _ -> assert false
+
+let lookup_record t cid record tuple =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.buckets (cid, record) with
+      | Some hits -> hits
+      | None -> fetch_single t cid record tuple)
+
+(* The executor announces each plan operation's whole key set (the
+   cartesian product of the anchor candidate rows) before looking any
+   key up: resolve the distinct keys in one fetch round — one frame per
+   owning shard — then warm the attribute cache for everything that
+   came back in one nodes round. *)
+let do_prefetch t con arrays =
+  match Hashtbl.find_opt t.cid_of con with
+  | None -> () (* the lookups that follow will raise Not_found *)
+  | Some cid ->
+    let arity = t.arity.(cid) in
+    if Array.length arrays = arity then begin
+      let total =
+        Array.fold_left
+          (fun acc row ->
+            let n = Array.length row in
+            if acc = 0 || n = 0 then 0
+            else if acc > max_prefetch_keys then acc
+            else acc * n)
+          1 arrays
+      in
+      if total > 0 && total <= max_prefetch_keys then
+        with_lock t (fun () ->
+            Hashtbl.reset t.buckets;
+            let shards = t.m.Shard.shards in
+            let pending = Array.make shards [] in
+            let seen = Hashtbl.create 64 in
+            let anchors = List.init arity (fun i -> ((), i)) in
+            Exec.iter_tuples arrays anchors (fun tuple ->
+                match native_record ~arity tuple with
+                | None -> ()
+                | Some record ->
+                  if not (Hashtbl.mem seen record) then begin
+                    Hashtbl.add seen record ();
+                    let s = Shard.owner_of_key ~shards ~cid record in
+                    pending.(s) <- (record, Array.copy tuple) :: pending.(s)
+                  end);
+            let reqs = ref [] in
+            Array.iteri
+              (fun s keys ->
+                if keys <> [] then begin
+                  let keys = List.rev keys in
+                  pending.(s) <- keys;
+                  let payload =
+                    frame (fun b ->
+                        Binfile.add_i64 b op_fetch;
+                        Binfile.add_i64 b cid;
+                        Binfile.add_i64 b (List.length keys);
+                        List.iter (fun (_, tuple) -> Binfile.add_array b tuple) keys)
+                  in
+                  reqs := (s, payload) :: (!reqs)
+                end)
+              pending;
+            let replies = round t (!reqs) in
+            let returned = ref [] in
+            List.iter
+              (fun (shard, c) ->
+                let n = Binfile.Cur.i64 c in
+                let sent = pending.(shard) in
+                if n <> List.length sent then
+                  corrupt "shard %d: fetch reply length mismatch" shard;
+                List.iter
+                  (fun (record, _) ->
+                    let len = Binfile.Cur.i64 c in
+                    if len < 0 then corrupt "shard %d: negative bucket length" shard;
+                    let hits = Binfile.Cur.array c len in
+                    t.items.(shard) <- t.items.(shard) + len;
+                    Hashtbl.replace t.buckets (cid, record) hits;
+                    Array.iter (fun v -> returned := v :: (!returned)) hits)
+                  sent)
+              replies;
+            warm_attrs t (!returned))
+    end
+
+let probe_many t pairs =
+  with_lock t (fun () ->
+      let n = Array.length pairs in
+      let verdicts = Array.make n false in
+      let shards = t.m.Shard.shards in
+      let pending = Array.make shards [] in
+      Array.iteri
+        (fun i (s, _) ->
+          let owner = Shard.owner_of_node ~shards s in
+          pending.(owner) <- i :: pending.(owner))
+        pairs;
+      let reqs = ref [] in
+      Array.iteri
+        (fun shard idxs ->
+          if idxs <> [] then begin
+            let idxs = List.rev idxs in
+            pending.(shard) <- idxs;
+            let payload =
+              frame (fun b ->
+                  Binfile.add_i64 b op_probe;
+                  Binfile.add_i64 b (List.length idxs);
+                  List.iter
+                    (fun i ->
+                      let s, d = pairs.(i) in
+                      Binfile.add_i64 b s;
+                      Binfile.add_i64 b d)
+                    idxs)
+            in
+            reqs := (shard, payload) :: (!reqs)
+          end)
+        pending;
+      let replies = round t (!reqs) in
+      List.iter
+        (fun (shard, c) ->
+          let m = Binfile.Cur.i64 c in
+          let sent = pending.(shard) in
+          if m <> List.length sent then corrupt "shard %d: probe reply length mismatch" shard;
+          let bits = Binfile.Cur.str c in
+          if String.length bits <> m then corrupt "shard %d: probe verdict length mismatch" shard;
+          t.items.(shard) <- t.items.(shard) + m;
+          List.iteri (fun j i -> verdicts.(i) <- bits.[j] = '\001') sent)
+        replies;
+      verdicts)
+
+let source t =
+  let lookup_tuple con tuple =
+    let cid = cid_of t con in
+    match native_record ~arity:t.arity.(cid) tuple with
+    | None -> [||]
+    | Some record -> lookup_record t cid record tuple
+  in
+  { Exec.lookup =
+      (fun con key ->
+        let cid = cid_of t con in
+        match record_of_list ~arity:t.arity.(cid) key with
+        | None -> [||]
+        | Some tuple -> (
+          match native_record ~arity:t.arity.(cid) tuple with
+          | None -> [||]
+          | Some record -> lookup_record t cid record tuple));
+    lookup_iter =
+      (* Materialise under the lock, then stream: executor callbacks
+         read node attributes mid-iteration, which must not deadlock on
+         the coordinator's mutex. *)
+      (fun con tuple f -> Array.iter f (lookup_tuple con tuple));
+    probe_edge = (fun s d -> (probe_many t [| (s, d) |]).(0));
+    probe_edges = Some (fun pairs -> probe_many t pairs);
+    prefetch = Some (fun con arrays -> do_prefetch t con arrays);
+    node_label = (fun v -> fst (node_attrs t v));
+    node_value = (fun v -> snd (node_attrs t v));
+    table = t.m.Shard.table;
+    constraints = t.m.Shard.constraints;
+    stamp = t.m.Shard.stamp;
+    graph_size = t.m.Shard.n_nodes + t.m.Shard.n_edges }
+
+(* ---------------- lifecycle ---------------- *)
+
+let hello_frame = frame (fun b -> Binfile.add_i64 b op_hello)
+let shutdown_frame = frame (fun b -> Binfile.add_i64 b op_shutdown)
+
+(* Identify each connection by its hello reply and arrange them into
+   shard order, insisting on exactly the manifest's partition. *)
+let handshake (m : Shard.manifest) conns =
+  if Array.length conns <> m.Shard.shards then
+    failwith
+      (Printf.sprintf "expected %d worker connections, got %d" m.Shard.shards
+         (Array.length conns));
+  let slots = Array.make m.Shard.shards None in
+  Array.iter
+    (fun conn ->
+      let reply =
+        try
+          Sock.send_frame conn.fd hello_frame;
+          Sock.recv_frame conn.fd
+        with e when Sock.is_disconnect e ->
+          failwith "worker died during the hello exchange (did it open its shard file?)"
+      in
+      match reply with
+      | None -> failwith "worker closed its connection during the hello exchange"
+      | Some b ->
+        let c = open_reply (-1) b in
+        let shard = Binfile.Cur.i64 c in
+        let shards = Binfile.Cur.i64 c in
+        let stamp = Binfile.Cur.i64 c in
+        let n_nodes = Binfile.Cur.i64 c in
+        let n_edges = Binfile.Cur.i64 c in
+        if shards <> m.Shard.shards then
+          failwith
+            (Printf.sprintf "worker partitioned %d ways, manifest says %d" shards
+               m.Shard.shards);
+        if stamp <> m.Shard.stamp then failwith "worker serves a different schema lineage";
+        if n_nodes <> m.Shard.n_nodes || n_edges <> m.Shard.n_edges then
+          failwith "worker serves a different graph";
+        if shard < 0 || shard >= m.Shard.shards then failwith "worker reports an alien shard";
+        if slots.(shard) <> None then
+          failwith (Printf.sprintf "two workers both serve shard %d" shard);
+        slots.(shard) <- Some conn)
+    conns;
+  Array.map (function Some c -> c | None -> assert false) slots
+
+let create m conns =
+  (* A dead worker must surface as {!Worker_died} via EPIPE, never as a
+     process-killing SIGPIPE. *)
+  Sock.ignore_sigpipe ();
+  let conns = handshake m conns in
+  let cons = Array.of_list m.Shard.constraints in
+  let cid_of = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.replace cid_of c i) cons;
+  let shards = m.Shard.shards in
+  { m;
+    conns;
+    cons;
+    cid_of;
+    arity = Array.map Constr.arity cons;
+    mutex = Mutex.create ();
+    buckets = Hashtbl.create 256;
+    attrs = Hashtbl.create 1024;
+    messages = Array.make shards 0;
+    bytes_sent = Array.make shards 0;
+    bytes_received = Array.make shards 0;
+    items = Array.make shards 0;
+    rounds = 0;
+    closed = false }
+
+let attach m fds = create m (Array.map (fun fd -> { fd; pid = None }) fds)
+
+let spawn ?argv (m : Shard.manifest) =
+  let argv =
+    match argv with
+    | Some f -> f
+    | None -> fun ~shard_file -> [| Sys.executable_name; "worker"; shard_file |]
+  in
+  let conns =
+    Array.map
+      (fun (f : Shard.shard_file) ->
+        let shard_file = Filename.concat m.Shard.dir f.file in
+        let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.set_close_on_exec parent;
+        let av = argv ~shard_file in
+        let pid = Unix.create_process av.(0) av child child Unix.stderr in
+        Unix.close child;
+        { fd = parent; pid = Some pid })
+      m.Shard.files
+  in
+  try create m conns
+  with e ->
+    Array.iter
+      (fun c ->
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        match c.pid with
+        | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        | None -> ())
+      conns;
+    raise e
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Array.iter
+          (fun c ->
+            (try
+               Sock.send_frame c.fd shutdown_frame;
+               ignore (Sock.recv_frame c.fd)
+             with _ -> ());
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            match c.pid with
+            | Some pid -> ( try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            | None -> ())
+          t.conns
+      end)
+
+(* ---------------- accounting ---------------- *)
+
+let stats t =
+  with_lock t (fun () ->
+      { shards = t.m.Shard.shards;
+        messages = Array.copy t.messages;
+        bytes_sent = Array.copy t.bytes_sent;
+        bytes_received = Array.copy t.bytes_received;
+        items = Array.copy t.items;
+        rounds = t.rounds })
+
+let reset_stats t =
+  with_lock t (fun () ->
+      Array.fill t.messages 0 (Array.length t.messages) 0;
+      Array.fill t.bytes_sent 0 (Array.length t.bytes_sent) 0;
+      Array.fill t.bytes_received 0 (Array.length t.bytes_received) 0;
+      Array.fill t.items 0 (Array.length t.items) 0;
+      t.rounds <- 0)
+
+let traffic (s : stats) =
+  let sum = Array.fold_left ( + ) 0 in
+  (sum s.messages, sum s.bytes_sent + sum s.bytes_received)

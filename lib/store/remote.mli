@@ -1,0 +1,105 @@
+(** Multi-process sharded execution: worker processes each serving one
+    {!Shard} file over a framed binary protocol, and a coordinator that
+    drives {!Bpq_core.Exec} plans against them.
+
+    The coordinator is an {!Bpq_core.Exec.source} whose lookups, edge
+    probes and attribute reads travel to the owning worker
+    ({!Shard.owner_of_key} / {!Shard.owner_of_node}).  Per-operation
+    batching keeps the traffic |Q|-bounded {e in round trips} as well as
+    bytes: the executor's [prefetch] hook resolves a plan operation's
+    whole key set in one fetch round (one request frame per
+    participating shard, all sent before any reply is read), a nodes
+    round warms the attribute cache for every id those fetches returned,
+    and the [probe_edges] hook verifies an edge operation's distinct
+    candidate pairs in one probe round.  Answers are byte-identical to
+    the single-process backends: workers serve the same sorted buckets
+    ({!Paged} over a shard file), and batching only moves {e when} a
+    lookup happens, never what it returns.
+
+    Frames are {!Bpq_util.Sock} binary frames; payloads are sequences of
+    8-byte little-endian integers and length-prefixed strings
+    ({!Bpq_graph.Binfile} helpers).  Every request opens with an opcode:
+    hello (1), fetch (2), probe (3), nodes (4), shutdown (5).  Replies
+    open with a status — 0 then the result, or 1 then an error string.
+
+    A coordinator may serve several pool domains concurrently: one
+    mutex guards the connections, and every operation materialises its
+    answer under the lock before yielding to caller callbacks. *)
+
+open Bpq_core
+
+exception Worker_died of { shard : int; detail : string }
+(** A worker's connection broke mid-conversation (EOF, [EPIPE],
+    [ECONNRESET]): surfaced as this typed error, never as a hang or a
+    bare [End_of_file]. *)
+
+(** {1 Worker side} *)
+
+val serve :
+  ?page_cache_mb:int -> input:Unix.file_descr -> output:Unix.file_descr -> string -> unit
+(** [serve ~input ~output shard_file] opens the shard with {!Paged} and
+    answers requests from [input] on [output] until a shutdown request
+    or EOF, then closes the store.  Per-request failures (unknown
+    constraint, malformed body) are answered with error replies; only
+    transport failures escape.  Never writes to any other descriptor, so
+    a worker inheriting its socket as stdin/stdout keeps stdout clean.
+    @raise Binfile.Corrupt if [shard_file] is not a shard file of this
+    build's partition version. *)
+
+(** {1 Coordinator side} *)
+
+type t
+
+val attach : Shard.manifest -> Unix.file_descr array -> t
+(** Adopt already-connected worker sockets (one per shard, any order —
+    the hello exchange identifies and arranges them).  Fails
+    ([Failure]) unless the workers are exactly the manifest's shards:
+    same count, same stamp, same global sizes, each shard exactly once.
+    The coordinator owns the descriptors from here on. *)
+
+val spawn : ?argv:(shard_file:string -> string array) -> Shard.manifest -> t
+(** Fork one worker process per shard, connected over a socketpair
+    inherited as the child's stdin/stdout, then {!attach}.  [argv]
+    builds a worker command line from a shard-file path; the default is
+    [[| Sys.executable_name; "worker"; shard_file |]], which is right
+    when the calling executable is [bpq] itself. *)
+
+val close : t -> unit
+(** Send every worker a shutdown request, close the connections, and
+    reap spawned children.  Best-effort and idempotent: a worker that
+    already died does not prevent the others from being released. *)
+
+val manifest : t -> Shard.manifest
+
+val source : t -> Exec.source
+(** The query-serving interface, with [prefetch] and [probe_edges]
+    batching enabled.  Byte-identical answers to the in-memory and
+    paged backends; unknown constraints raise [Not_found] and
+    wrong-arity keys find nothing, like both.
+    @raise Worker_died if a worker's connection breaks. *)
+
+(** {1 Traffic accounting} *)
+
+type stats = {
+  shards : int;
+  messages : int array;  (** Request frames sent, per shard. *)
+  bytes_sent : int array;  (** Request bytes (payload + header), per shard. *)
+  bytes_received : int array;  (** Reply bytes (payload + header), per shard. *)
+  items : int array;
+      (** Result items decoded per shard: index hits, probe verdicts,
+          node attribute records. *)
+  rounds : int;
+      (** Batched rounds (supersteps): groups of frames sent together
+          before any reply is read.  Round trips per query is this,
+          O(plan operations) — not O(lookups). *)
+}
+
+val stats : t -> stats
+(** Cumulative since creation or the last {!reset_stats}; arrays are
+    fresh copies. *)
+
+val reset_stats : t -> unit
+
+val traffic : stats -> int * int
+(** Total [(messages, bytes)] over all shards, bytes in both
+    directions. *)

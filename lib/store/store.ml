@@ -2,7 +2,7 @@ open Bpq_graph
 open Bpq_access
 open Bpq_core
 
-type backend = Mem | Paged
+type backend = Mem | Paged | Sharded
 
 type mem = {
   schema : Schema.t;
@@ -13,9 +13,12 @@ type mem = {
 type t =
   | In_mem of mem
   | On_disk of Paged.t
+  | Sharded_t of Remote.t
 
 let of_schema ?selectivity schema =
   In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema }
+
+let of_remote r = Sharded_t r
 
 let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(verify = false)
     path =
@@ -27,20 +30,53 @@ let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(veri
   | Paged ->
     if verify then Binfile.verify path;
     On_disk (Paged.open_ ?page_cache_mb ?cache_pages ?readahead path)
+  | Sharded ->
+    (* [path] names the shard directory (or its MANIFEST). *)
+    let m = Shard.load_manifest path in
+    if verify then Shard.verify_files m;
+    Sharded_t (Remote.spawn m)
 
-let backend = function In_mem _ -> Mem | On_disk _ -> Paged
-let source = function In_mem m -> m.src | On_disk p -> Paged.source p
-let table = function In_mem m -> Digraph.label_table (Schema.graph m.schema) | On_disk p -> Paged.table p
-let constraints = function In_mem m -> Schema.constraints m.schema | On_disk p -> Paged.constraints p
-let stamp = function In_mem m -> Schema.stamp m.schema | On_disk p -> Paged.stamp p
+let backend = function In_mem _ -> Mem | On_disk _ -> Paged | Sharded_t _ -> Sharded
+
+let source = function
+  | In_mem m -> m.src
+  | On_disk p -> Paged.source p
+  | Sharded_t r -> Remote.source r
+
+let table = function
+  | In_mem m -> Digraph.label_table (Schema.graph m.schema)
+  | On_disk p -> Paged.table p
+  | Sharded_t r -> (Remote.manifest r).Shard.table
+
+let constraints = function
+  | In_mem m -> Schema.constraints m.schema
+  | On_disk p -> Paged.constraints p
+  | Sharded_t r -> (Remote.manifest r).Shard.constraints
+
+let stamp = function
+  | In_mem m -> Schema.stamp m.schema
+  | On_disk p -> Paged.stamp p
+  | Sharded_t r -> (Remote.manifest r).Shard.stamp
 
 let graph_size = function
   | In_mem m -> Digraph.size (Schema.graph m.schema)
   | On_disk p -> Paged.graph_size p
+  | Sharded_t r ->
+    let m = Remote.manifest r in
+    m.Shard.n_nodes + m.Shard.n_edges
 
-let selectivity = function In_mem m -> m.sel | On_disk p -> Paged.selectivity p
-let schema = function In_mem m -> Some m.schema | On_disk _ -> None
-let io_counters = function In_mem _ -> None | On_disk p -> Some (Paged.io_counters p)
-let reset_io = function In_mem _ -> () | On_disk p -> Paged.reset_io p
-let drop_cache = function In_mem _ -> () | On_disk p -> Paged.drop_cache p
-let close = function In_mem _ -> () | On_disk p -> Paged.close p
+let selectivity = function
+  | In_mem m -> m.sel
+  | On_disk p -> Paged.selectivity p
+  | Sharded_t _ -> None
+
+let schema = function In_mem m -> Some m.schema | On_disk _ | Sharded_t _ -> None
+let io_counters = function On_disk p -> Some (Paged.io_counters p) | In_mem _ | Sharded_t _ -> None
+let remote = function Sharded_t r -> Some r | In_mem _ | On_disk _ -> None
+let reset_io = function On_disk p -> Paged.reset_io p | In_mem _ -> () | Sharded_t r -> Remote.reset_stats r
+let drop_cache = function On_disk p -> Paged.drop_cache p | In_mem _ | Sharded_t _ -> ()
+
+let close = function
+  | In_mem _ -> ()
+  | On_disk p -> Paged.close p
+  | Sharded_t r -> Remote.close r

@@ -16,11 +16,18 @@ open Bpq_core
 type backend =
   | Mem  (** Load the snapshot fully: rebuilt graph + indexes. *)
   | Paged  (** Serve from the file through a page cache ({!Paged}). *)
+  | Sharded
+      (** Serve from a {!Shard} directory through spawned worker
+          processes ({!Remote}). *)
 
 type t
 
 val of_schema : ?selectivity:Gstats.selectivity -> Schema.t -> t
 (** Wrap an already-built in-memory schema (no snapshot involved). *)
+
+val of_remote : Remote.t -> t
+(** Wrap an already-connected sharded coordinator (e.g. one attached to
+    externally started workers); {!close} will shut its workers down. *)
 
 val open_snapshot :
   ?backend:backend ->
@@ -36,6 +43,11 @@ val open_snapshot :
     all ignored under [Mem]).  [verify] (default [false]) forces a full
     checksum pass even for the paged backend — [Mem] always verifies,
     since it reads the whole file anyway.
+
+    Under [Sharded] the path names a {!Shard.partition} output directory
+    (or its [MANIFEST]); one worker process per shard is spawned via
+    {!Remote.spawn}, and [verify] checks every shard file's checksum
+    against the manifest first.
     @raise Binfile.Corrupt on malformed or damaged snapshots. *)
 
 val backend : t -> backend
@@ -56,11 +68,20 @@ val schema : t -> Schema.t option
     point is not materialising one. *)
 
 val io_counters : t -> Paged.io_counters option
-(** Page-cache counters — [None] for in-memory backends. *)
+(** Page-cache counters — [None] for in-memory and sharded backends. *)
+
+val remote : t -> Remote.t option
+(** The sharded coordinator behind this store — [None] for the
+    single-process backends.  {!Remote.stats} reports its per-shard
+    traffic. *)
 
 val reset_io : t -> unit
+(** Zero the paged backend's I/O counters or the sharded backend's
+    traffic counters; no-op in memory. *)
+
 val drop_cache : t -> unit
-(** No-ops for in-memory backends. *)
+(** No-ops for in-memory and sharded backends. *)
 
 val close : t -> unit
-(** Release the file handle (paged); no-op for in-memory backends. *)
+(** Release the file handle (paged) or shut the workers down (sharded);
+    no-op for in-memory backends. *)

@@ -176,3 +176,71 @@ let rec write_all fd s pos len =
 let write_line fd s =
   write_all fd s 0 (String.length s);
   write_all fd "\n" 0 1
+
+(* ---------------- binary framing ---------------- *)
+
+(* Cap on one binary frame.  A worker's reply ships a |Q|-bounded set of
+   index payloads and node records — megabytes at the very most; a
+   length beyond this is a desynchronised or hostile peer, and honouring
+   it would make one bad header allocate the machine away. *)
+let max_frame = 256 * 1024 * 1024
+
+exception Frame_too_large of { limit : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Frame_too_large { limit; got } ->
+      Some (Printf.sprintf "Sock.Frame_too_large (got %d bytes, limit %d)" got limit)
+    | _ -> None)
+
+(* Fill [buf[pos, pos+len)] exactly, looping on short reads (stream
+   sockets deliver whatever the kernel has buffered, not whole frames).
+   Raises [End_of_file] if the peer closes mid-range. *)
+let rec read_exact fd buf pos len =
+  if len > 0 then begin
+    match Unix.read fd buf pos len with
+    | 0 -> raise End_of_file
+    | n -> read_exact fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf pos len
+  end
+
+let frame_header len =
+  let h = Bytes.create 8 in
+  for i = 0 to 7 do
+    Bytes.unsafe_set h i (Char.unsafe_chr ((len lsr (8 * i)) land 0xFF))
+  done;
+  Bytes.unsafe_to_string h
+
+let send_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then raise (Frame_too_large { limit = max_frame; got = len });
+  write_all fd (frame_header len) 0 8;
+  write_all fd payload 0 len
+
+(* One length-prefixed frame; [None] on clean EOF at a frame boundary.
+   EOF inside a frame (header or payload) raises [End_of_file] — a peer
+   that died mid-message, which {!is_disconnect} classifies. *)
+let recv_frame fd =
+  let h = Bytes.create 8 in
+  match Unix.read fd h 0 8 with
+  | 0 -> None
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    read_exact fd h 0 8;
+    Some h
+  | n ->
+    read_exact fd h n (8 - n);
+    Some h
+
+let recv_frame fd =
+  match recv_frame fd with
+  | None -> None
+  | Some h ->
+    let len = ref 0 in
+    for i = 7 downto 0 do
+      len := (!len lsl 8) lor Char.code (Bytes.get h i)
+    done;
+    if !len < 0 || !len > max_frame then
+      raise (Frame_too_large { limit = max_frame; got = !len });
+    let payload = Bytes.create !len in
+    read_exact fd payload 0 !len;
+    Some payload

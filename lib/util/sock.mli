@@ -54,7 +54,36 @@ val read_line : reader -> string option
     re-raises socket errors (including timeouts — {!is_timeout}). *)
 
 val write_all : Unix.file_descr -> string -> int -> int -> unit
-(** [write_all fd s pos len], retrying on [EINTR]. *)
+(** [write_all fd s pos len], retrying on [EINTR] and looping on short
+    writes. *)
 
 val write_line : Unix.file_descr -> string -> unit
 (** The string followed by ['\n']. *)
+
+(** {1 Binary framing}
+
+    Length-prefixed frames for the sharded fetch protocol
+    ([Bpq_store.Remote]): an 8-byte little-endian payload length, then
+    the payload.  Reads and writes loop on partial transfers, so a
+    frame survives any kernel-level fragmentation. *)
+
+val max_frame : int
+(** Upper bound on one frame's payload (256 MiB). *)
+
+exception Frame_too_large of { limit : int; got : int }
+(** A header announced (or a send supplied) a payload over {!max_frame}
+    — a desynchronised or hostile peer, surfaced before any allocation
+    honours it. *)
+
+val read_exact : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [read_exact fd buf pos len] fills the range exactly, looping on
+    short reads; raises [End_of_file] if the peer closes first. *)
+
+val send_frame : Unix.file_descr -> string -> unit
+(** @raise Frame_too_large instead of sending an oversized payload. *)
+
+val recv_frame : Unix.file_descr -> Bytes.t option
+(** The next frame's payload; [None] on clean EOF at a frame boundary.
+    EOF {e inside} a frame raises [End_of_file] (the peer died
+    mid-message — {!is_disconnect} classifies it).
+    @raise Frame_too_large on an oversized announced length. *)

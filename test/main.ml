@@ -1,3 +1,20 @@
+(* Hidden mode used by the shard suite: re-exec this binary as a shard
+   worker over an inherited socket.  OCaml 5 forbids [Unix.fork] once
+   other domains exist (the pool suites create some), so worker
+   processes are spawned by exec'ing ourselves instead.  The protocol
+   rides a numbered inherited fd rather than stdio because qcheck
+   prints its random seed to stdout during module initialisation —
+   before this check can run — which would corrupt the frame stream. *)
+let () =
+  if Array.length Sys.argv >= 4 && Sys.argv.(1) = "--bpq-worker" then begin
+    let fd : Unix.file_descr = Obj.magic (int_of_string Sys.argv.(2)) in
+    (try Bpq_store.Remote.serve ~input:fd ~output:fd Sys.argv.(3)
+     with e ->
+       Printf.eprintf "bpq-worker: %s\n%!" (Printexc.to_string e);
+       exit 1);
+    exit 0
+  end
+
 let () =
   Alcotest.run "bpq"
     [ ("prng", Test_prng.suite);
@@ -30,4 +47,5 @@ let () =
       ("semantics", Test_semantics.suite);
       ("snapshot", Test_snapshot.suite);
       ("store", Test_store.suite);
+      ("shard", Test_shard.suite);
       ("serve", Test_serve.suite) ]

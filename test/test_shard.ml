@@ -1,0 +1,362 @@
+(* The real sharded backend: partitioner totality, the framed wire
+   protocol, and byte-identity of multi-process execution against the
+   single-node executor — with actual forked worker processes. *)
+
+open Bpq_graph
+open Bpq_access
+open Bpq_core
+module Shard = Bpq_store.Shard
+module Remote = Bpq_store.Remote
+module Paged = Bpq_store.Paged
+module Sock = Bpq_util.Sock
+
+let with_temp_file f =
+  let path = Filename.temp_file "bpq_shard" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_temp_dir f =
+  let path = Filename.temp_file "bpq_shard" ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  Fun.protect ~finally:(fun () -> try rm_rf path with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f path)
+
+let instance_plan seed =
+  let _, g, constrs, r = Helpers.random_instance seed in
+  let schema = Schema.build g constrs in
+  let q = Bpq_pattern.Qgen.from_walk r g in
+  (schema, Qplan.generate Actualized.Subgraph q constrs)
+
+(* Strict result identity, as in the store suite. *)
+let canon (r : Exec.result) =
+  (r.from_gq, r.candidates_g, r.stats, r.trace, Digraph.Repr.of_graph r.gq)
+
+(* ---------------- forked worker fixtures ---------------- *)
+
+type worker = { fd : Unix.file_descr; pid : int }
+
+(* Workers are spawned by re-exec'ing the test binary in its hidden
+   [--bpq-worker] mode (see [main.ml]): [Unix.fork] without exec is
+   forbidden once other suites have created domains.  The child's
+   socket end is passed by fd number (stdio would mix qcheck's seed
+   banner into the frame stream); [CLOEXEC] on the parent end keeps
+   later workers from inheriting earlier sockets, so closing a parent
+   fd reliably delivers EOF to exactly its worker. *)
+let fork_worker shard_file =
+  let parent, child = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec parent;
+  Unix.clear_close_on_exec child;
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--bpq-worker";
+         string_of_int (Obj.magic (child : Unix.file_descr) : int); shard_file |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.close child;
+  { fd = parent; pid }
+
+let fork_workers (m : Shard.manifest) =
+  Array.map
+    (fun (f : Shard.shard_file) -> fork_worker (Filename.concat m.dir f.file))
+    m.files
+
+let reap workers =
+  Array.iter
+    (fun w ->
+      (try Unix.close w.fd with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    workers
+
+let with_remote schema shards f =
+  with_temp_file (fun snap ->
+      Schema.save schema snap;
+      with_temp_dir (fun dir ->
+          let m = Shard.partition ~shards ~snapshot:snap ~dir in
+          let workers = fork_workers m in
+          let r =
+            try Remote.attach m (Array.map (fun w -> w.fd) workers)
+            with e ->
+              reap workers;
+              raise e
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Remote.close r;
+              Array.iter
+                (fun w -> try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+                workers)
+            (fun () -> f m r workers)))
+
+(* ---------------- framing ---------------- *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      Sock.send_frame a "";
+      Sock.send_frame a "hello";
+      Sock.send_frame a (String.make 100_000 'x');
+      Helpers.check_true "empty frame" (Sock.recv_frame b = Some Bytes.empty);
+      Helpers.check_true "small frame" (Sock.recv_frame b = Some (Bytes.of_string "hello"));
+      (match Sock.recv_frame b with
+      | Some big -> Helpers.check_int "large frame survives" 100_000 (Bytes.length big)
+      | None -> Alcotest.fail "large frame lost");
+      Unix.close a;
+      Helpers.check_true "clean EOF is None" (Sock.recv_frame b = None))
+
+let test_frame_oversize () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A hand-written header announcing an absurd length: refused
+         before any allocation honours it. *)
+      let hdr = Bytes.create 8 in
+      Bytes.set_int64_le hdr 0 (Int64.of_int (Sock.max_frame + 1));
+      Sock.write_all a (Bytes.to_string hdr) 0 8;
+      Helpers.check_true "oversized announced length raises"
+        (match Sock.recv_frame b with
+        | _ -> false
+        | exception Sock.Frame_too_large _ -> true))
+
+let test_frame_death_mid_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () ->
+      let hdr = Bytes.create 8 in
+      Bytes.set_int64_le hdr 0 64L;
+      Sock.write_all a (Bytes.to_string hdr) 0 8;
+      Sock.write_all a "abc" 0 3;
+      Unix.close a;
+      Helpers.check_true "EOF inside a frame raises End_of_file"
+        (match Sock.recv_frame b with
+        | _ -> false
+        | exception End_of_file -> true))
+
+(* ---------------- partitioner ---------------- *)
+
+let partition_total =
+  Helpers.qcheck ~count:15 "every edge and index bucket lives on exactly its owner shard"
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 5))
+    (fun (seed, shards) ->
+      let _, g, constrs, _ = Helpers.random_instance seed in
+      let schema = Schema.build g constrs in
+      with_temp_file (fun snap ->
+          Schema.save schema snap;
+          with_temp_dir (fun dir ->
+              let m = Shard.partition ~shards ~snapshot:snap ~dir in
+              let stores =
+                Array.map
+                  (fun (f : Shard.shard_file) -> Paged.open_ (Filename.concat dir f.file))
+                  m.files
+              in
+              Fun.protect
+                ~finally:(fun () -> Array.iter Paged.close stores)
+                (fun () ->
+                  let srcs = Array.map Paged.source stores in
+                  let ok = ref true in
+                  (* Edges: answered true on the source's owner, false
+                     everywhere else. *)
+                  Digraph.iter_edges g (fun u v ->
+                      let owner = Shard.owner_of_node ~shards u in
+                      Array.iteri
+                        (fun s src ->
+                          let got = src.Exec.probe_edge u v in
+                          if got <> (s = owner) then ok := false)
+                        srcs);
+                  (* Index buckets: full bucket on the owner, nothing
+                     elsewhere; totality over every key of every
+                     constraint. *)
+                  List.iter
+                    (fun c ->
+                      let idx = Schema.index_of schema c in
+                      Index.iter idx (fun key bucket ->
+                          let hits =
+                            Array.map (fun src -> src.Exec.lookup c key) srcs
+                          in
+                          let owners =
+                            Array.fold_left
+                              (fun acc h -> if Array.length h > 0 then acc + 1 else acc)
+                              0 hits
+                          in
+                          let expected_owners = if Array.length bucket > 0 then 1 else 0 in
+                          if owners <> expected_owners then ok := false;
+                          Array.iter
+                            (fun h ->
+                              if Array.length h > 0 && h <> bucket then ok := false)
+                            hits))
+                    (Schema.constraints schema);
+                  (* Conservation: shard edge counts sum to the total. *)
+                  let total =
+                    Array.fold_left
+                      (fun acc (f : Shard.shard_file) -> acc + f.n_edges)
+                      0 m.files
+                  in
+                  !ok && total = Digraph.n_edges g))))
+
+let test_manifest_roundtrip () =
+  let _, g, constrs, _ = Helpers.random_instance 42 in
+  let schema = Schema.build g constrs in
+  with_temp_file (fun snap ->
+      Schema.save schema snap;
+      with_temp_dir (fun dir ->
+          let m = Shard.partition ~shards:3 ~snapshot:snap ~dir in
+          let m' = Shard.load_manifest dir in
+          Helpers.check_int "shards" m.shards m'.shards;
+          Helpers.check_int "stamp" m.stamp m'.stamp;
+          Helpers.check_int "nodes" m.n_nodes m'.n_nodes;
+          Helpers.check_int "edges" m.n_edges m'.n_edges;
+          Helpers.check_true "constraints" (m.constraints = m'.constraints);
+          Helpers.check_true "files" (m.files = m'.files);
+          Helpers.check_true "labels"
+            (List.map (Label.name m.table) (Label.all m.table)
+            = List.map (Label.name m'.table) (Label.all m'.table));
+          (* Checksums hold... *)
+          Shard.verify_files m';
+          (* ...until a shard file is damaged. *)
+          let victim = Filename.concat dir m.files.(1).file in
+          let fd = Unix.openfile victim [ Unix.O_WRONLY ] 0 in
+          ignore (Unix.lseek fd 100 Unix.SEEK_SET);
+          ignore (Unix.write fd (Bytes.make 1 '\255') 0 1);
+          Unix.close fd;
+          Helpers.check_true "damage detected"
+            (match Shard.verify_files m' with
+            | () -> false
+            | exception Binfile.Corrupt _ -> true)))
+
+(* ---------------- multi-process execution ---------------- *)
+
+let q0_setup () =
+  let ds = Bpq_workload.Workload.imdb ~scale:0.02 () in
+  let a0 = Bpq_workload.Workload.a0 ds.table in
+  let schema = Schema.build ds.graph a0 in
+  let plan = Qplan.generate_exn Actualized.Subgraph (Bpq_workload.Workload.q0 ds.table) a0 in
+  (schema, plan)
+
+let test_workers_equal_single_node () =
+  let schema, plan = q0_setup () in
+  let reference = canon (Exec.run schema plan) in
+  with_remote schema 4 (fun _m r _workers ->
+      let res = Exec.run_with (Remote.source r) plan in
+      Helpers.check_true "byte-identical to single node" (canon res = reference);
+      let st = Remote.stats r in
+      let messages, bytes = Remote.traffic st in
+      Helpers.check_true "talked to the workers" (messages > 0 && bytes > 0);
+      (* Round trips are O(plan operations), not O(lookups): each
+         operation costs at most a fetch, a nodes and a probe round. *)
+      let ops = List.length res.trace in
+      Helpers.check_true
+        (Printf.sprintf "rounds %d bounded by 3 x %d ops" st.rounds ops)
+        (st.rounds <= (3 * ops) + 1);
+      Helpers.check_int "message count matches rounds accounting" messages
+        (Array.fold_left ( + ) 0 st.messages))
+
+let test_unbatched_equals_batched () =
+  let schema, plan = q0_setup () in
+  let reference = canon (Exec.run schema plan) in
+  with_remote schema 2 (fun _m r _workers ->
+      let src = Remote.source r in
+      let batched = Exec.run_with src plan in
+      let unbatched =
+        Exec.run_with { src with Exec.prefetch = None; probe_edges = None } plan
+      in
+      Helpers.check_true "batched identical" (canon batched = reference);
+      Helpers.check_true "unbatched identical" (canon unbatched = reference))
+
+let workers_equal_single_qcheck =
+  Helpers.qcheck ~count:8 "forked workers reproduce the single-node result exactly"
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 4))
+    (fun (seed, shards) ->
+      match instance_plan seed with
+      | _, None -> true
+      | schema, Some plan ->
+        let reference = canon (Exec.run schema plan) in
+        with_remote schema shards (fun _m r _workers ->
+            canon (Exec.run_with (Remote.source r) plan) = reference))
+
+let test_matches_remote_sim_and_single_agree () =
+  let schema, plan = q0_setup () in
+  let single = Exec.run schema plan in
+  List.iter
+    (fun shards ->
+      with_remote schema shards (fun _m r _workers ->
+          let remote = Exec.run_with (Remote.source r) plan in
+          let sim, _ = Distributed.run (Distributed.create ~shards schema) plan in
+          let loose (x : Exec.result) =
+            ( List.sort compare (Array.to_list x.from_gq),
+              Array.map (fun a -> List.sort compare (Array.to_list a)) x.candidates_g,
+              Digraph.n_edges x.gq )
+          in
+          Helpers.check_true
+            (Printf.sprintf "remote = single at %d shards" shards)
+            (canon remote = canon single);
+          Helpers.check_true
+            (Printf.sprintf "remote = simulation at %d shards" shards)
+            (loose remote = loose sim)))
+    [ 1; 2; 4 ]
+
+let test_worker_death_is_clean () =
+  let schema, plan = q0_setup () in
+  with_remote schema 2 (fun _m r workers ->
+      (* Kill the worker owning node 0 (shard 0), then force traffic to
+         it: a clean typed error, not a hang or a bare EOF. *)
+      Unix.kill workers.(0).pid Sys.sigkill;
+      ignore (Unix.waitpid [] workers.(0).pid);
+      let src = Remote.source r in
+      Helpers.check_true "probe to dead worker raises Worker_died"
+        (match src.Exec.probe_edge 0 1 with
+        | _ -> false
+        | exception Remote.Worker_died { shard = 0; _ } -> true);
+      Helpers.check_true "query over dead worker raises Worker_died"
+        (match Exec.run_with src plan with
+        | _ -> false
+        | exception Remote.Worker_died _ -> true))
+
+let test_attach_rejects_wrong_worker_set () =
+  let _, g, constrs, _ = Helpers.random_instance 7 in
+  let schema = Schema.build g constrs in
+  with_temp_file (fun snap ->
+      Schema.save schema snap;
+      with_temp_dir (fun dir ->
+          let m2 = Shard.partition ~shards:2 ~snapshot:snap ~dir in
+          with_temp_dir (fun dir3 ->
+              let m3 = Shard.partition ~shards:3 ~snapshot:snap ~dir:dir3 in
+              (* Workers of the 3-way partition offered to a 2-way
+                 manifest: refused at the hello exchange. *)
+              let all = fork_workers m3 in
+              let workers = Array.sub all 0 2 in
+              Helpers.check_true "mismatched partition refused"
+                (match Remote.attach m2 (Array.map (fun w -> w.fd) workers) with
+                | r ->
+                  Remote.close r;
+                  false
+                | exception Failure _ -> true);
+              reap all)))
+
+let suite =
+  [ Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame oversize" `Quick test_frame_oversize;
+    Alcotest.test_case "frame death mid-frame" `Quick test_frame_death_mid_frame;
+    partition_total;
+    Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "workers equal single node" `Quick test_workers_equal_single_node;
+    Alcotest.test_case "unbatched equals batched" `Quick test_unbatched_equals_batched;
+    workers_equal_single_qcheck;
+    Alcotest.test_case "remote, simulation and single agree" `Quick
+      test_matches_remote_sim_and_single_agree;
+    Alcotest.test_case "worker death is clean" `Quick test_worker_death_is_clean;
+    Alcotest.test_case "attach rejects wrong workers" `Quick
+      test_attach_rejects_wrong_worker_set ]
