@@ -53,13 +53,16 @@ bench-store:
 	@echo "bench-store: _bench/BENCH_store.json OK"
 
 # Distributed-execution experiment: the same scale axis with the graph
-# hash-partitioned over 4 workers speaking the framed fetch protocol.
-# jq gates the invariants: sharded answers byte-identical to single-node
-# at every scale and at shard counts 1/2/4; wire bytes-per-query for the
-# bounded point queries flat (< 1.5x) while the graph sweep spans >= 10x.
+# hash-partitioned over 4 workers speaking the framed protocol, run in
+# both modes (worker-side pushdown and the batched-fetch baseline).
+# jq gates the invariants: answers byte-identical to single-node in both
+# modes at every scale and at shard counts 1/2/4; pushdown wire
+# bytes-per-query for the bounded point queries flat (< 1.5x) while the
+# graph sweep spans >= 10x; pushdown moves <= 0.5x the batched bytes;
+# rounds stay within the 3-per-plan-op + 1 bound.
 bench-distributed:
 	BENCH_FAST=1 dune exec bench/main.exe -- distributed --json _bench
-	jq -e '.distributed.identical and (.distributed.flatness < 1.5) and (.distributed.size_growth >= 10)' _bench/BENCH_distributed.json >/dev/null
+	jq -e '.distributed.identical and (.distributed.flatness < 1.5) and (.distributed.size_growth >= 10) and (.distributed.pushdown_ratio <= 0.5) and .distributed.rounds_bounded' _bench/BENCH_distributed.json >/dev/null
 	@echo "bench-distributed: _bench/BENCH_distributed.json OK"
 
 # Serving experiment: closed-loop clients against the serve daemon over

@@ -23,11 +23,18 @@
      the realised data saturates them — reported, not gated in fast
      runs.
 
+   Both protocol modes run, each on its own fresh cluster: worker-side
+   pushdown (the default) and the plain batched-fetch baseline
+   (--no-pushdown).  The headline perf gate is their byte ratio.
+
    Gates carried in BENCH_distributed.json:
      - identical: sharded answers byte-identical to single-node at
-       every scale and at shard counts 1/2/4;
+       every scale, in both modes, and at shard counts 1/2/4;
      - flatness: worst max/min of wire bytes-per-query over the point
-       queries across the sweep (CI requires < 1.5);
+       queries across the sweep, on the pushdown path (CI requires
+       < 1.5);
+     - pushdown_ratio: total pushdown wire bytes over total batched
+       wire bytes across the whole mix (CI requires <= 0.5);
      - size_growth: the sweep really spans >= 10x;
      - rounds_bounded: every query finished in <= 3 rounds per plan
        operation (fetch + attribute warm + probe) plus one. *)
@@ -59,9 +66,16 @@ let point_queries tbl =
            (Predicate.atom Value.Ge (Value.Int 2011))
            (Predicate.atom Value.Le (Value.Int 2013))) ) ]
 
-(* Strict result identity, as pinned by the shard test suite. *)
+(* Strict result identity, as pinned by the shard test suite; the trace
+   [pushed] flags are presentation (they say where an operation ran,
+   not what it returned), so they are stripped before comparing across
+   backends. *)
 let canon (r : Exec.result) =
-  (r.from_gq, r.candidates_g, r.stats, r.trace, Digraph.Repr.of_graph r.gq)
+  ( r.Exec.from_gq,
+    r.candidates_g,
+    r.stats,
+    List.map (fun (tr : Exec.op_trace) -> (tr.op, tr.estimate, tr.realized)) r.trace,
+    Digraph.Repr.of_graph r.gq )
 
 let with_temp_snapshot f =
   let path = Filename.temp_file "bpq_bench" ".snap" in
@@ -114,7 +128,8 @@ let with_cluster ~shards ~snapshot f =
 
 type qpoint = {
   name : string;
-  bytes : int;  (* wire bytes, both directions, headers included *)
+  bytes : int;  (* pushdown wire bytes, both directions, headers included *)
+  batched_bytes : int;  (* same query on the batched-fetch baseline *)
   rounds : int;
   messages : int;
   plan_ops : int;
@@ -143,36 +158,52 @@ let prepare scale =
    first, in a fixed order — the coordinator's attribute cache warms
    across the sequence exactly the same way at every scale, so the
    cells are comparable sweep-wide (and match a warm daemon's steady
-   state).  The identity pass runs after measurement so it cannot
+   state).  Each protocol mode gets its own fresh cluster, so neither
+   inherits the other's warm caches and the byte comparison is
+   cold-vs-cold.  The identity pass runs after measurement so it cannot
    pre-warm anything. *)
 let measure scale =
   let ds, schema, plans = prepare scale in
   with_temp_snapshot (fun path ->
       Schema.save schema path;
-      with_cluster ~shards:sweep_shards ~snapshot:path (fun r ->
-          let src = Remote.source r in
-          let queries =
-            List.map
-              (fun (name, plan) ->
-                Remote.reset_stats r;
-                let res = Exec.run_with src plan in
-                let st = Remote.stats r in
-                let _, bytes = Remote.traffic st in
-                { name;
-                  bytes;
-                  rounds = st.Remote.rounds;
-                  messages = fst (Remote.traffic st);
-                  plan_ops = List.length res.Exec.trace;
-                  accessed = Exec.accessed res.Exec.stats })
-              plans
-          in
-          let identical =
-            List.for_all
-              (fun (_, plan) ->
-                canon (Exec.run_with src plan) = canon (Exec.run schema plan))
-              plans
-          in
-          { scale; graph_size = Digraph.size ds.W.graph; identical; queries }))
+      let run_mode pushdown =
+        with_cluster ~shards:sweep_shards ~snapshot:path (fun r ->
+            let src = Remote.source ~pushdown r in
+            let rows =
+              List.map
+                (fun (name, plan) ->
+                  Remote.reset_stats r;
+                  let res = Exec.run_with src plan in
+                  let st = Remote.stats r in
+                  let messages, bytes = Remote.traffic st in
+                  (name, res, bytes, st.Remote.rounds, messages))
+                plans
+            in
+            let identical =
+              List.for_all2
+                (fun (_, plan) (_, res, _, _, _) -> canon res = canon (Exec.run schema plan))
+                plans rows
+            in
+            (rows, identical))
+      in
+      let pushed_rows, pushed_ok = run_mode true in
+      let batched_rows, batched_ok = run_mode false in
+      let queries =
+        List.map2
+          (fun (name, res, bytes, rounds, messages) (_, _, batched_bytes, _, _) ->
+            { name;
+              bytes;
+              batched_bytes;
+              rounds;
+              messages;
+              plan_ops = List.length res.Exec.trace;
+              accessed = Exec.accessed res.Exec.stats })
+          pushed_rows batched_rows
+      in
+      { scale;
+        graph_size = Digraph.size ds.W.graph;
+        identical = pushed_ok && batched_ok;
+        queries })
 
 (* Shard-count row: whole-workload traffic at a fixed scale, answers
    checked against the single-node reference at every count. *)
@@ -195,9 +226,12 @@ let shard_sweep () =
         (fun shards ->
           with_cluster ~shards ~snapshot:path (fun r ->
               let src = Remote.source r in
+              let batched_src = Remote.source ~pushdown:false r in
               let row_identical =
                 List.for_all2
-                  (fun (_, plan) ref_canon -> canon (Exec.run_with src plan) = ref_canon)
+                  (fun (_, plan) ref_canon ->
+                    canon (Exec.run_with src plan) = ref_canon
+                    && canon (Exec.run_with batched_src plan) = ref_canon)
                   plans reference
               in
               Remote.reset_stats r;
@@ -221,7 +255,7 @@ let run () =
   let table =
     Table.create
       ([ "scale"; "|G|" ]
-      @ List.concat_map (fun n -> [ n ^ " B"; n ^ " rounds" ]) qnames
+      @ List.concat_map (fun n -> [ n ^ " B"; n ^ " batch B"; n ^ " rounds" ]) qnames
       @ [ "identical" ])
   in
   List.iter
@@ -229,7 +263,10 @@ let run () =
       Table.add_row table
         ([ Printf.sprintf "%.2f" pt.scale; string_of_int pt.graph_size ]
         @ List.concat_map
-            (fun q -> [ string_of_int q.bytes; string_of_int q.rounds ])
+            (fun q ->
+              [ string_of_int q.bytes;
+                string_of_int q.batched_bytes;
+                string_of_int q.rounds ])
             pt.queries
         @ [ (if pt.identical then "yes" else "NO") ]))
     points;
@@ -259,6 +296,14 @@ let run () =
   in
   let join_bytes_spread = ratio (per_query "q0-join" (fun q -> q.bytes)) in
   let size_growth = ratio (List.map (fun p -> p.graph_size) points) in
+  let sum_over f =
+    List.fold_left
+      (fun acc pt -> List.fold_left (fun acc q -> acc + f q) acc pt.queries)
+      0 points
+  in
+  let pushdown_bytes = sum_over (fun q -> q.bytes) in
+  let batched_bytes = sum_over (fun q -> q.batched_bytes) in
+  let pushdown_ratio = float_of_int pushdown_bytes /. float_of_int (max 1 batched_bytes) in
   let rounds_bounded =
     List.for_all
       (fun pt ->
@@ -271,8 +316,10 @@ let run () =
   in
   Printf.printf
     "\npoint-query wire bytes spread %.2fx over a %.1fx graph sweep;\n\
-     q0 bytes spread %.2fx; rounds bounded by plan ops: %b; identical: %b\n"
-    flatness size_growth join_bytes_spread rounds_bounded identical;
+     q0 bytes spread %.2fx; rounds bounded by plan ops: %b; identical: %b\n\
+     pushdown moved %d wire bytes where batched fetch moved %d — %.2fx\n"
+    flatness size_growth join_bytes_spread rounds_bounded identical pushdown_bytes
+    batched_bytes pushdown_ratio;
   push_json_field "distributed"
     (Json.Obj
        [ ("identical", Json.Bool identical);
@@ -280,6 +327,9 @@ let run () =
          ("join_bytes_spread", Json.Float join_bytes_spread);
          ("size_growth", Json.Float size_growth);
          ("rounds_bounded", Json.Bool rounds_bounded);
+         ("pushdown_bytes", Json.Int pushdown_bytes);
+         ("batched_bytes", Json.Int batched_bytes);
+         ("pushdown_ratio", Json.Float pushdown_ratio);
          ( "points",
            Json.Arr
              (List.map
@@ -294,6 +344,7 @@ let run () =
                                Json.Obj
                                  [ ("name", Json.Str q.name);
                                    ("wire_bytes", Json.Int q.bytes);
+                                   ("batched_wire_bytes", Json.Int q.batched_bytes);
                                    ("rounds", Json.Int q.rounds);
                                    ("messages", Json.Int q.messages);
                                    ("plan_ops", Json.Int q.plan_ops);

@@ -32,6 +32,12 @@ let guard f =
   | Remote.Worker_died { shard; detail } ->
     Printf.eprintf "bpq: worker for shard %d died: %s\n" shard detail;
     3
+  | Remote.Stale_plan { shard; worker_stamp; plan_stamp } ->
+    Printf.eprintf
+      "bpq: shard %d rejected a stale plan (worker stamp %d, plan stamp %d); re-plan \
+       against the current snapshot\n"
+      shard worker_stamp plan_stamp;
+    3
 
 (* Prefix parse/corruption errors with the file they came from (parsers
    report line numbers but not paths). *)
@@ -220,12 +226,14 @@ let backend_name = function
    worker processes by default, or connections to externally started
    `bpq worker --listen` processes when [workers] lists their
    addresses (comma-separated, one per shard, any order). *)
-let open_sharded ?workers graph =
+let open_sharded ?workers ?(pushdown = true) graph =
   let m = with_file graph (fun () -> Shard.load_manifest graph) in
   match workers with
-  | None -> Store.of_remote (Remote.spawn m)
+  | None -> Store.of_remote ~pushdown (Remote.spawn m)
   | Some spec ->
-    let addrs = String.split_on_char ',' spec in
+    let addrs = List.map String.trim (String.split_on_char ',' spec) in
+    if List.exists (fun a -> a = "") addrs then
+      failwith "--workers: empty address in the list (stray comma?)";
     if List.length addrs <> m.Shard.shards then
       failwith
         (Printf.sprintf "--workers lists %d addresses, the manifest has %d shards"
@@ -235,14 +243,17 @@ let open_sharded ?workers graph =
         (fun a ->
           match Sock.parse a with
           | Ok addr -> Sock.connect addr
-          | Error msg -> failwith ("--workers " ^ msg))
+          | Error msg -> failwith (Printf.sprintf "--workers %s: %s" a msg))
         addrs
     in
-    Store.of_remote (Remote.attach m (Array.of_list fds))
+    Store.of_remote ~pushdown (Remote.attach m (Array.of_list fds))
 
 let print_shard_traffic r =
   let st : Remote.stats = Remote.stats r in
-  let t = Bpq_util.Table.create [ "shard"; "messages"; "sent"; "received"; "items" ] in
+  let t =
+    Bpq_util.Table.create
+      [ "shard"; "messages"; "sent"; "received"; "items"; "server-ms" ]
+  in
   Array.iteri
     (fun s m ->
       Bpq_util.Table.add_row t
@@ -250,7 +261,8 @@ let print_shard_traffic r =
           string_of_int m;
           string_of_int st.bytes_sent.(s);
           string_of_int st.bytes_received.(s);
-          string_of_int st.items.(s) ])
+          string_of_int st.items.(s);
+          Printf.sprintf "%.2f" (float_of_int st.server_ns.(s) /. 1e6) ])
     st.messages;
   Bpq_util.Table.print t;
   let messages, bytes = Remote.traffic st in
@@ -458,6 +470,13 @@ let run_cmd =
          & info [ "io-stats" ]
              ~doc:"Print pages faulted / bytes read / cache hits after evaluation (paged backend).")
   in
+  let no_pushdown_arg =
+    Arg.(value & flag
+         & info [ "no-pushdown" ]
+             ~doc:"With --backend sharded: disable worker-side plan pushdown and use \
+                   plain batched fetching (answers are identical either way; pushdown \
+                   is on by default and sends far fewer bytes).")
+  in
   let readahead_arg =
     Arg.(value & opt int 8
          & info [ "readahead" ] ~docv:"N"
@@ -580,7 +599,7 @@ let run_cmd =
     !status
   in
   let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats
-      backend page_cache readahead io_stats workers =
+      backend page_cache readahead io_stats workers no_pushdown =
     guard @@ fun () ->
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
@@ -595,7 +614,7 @@ let run_cmd =
          | Some _ ->
            failwith (Printf.sprintf "%s: shard manifests embed their constraints; drop -a" graph)
          | None -> ());
-        (open_sharded ?workers graph, None)
+        (open_sharded ?workers ~pushdown:(not no_pushdown) graph, None)
       end
       else if Graph_io.is_snapshot graph then begin
         (match constraints with
@@ -676,7 +695,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
     Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_opt $ limit
           $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
-          $ readahead_arg $ io_stats_arg $ workers_arg)
+          $ readahead_arg $ io_stats_arg $ workers_arg $ no_pushdown_arg)
 
 (* serve *)
 
@@ -752,16 +771,22 @@ let serve_cmd =
              ~doc:"Per-query evaluation budget in seconds (0 disables); an expired query \
                    answers with a typed 'timeout' error.")
   in
+  let no_pushdown_arg =
+    Arg.(value & flag
+         & info [ "no-pushdown" ]
+             ~doc:"With --backend sharded: disable worker-side plan pushdown and use \
+                   plain batched fetching (answers are identical either way).")
+  in
   (* One resolution path for the initial open and every live reload: a
      snapshot reopens (picking up a refreshed file atomically renamed
      into place); a text graph reloads and rebuilds its schema. *)
-  let open_store ~pool ~backend ~page_cache ~readahead graph constraints =
+  let open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints =
     if backend = Store.Sharded then begin
       (match constraints with
        | Some _ ->
          failwith (Printf.sprintf "%s: shard manifests embed their constraints; drop -a" graph)
        | None -> ());
-      (open_sharded graph, None)
+      (open_sharded ~pushdown graph, None)
     end
     else if Graph_io.is_snapshot graph then begin
       (match constraints with
@@ -795,8 +820,10 @@ let serve_cmd =
     end
   in
   let run semantics graph constraints listen jobs cache_mb backend page_cache readahead
-      no_coalesce max_inflight max_conns read_timeout write_timeout query_timeout =
+      no_coalesce max_inflight max_conns read_timeout write_timeout query_timeout
+      no_pushdown =
     guard @@ fun () ->
+    let pushdown = not no_pushdown in
     let addr =
       match Sock.parse listen with Ok a -> a | Error msg -> failwith ("--listen " ^ msg)
     in
@@ -808,12 +835,16 @@ let serve_cmd =
         costs;
         close = (fun () -> Store.close store) }
     in
-    let store0, costs0 = open_store ~pool ~backend ~page_cache ~readahead graph constraints in
+    let store0, costs0 =
+      open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints
+    in
     (* The stats hook follows reloads so `stats` always reports the live
        generation's I/O counters. *)
     let current = ref store0 in
     let reload () =
-      let store, costs = open_store ~pool ~backend ~page_cache ~readahead graph constraints in
+      let store, costs =
+        open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints
+      in
       current := store;
       slot_of store costs
     in
@@ -841,7 +872,8 @@ let serve_cmd =
                  ("messages", ints st.messages);
                  ("bytes_sent", ints st.bytes_sent);
                  ("bytes_received", ints st.bytes_received);
-                 ("items", ints st.items) ]) ]
+                 ("items", ints st.items);
+                 ("server_ns", ints st.server_ns) ]) ]
         | None -> []
       in
       io @ shards
@@ -863,6 +895,8 @@ let serve_cmd =
         per_shard "bpq_shard_bytes_received_total" "Reply bytes received from each worker."
           st.bytes_received;
         per_shard "bpq_shard_items_total" "Result items decoded from each worker." st.items;
+        per_shard "bpq_shard_server_ns_total"
+          "Worker-reported evaluation time (ns) for pushed operations." st.server_ns;
         Printf.bprintf b
           "# HELP bpq_shard_rounds_total Batched request rounds (supersteps).\n\
            # TYPE bpq_shard_rounds_total counter\nbpq_shard_rounds_total %d\n" st.rounds;
@@ -895,7 +929,7 @@ let serve_cmd =
     Term.(const run $ semantics_arg $ graph_arg $ constraints_opt $ listen_arg $ jobs
           $ cache_mb $ backend_arg $ page_cache_arg $ readahead_arg $ no_coalesce_arg
           $ max_inflight_arg $ max_conns_arg $ read_timeout_arg $ write_timeout_arg
-          $ query_timeout_arg)
+          $ query_timeout_arg $ no_pushdown_arg)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in

@@ -59,7 +59,10 @@ let run t plan =
          the batching shortcuts are disabled: every lookup and probe
          must pass through the counting wrappers above. *)
       probe_edges = None;
-      prefetch = None }
+      prefetch = None;
+      push_fetch = None;
+      push_semijoin = None;
+      warm_nodes = None }
   in
   let result = Exec.run_with source plan in
   ( result,

@@ -18,6 +18,7 @@ type op_trace = {
   op : [ `Fetch of int | `Edge of int * int ];
   estimate : int;
   realized : int;
+  pushed : bool;
 }
 
 type result = {
@@ -131,12 +132,43 @@ let iter_tuples_slice (arrays : int array array) ~lo ~hi yield =
     done
   end
 
+(* What a pushed fetch operation hands back: the operation's whole
+   candidate row (sorted distinct, predicate already applied shard-side)
+   plus the counters the sequential loop would have accumulated, so
+   stats stay identical whichever side evaluated. *)
+type pushed_fetch = {
+  pf_hits : int array;
+  pf_lookups : int;
+  pf_streamed : int;
+}
+
+(* What a pushed edge semijoin hands back: the operation's candidate
+   directed pairs (index hit ∩ target row, direction not yet verified —
+   the executor still probes), possibly with duplicates across shards,
+   plus the sequential loop's counters. *)
+type pushed_semijoin = {
+  ps_pairs : (int * int) array;
+  ps_lookups : int;
+  ps_candidates : int;
+}
+
 type source = {
   lookup : Constr.t -> int list -> int array;
   lookup_iter : Constr.t -> int array -> (int -> unit) -> unit;
   probe_edge : int -> int -> bool;
   probe_edges : ((int * int) array -> bool array) option;
   prefetch : (Constr.t -> int array array -> unit) option;
+  push_fetch :
+    (Constr.t -> Bpq_pattern.Predicate.t -> int array array -> pushed_fetch option) option;
+  push_semijoin :
+    (Constr.t ->
+    row:int array ->
+    arrays:int array array ->
+    other_slot:int ->
+    target_right:bool ->
+    pushed_semijoin option)
+    option;
+  warm_nodes : (int array -> unit) option;
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Value.t;
   table : Bpq_graph.Label.table;
@@ -153,6 +185,9 @@ let source_of_schema schema =
     probe_edge = Digraph.has_edge g;
     probe_edges = None;
     prefetch = None;
+    push_fetch = None;
+    push_semijoin = None;
+    warm_nodes = None;
     node_label = Digraph.label g;
     node_value = Digraph.value g;
     table = Digraph.label_table g;
@@ -291,62 +326,87 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
   List.iter
     (fun (f : Plan.fetch) ->
       let pred = Pattern.pred q f.unode in
-      (* Hits accumulate (with duplicates) into a vector; a monomorphic
-         sort_uniq then yields the same sorted distinct set the old
-         hashtable produced, without per-hit boxing.  The parallel path
-         concatenates per-range vectors in range order first, so the
-         multiset reaching sort_uniq — hence the resulting set — is the
-         sequential one. *)
-      let hits = Vec.create ~capacity:64 () in
-      let streamed_of (s : source) hits tuple =
-        let streamed = ref 0 in
-        s.lookup_iter f.constr tuple (fun w ->
-            incr streamed;
-            if Predicate.eval pred (s.node_value w) then Vec.push hits w);
-        !streamed
+      let arrays = anchor_rows cmat f.anchors in
+      (* Pushdown first: a distributed source may evaluate the whole
+         fetch — bucket streaming, predicate, dedup — on the owning
+         shards and return only the surviving row plus the counters the
+         loop below would have produced.  [None] (no hook, or the hook
+         declines this op) falls back to the local loop unchanged. *)
+      let pushed_result =
+        match src.push_fetch with
+        | Some pf -> pf f.constr pred arrays
+        | None -> None
       in
-      if f.anchors = [] then begin
-        maybe_prefetch f.constr [||];
-        incr fetch_lookups;
-        fetched := !fetched + streamed_of seq_src hits [||]
-      end
-      else begin
-        let arrays = anchor_rows cmat f.anchors in
-        let total = total_tuples arrays in
-        maybe_prefetch f.constr arrays;
-        match
-          fan_out total (fun lo hi ->
-              let s = task_src () in
-              let local = Vec.create ~capacity:64 () in
-              let lookups = ref 0 and streamed = ref 0 in
-              iter_tuples_slice arrays ~lo ~hi (fun tuple ->
-                  incr lookups;
-                  streamed := !streamed + streamed_of s local tuple);
-              (local, !lookups, !streamed))
-        with
-        | Some parts ->
-          Array.iter
-            (fun (local, lookups, streamed) ->
-              fetch_lookups := !fetch_lookups + lookups;
-              fetched := !fetched + streamed;
-              Vec.iter (Vec.push hits) local)
-            parts
+      let was_pushed = pushed_result <> None in
+      let hits_arr =
+        match pushed_result with
+        | Some (r : pushed_fetch) ->
+          fetch_lookups := !fetch_lookups + r.pf_lookups;
+          fetched := !fetched + r.pf_streamed;
+          r.pf_hits
         | None ->
-          iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
-              incr fetch_lookups;
-              fetched := !fetched + streamed_of seq_src hits tuple)
-      end;
-      Vec.sort_uniq hits;
+          (* Hits accumulate (with duplicates) into a vector; a monomorphic
+             sort_uniq then yields the same sorted distinct set the old
+             hashtable produced, without per-hit boxing.  The parallel path
+             concatenates per-range vectors in range order first, so the
+             multiset reaching sort_uniq — hence the resulting set — is the
+             sequential one. *)
+          let hits = Vec.create ~capacity:64 () in
+          let streamed_of (s : source) hits tuple =
+            let streamed = ref 0 in
+            s.lookup_iter f.constr tuple (fun w ->
+                incr streamed;
+                if Predicate.eval pred (s.node_value w) then Vec.push hits w);
+            !streamed
+          in
+          if f.anchors = [] then begin
+            maybe_prefetch f.constr [||];
+            incr fetch_lookups;
+            fetched := !fetched + streamed_of seq_src hits [||]
+          end
+          else begin
+            let total = total_tuples arrays in
+            maybe_prefetch f.constr arrays;
+            match
+              fan_out total (fun lo hi ->
+                  let s = task_src () in
+                  let local = Vec.create ~capacity:64 () in
+                  let lookups = ref 0 and streamed = ref 0 in
+                  iter_tuples_slice arrays ~lo ~hi (fun tuple ->
+                      incr lookups;
+                      streamed := !streamed + streamed_of s local tuple);
+                  (local, !lookups, !streamed))
+            with
+            | Some parts ->
+              Array.iter
+                (fun (local, lookups, streamed) ->
+                  fetch_lookups := !fetch_lookups + lookups;
+                  fetched := !fetched + streamed;
+                  Vec.iter (Vec.push hits) local)
+                parts
+            | None ->
+              iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
+                  incr fetch_lookups;
+                  fetched := !fetched + streamed_of seq_src hits tuple)
+          end;
+          Vec.sort_uniq hits;
+          Vec.to_array hits
+      in
       let result =
         if fetched_yet.(f.unode) then
           (* Later fetches reduce the set: both are supersets of the true
              matches, so the intersection still is. *)
-          intersect_sorted cmat.(f.unode) (Vec.to_array hits)
-        else Vec.to_array hits
+          intersect_sorted cmat.(f.unode) hits_arr
+        else hits_arr
       in
       cmat.(f.unode) <- result;
       fetched_yet.(f.unode) <- true;
-      trace := { op = `Fetch f.unode; estimate = f.est; realized = Array.length result } :: !trace)
+      trace :=
+        { op = `Fetch f.unode;
+          estimate = f.est;
+          realized = Array.length result;
+          pushed = was_pushed }
+        :: !trace)
     plan.fetches;
   (* Edge verification.  A node may be candidate for several pattern nodes;
      G_Q has one node per distinct graph node.  Membership tests are binary
@@ -371,26 +431,6 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
       let row = cmat.(ec.target_side) in
       let arrays = anchor_rows cmat ec.anchors in
       let total = total_tuples arrays in
-      maybe_prefetch ec.via arrays;
-      (* Two passes.  Pass 1 walks the tuple odometer collecting the
-         candidate directed pairs (index hit + membership in the target
-         row); pass 2 probes them for direction and inserts the certified
-         edges.  Splitting the probe out lets a remote source answer all
-         of an operation's probes in one batched round trip per shard —
-         and since probes are pure, the certified set (hence the dedup
-         table, the realized count and every counter) is the same as the
-         old probe-as-you-go loop. *)
-      let collect (s : source) push tuple =
-        let v_other = tuple.(other_slot) in
-        let cands = ref 0 in
-        s.lookup_iter ec.via tuple (fun w ->
-            if mem_sorted row w then begin
-              incr cands;
-              let e_src, e_dst = if ec.target_side = u2 then (v_other, w) else (w, v_other) in
-              push (pack_edge e_src e_dst)
-            end);
-        !cands
-      in
       (* Distinct candidate pairs in first-appearance order (pairs recur
          across tuples; one probe per distinct pair suffices). *)
       let distinct = Vec.create ~capacity:64 () in
@@ -401,29 +441,71 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
           Vec.push distinct packed
         end
       in
-      (match
-         fan_out total (fun lo hi ->
-             let s = task_src () in
-             let pairs = Vec.create ~capacity:64 () in
-             let lookups = ref 0 and cands = ref 0 in
-             iter_tuples_slice arrays ~lo ~hi (fun tuple ->
-                 incr lookups;
-                 cands := !cands + collect s (Vec.push pairs) tuple);
-             (pairs, !lookups, !cands))
-       with
-      | Some parts ->
-        (* Candidate pairs merge in range order, so the distinct-pair
-           sequence matches the sequential pass. *)
-        Array.iter
-          (fun (pairs, lookups, cands) ->
-            edge_lookups := !edge_lookups + lookups;
-            edge_candidates := !edge_candidates + cands;
-            Vec.iter note pairs)
-          parts
-      | None ->
-        iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
-            incr edge_lookups;
-            edge_candidates := !edge_candidates + collect seq_src note tuple));
+      (* Pushdown first: the owning shards can run the semijoin — index
+         lookup ∩ target row — locally and return only the candidate
+         directed pairs plus the loop's counters.  Direction probing and
+         dedup still happen here either way. *)
+      let was_pushed =
+        match src.push_semijoin with
+        | Some ps -> (
+          match
+            ps ec.via ~row ~arrays ~other_slot ~target_right:(ec.target_side = u2)
+          with
+          | Some (r : pushed_semijoin) ->
+            edge_lookups := !edge_lookups + r.ps_lookups;
+            edge_candidates := !edge_candidates + r.ps_candidates;
+            Array.iter (fun (e_src, e_dst) -> note (pack_edge e_src e_dst)) r.ps_pairs;
+            true
+          | None -> false)
+        | None -> false
+      in
+      if not was_pushed then begin
+        maybe_prefetch ec.via arrays;
+        (* Two passes.  Pass 1 walks the tuple odometer collecting the
+           candidate directed pairs (index hit + membership in the target
+           row); pass 2 probes them for direction and inserts the certified
+           edges.  Splitting the probe out lets a remote source answer all
+           of an operation's probes in one batched round trip per shard —
+           and since probes are pure, the certified set (hence the dedup
+           table, the realized count and every counter) is the same as the
+           old probe-as-you-go loop. *)
+        let collect (s : source) push tuple =
+          let v_other = tuple.(other_slot) in
+          let cands = ref 0 in
+          s.lookup_iter ec.via tuple (fun w ->
+              if mem_sorted row w then begin
+                incr cands;
+                let e_src, e_dst =
+                  if ec.target_side = u2 then (v_other, w) else (w, v_other)
+                in
+                push (pack_edge e_src e_dst)
+              end);
+          !cands
+        in
+        match
+          fan_out total (fun lo hi ->
+              let s = task_src () in
+              let pairs = Vec.create ~capacity:64 () in
+              let lookups = ref 0 and cands = ref 0 in
+              iter_tuples_slice arrays ~lo ~hi (fun tuple ->
+                  incr lookups;
+                  cands := !cands + collect s (Vec.push pairs) tuple);
+              (pairs, !lookups, !cands))
+        with
+        | Some parts ->
+          (* Candidate pairs merge in range order, so the distinct-pair
+             sequence matches the sequential pass. *)
+          Array.iter
+            (fun (pairs, lookups, cands) ->
+              edge_lookups := !edge_lookups + lookups;
+              edge_candidates := !edge_candidates + cands;
+              Vec.iter note pairs)
+            parts
+        | None ->
+          iter_tuples_slice arrays ~lo:0 ~hi:total (fun tuple ->
+              incr edge_lookups;
+              edge_candidates := !edge_candidates + collect seq_src note tuple)
+      end;
       let pairs = Vec.to_array distinct in
       let verdicts =
         match src.probe_edges with
@@ -441,7 +523,8 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
       trace :=
         { op = `Edge ec.edge;
           estimate = ec.est;
-          realized = Int_tbl.length gq_edges - added_before }
+          realized = Int_tbl.length gq_edges - added_before;
+          pushed = was_pushed }
         :: !trace)
     plan.edge_checks;
   (* Assemble G_Q.  First-occurrence order over the candidate rows fixes
@@ -457,6 +540,11 @@ let run_with ?pool ?cache (src : source) (plan : Plan.t) =
          end))
     cmat;
   let from_gq = Array.of_list (List.rev !order) in
+  (* One attribute-warm round over exactly the G_Q nodes: the label and
+     value reads below then hit a warm cache instead of one RPC each. *)
+  (match src.warm_nodes with
+  | Some wn when Array.length from_gq > 0 -> wn from_gq
+  | _ -> ());
   let b = Digraph.Builder.create ~node_hint:!count src.table in
   Array.iter
     (fun v -> ignore (Digraph.Builder.add_node b (src.node_label v) (src.node_value v)))

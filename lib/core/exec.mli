@@ -34,6 +34,11 @@ type op_trace = {
   realized : int;
       (** What actually happened: resulting [|cmat|] for a fetch, directed
           edges certified for a directive. *)
+  pushed : bool;
+      (** Whether the operation was evaluated shard-side through the
+          source's {!source.push_fetch}/{!source.push_semijoin} hooks
+          (worker-side pushdown) rather than by streaming buckets through
+          the local loop.  Always [false] for local backends. *)
 }
 
 type result = {
@@ -82,6 +87,29 @@ val run : ?pool:Bpq_util.Pool.t -> ?cache:Fetch_cache.t -> Schema.t -> Plan.t ->
     query-serving interface: {!Qcache}, {!Batch} and {!Explain} all run
     against a [source] alone. *)
 
+type pushed_fetch = {
+  pf_hits : int array;
+      (** The fetch's complete candidate row: sorted distinct node ids,
+          predicate already applied shard-side. *)
+  pf_lookups : int;  (** Index lookups the shards performed (= tuple count). *)
+  pf_streamed : int;  (** Bucket entries the shards streamed (with dups). *)
+}
+(** Result of a pushed fetch operation: what the local fetch loop would
+    have produced, computed on the owning shards.  The counters replicate
+    the sequential loop's exactly so {!stats} stays byte-identical. *)
+
+type pushed_semijoin = {
+  ps_pairs : (int * int) array;
+      (** Candidate directed [(src, dst)] pairs — index hit ∩ target row,
+          direction already oriented but {e not} yet verified; possibly
+          duplicated across shards (the executor dedups before probing). *)
+  ps_lookups : int;  (** Index lookups the shards performed (= tuple count). *)
+  ps_candidates : int;  (** Hits that passed the target-row membership test. *)
+}
+(** Result of a pushed edge semijoin: the candidate pairs the local
+    collect pass would have produced, computed on the owning shards.  The
+    executor still dedups and direction-probes them. *)
+
 type source = {
   lookup : Constr.t -> int list -> int array;
       (** The index lookup of the named constraint (materialising form,
@@ -107,6 +135,34 @@ type source = {
           backend can resolve all of them in one round trip per shard.
           Purely advisory — the per-key [lookup_iter] calls that follow
           must return identical buckets whether or not it ran. *)
+  push_fetch :
+    (Constr.t -> Bpq_pattern.Predicate.t -> int array array -> pushed_fetch option)
+    option;
+      (** Worker-side pushdown of a whole fetch operation: called with the
+          constraint, the target node's predicate and the anchor candidate
+          rows ([[||]] for an anchorless fetch) {e before} any lookups.
+          [Some r] means the shards evaluated the operation and [r] stands
+          in for the local loop (which is then skipped entirely, including
+          {!prefetch}); [None] falls back to the batched-fetch path.  The
+          outer [None] means the backend has no pushdown at all. *)
+  push_semijoin :
+    (Constr.t ->
+    row:int array ->
+    arrays:int array array ->
+    other_slot:int ->
+    target_right:bool ->
+    pushed_semijoin option)
+    option;
+      (** Worker-side pushdown of an edge operation's semijoin: [row] is
+          the target side's candidate row, [arrays] the anchor rows,
+          [other_slot] the tuple position of the non-target endpoint, and
+          [target_right] orients the emitted pairs.  Same option contract
+          as {!push_fetch}. *)
+  warm_nodes : (int array -> unit) option;
+      (** Batching hint for [G_Q] assembly: called once with the exact
+          node set whose labels/values are about to be read, so a remote
+          backend can warm them in one round trip per shard instead of one
+          RPC per node.  Purely advisory, like {!prefetch}. *)
   node_label : int -> Bpq_graph.Label.t;
   node_value : int -> Bpq_graph.Value.t;
   table : Bpq_graph.Label.table;
@@ -144,3 +200,12 @@ val iter_tuples_slice :
     [\[lo, hi)] (mixed-radix, last digit fastest): concatenating the
     slices of any partition of [\[0, total)] reproduces the full
     enumeration order.  Exposed for property tests. *)
+
+val mem_sorted : int array -> int -> bool
+(** Membership in a sorted distinct row by binary search.  Exposed for
+    backends that replicate the executor's semijoin shard-side
+    ([Bpq_store.Remote]). *)
+
+val total_tuples : int array array -> int
+(** Saturating product of the rows' lengths — the anchor-tuple odometer
+    size.  Exposed for the same backends. *)

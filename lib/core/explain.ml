@@ -53,7 +53,12 @@ let analyze_with ?pool ?costs (src : Exec.source) (plan : Plan.t) =
   let annotated = Option.map (fun c -> Costs.annotate c plan) costs in
   let header = [ "op"; "worst case" ] in
   let header = if costs = None then header else header @ [ "estimated" ] in
-  let table = Table.create (header @ [ "realised"; "used" ]) in
+  (* The pushed column only appears when some operation was evaluated
+     shard-side, so single-process reports are unchanged. *)
+  let any_pushed = List.exists (fun (tr : Exec.op_trace) -> tr.pushed) result.trace in
+  let table =
+    Table.create (header @ [ "realised"; "used" ] @ if any_pushed then [ "pushed" ] else [])
+  in
   (* The trace lists fetches in plan order, then edge checks in plan
      order — the same order [Costs.annotate] reports estimates in. *)
   let fetch_i = ref 0 and edge_i = ref 0 in
@@ -81,7 +86,8 @@ let analyze_with ?pool ?costs (src : Exec.source) (plan : Plan.t) =
             Printf.sprintf "%.0f%% %s"
               (if tr.estimate = 0 then 0.0
                else 100.0 *. float_of_int tr.realized /. float_of_int tr.estimate)
-              realized_label ]))
+              realized_label ]
+        @ if any_pushed then [ (if tr.pushed then "yes" else "no") ] else []))
     result.trace;
   let gsize = src.Exec.graph_size in
   let report =

@@ -691,15 +691,52 @@ let untrack_conn t fd =
   Condition.signal t.conn_done;
   Mutex.unlock t.mu
 
+(* A first line opening with "GET " switches the connection to one-shot
+   HTTP/1.0 scrape mode, so a Prometheus server can point straight at
+   the daemon's socket without a bridge.  Only /metrics exists;
+   everything else is a 404.  Headers are drained and ignored; the
+   response closes the connection. *)
 let handle_conn t ?read_timeout ?write_timeout fd =
   Sock.set_timeouts ?read:read_timeout ?write:write_timeout fd;
   let rd = Sock.reader fd in
+  let first = ref true in
   let rec loop () =
     if not (stopped t) then
       match Sock.read_line rd with
       | None -> ()
-      | Some "" -> loop ()
+      | Some line
+        when !first
+             && String.length line >= 4
+             && String.sub line 0 4 = "GET " ->
+        (* Headers may still be buffered in [rd]; drain through it. *)
+        let rec drain () =
+          match Sock.read_line rd with
+          | None | Some "" | Some "\r" -> ()
+          | Some _ -> drain ()
+        in
+        drain ();
+        let path =
+          match String.split_on_char ' ' line with _ :: p :: _ -> p | _ -> "/"
+        in
+        let status, ctype, body =
+          if
+            path = "/metrics"
+            || (String.length path >= 9 && String.sub path 0 9 = "/metrics?")
+          then ("200 OK", "text/plain; version=0.0.4", metrics_text t)
+          else ("404 Not Found", "text/plain", "only /metrics lives here\n")
+        in
+        let resp =
+          Printf.sprintf
+            "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+             Connection: close\r\n\r\n%s"
+            status ctype (String.length body) body
+        in
+        ignore (Unix.write_substring fd resp 0 (String.length resp))
+      | Some "" ->
+        first := false;
+        loop ()
       | Some line ->
+        first := false;
         Sock.write_line fd (handle_line t line);
         loop ()
   in

@@ -157,6 +157,51 @@ let require_section r tag =
   | Some b -> b
   | None -> corrupt "snapshot has no section with tag %d" tag
 
+(* ---------------- varint wire helpers ----------------
+
+   Snapshot sections stay 8-aligned i64 arrays; the LEB128 varints below
+   exist for the sharded wire protocol, where sorted id sets and
+   correlated tuple streams delta-compress to a byte or two per element
+   instead of eight. *)
+
+let add_uvarint b n =
+  if n < 0 then invalid_arg "add_uvarint: negative";
+  let n = ref n in
+  let fin = ref false in
+  while not !fin do
+    let byte = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      fin := true
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+(* Sorted (non-decreasing, non-negative) arrays as length + deltas. *)
+let add_sorted_array b arr =
+  add_uvarint b (Array.length arr);
+  let prev = ref 0 in
+  Array.iter
+    (fun v ->
+      if v < !prev then invalid_arg "add_sorted_array: not sorted";
+      add_uvarint b (v - !prev);
+      prev := v)
+    arr
+
+(* Arbitrary int streams as length + zigzag deltas: small for locally
+   correlated sequences (odometer tuple streams), never worse than ~9
+   bytes per element. *)
+let add_zigzag_array b arr =
+  add_uvarint b (Array.length arr);
+  let prev = ref 0 in
+  Array.iter
+    (fun v ->
+      let d = v - !prev in
+      add_uvarint b ((d lsl 1) lxor (d asr 62));
+      prev := v)
+    arr
+
 module Cur = struct
   type t = {
     data : Bytes.t;
@@ -192,6 +237,48 @@ module Cur = struct
     let s = Bytes.sub_string c.data c.pos len in
     c.pos <- c.pos + ((len + 7) land lnot 7);
     s
+
+  let uvarint c =
+    let v = ref 0 and shift = ref 0 in
+    let fin = ref false in
+    while not !fin do
+      if !shift > 62 then corrupt "varint too long";
+      need c 1;
+      let byte = Char.code (Bytes.get c.data c.pos) in
+      c.pos <- c.pos + 1;
+      v := !v lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then fin := true
+    done;
+    !v
+
+  (* Every element costs at least one byte, so a length beyond the
+     remaining payload is corrupt — checked before allocating. *)
+  let varint_len c =
+    let n = uvarint c in
+    if n > c.limit - c.pos then corrupt "varint array length %d exceeds payload" n;
+    n
+
+  let sorted_array c =
+    let n = varint_len c in
+    let arr = Array.make n 0 in
+    let prev = ref 0 in
+    for i = 0 to n - 1 do
+      prev := !prev + uvarint c;
+      arr.(i) <- !prev
+    done;
+    arr
+
+  let zigzag_array c =
+    let n = varint_len c in
+    let arr = Array.make n 0 in
+    let prev = ref 0 in
+    for i = 0 to n - 1 do
+      let u = uvarint c in
+      prev := !prev + ((u lsr 1) lxor (-(u land 1)));
+      arr.(i) <- !prev
+    done;
+    arr
 end
 
 (* ---------------- verification / sniffing ---------------- *)

@@ -49,6 +49,19 @@ val add_string : Buffer.t -> string -> unit
 
 val get_i64 : Bytes.t -> int -> int
 
+val add_uvarint : Buffer.t -> int -> unit
+(** LEB128 unsigned varint; for the wire protocol (snapshot sections
+    stay 8-aligned i64s).  Raises [Invalid_argument] on negatives. *)
+
+val add_sorted_array : Buffer.t -> int array -> unit
+(** Length + first-difference uvarints: a sorted non-negative id set in
+    roughly a byte or two per element.  Raises [Invalid_argument] if
+    the array is not non-decreasing. *)
+
+val add_zigzag_array : Buffer.t -> int array -> unit
+(** Length + zigzag-delta uvarints: any int stream, compact when
+    consecutive elements are close. *)
+
 (** {1 Writing} *)
 
 type writer
@@ -85,6 +98,12 @@ module Cur : sig
   val i64 : t -> int
   val array : t -> int -> int array
   val str : t -> string  (** Inverse of {!add_string}. *)
+
+  val uvarint : t -> int  (** Inverse of {!add_uvarint}. *)
+
+  val sorted_array : t -> int array  (** Inverse of {!add_sorted_array}. *)
+
+  val zigzag_array : t -> int array  (** Inverse of {!add_zigzag_array}. *)
 
   val pos : t -> int
   val seek : t -> int -> unit

@@ -429,6 +429,9 @@ let source t =
     probe_edge = (fun s d -> probe_edge t s d);
     probe_edges = None;
     prefetch = None;
+    push_fetch = None;
+    push_semijoin = None;
+    warm_nodes = None;
     node_label = (fun v -> node_label t v);
     node_value = (fun v -> node_value t v);
     table = t.table;

@@ -16,11 +16,35 @@
     ({!Paged} over a shard file), and batching only moves {e when} a
     lookup happens, never what it returns.
 
+    {b Worker-side pushdown} (the default) moves whole plan operations
+    to the shards instead of shipping raw buckets: an [exec_fetch]
+    request carries a fetch operation's tuples plus its predicate, and
+    the key-owning workers stream their buckets locally, apply the
+    predicate to hits whose node values they own, and return only the
+    surviving ids (foreign hits resolve in one extra [filter] round at
+    their node owners — shard files store values for owned nodes only).
+    A [semijoin] request carries an edge operation's tuples plus the
+    target candidate row, and workers return only the candidate pairs
+    that survive the row-membership test; the coordinator still
+    direction-probes them.  G_Q's node attributes warm in one final
+    nodes round over exactly the result's node set.  Operations the
+    coordinator can't push (unknown constraint, arity mismatch,
+    saturated or oversized tuple sets) fall back to the batched-fetch
+    protocol; answers, executor stats and traces are byte-identical
+    either way (pushed replies carry the counters the local loop would
+    have produced).
+
     Frames are {!Bpq_util.Sock} binary frames; payloads are sequences of
     8-byte little-endian integers and length-prefixed strings
     ({!Bpq_graph.Binfile} helpers).  Every request opens with an opcode:
-    hello (1), fetch (2), probe (3), nodes (4), shutdown (5).  Replies
-    open with a status — 0 then the result, or 1 then an error string.
+    hello (1), fetch (2), probe (3), nodes (4), shutdown (5),
+    exec_fetch (6), filter (7), semijoin (8), probe2 (9), nodes2 (10).
+    Ops 6-10 — the pushdown path — carry varint payloads (LEB128
+    lengths, sorted-delta id arrays, zigzag tuple streams); ops 2-4
+    keep the raw-i64 encoding as the batched baseline.  Replies open
+    with a status — 0 then the result, 1 then an error string, or 2
+    (stale plan stamp) then the worker's stamp and the request's
+    stamp.
 
     A coordinator may serve several pool domains concurrently: one
     mutex guards the connections, and every operation materialises its
@@ -32,6 +56,12 @@ exception Worker_died of { shard : int; detail : string }
 (** A worker's connection broke mid-conversation (EOF, [EPIPE],
     [ECONNRESET]): surfaced as this typed error, never as a hang or a
     bare [End_of_file]. *)
+
+exception Stale_plan of { shard : int; worker_stamp : int; plan_stamp : int }
+(** A worker rejected a pushed plan operation because the schema stamp
+    the plan was built for is not the stamp its shard serves — e.g. a
+    coordinator replaying a cached plan across a snapshot reload.
+    Typed so callers can replan rather than fail. *)
 
 (** {1 Worker side} *)
 
@@ -66,17 +96,27 @@ val spawn : ?argv:(shard_file:string -> string array) -> Shard.manifest -> t
 
 val close : t -> unit
 (** Send every worker a shutdown request, close the connections, and
-    reap spawned children.  Best-effort and idempotent: a worker that
+    reap spawned children: each child is polled with [WNOHANG] for up
+    to two seconds, then killed ([SIGKILL]) and collected, so repeated
+    sharded runs never accumulate zombies and a wedged worker cannot
+    hang the coordinator.  Best-effort and idempotent: a worker that
     already died does not prevent the others from being released. *)
 
 val manifest : t -> Shard.manifest
 
-val source : t -> Exec.source
+val source : ?pushdown:bool -> t -> Exec.source
 (** The query-serving interface, with [prefetch] and [probe_edges]
     batching enabled.  Byte-identical answers to the in-memory and
     paged backends; unknown constraints raise [Not_found] and
     wrong-arity keys find nothing, like both.
-    @raise Worker_died if a worker's connection breaks. *)
+
+    [pushdown] (default [true]) additionally enables the [push_fetch] /
+    [push_semijoin] / [warm_nodes] hooks, evaluating pushable plan
+    operations shard-side; [false] reproduces the batched-fetch
+    protocol exactly.  Answers, stats and traces are byte-identical
+    either way (trace [pushed] flags excepted).
+    @raise Worker_died if a worker's connection breaks.
+    @raise Stale_plan if a worker rejects a pushed operation's stamp. *)
 
 (** {1 Traffic accounting} *)
 
@@ -87,7 +127,11 @@ type stats = {
   bytes_received : int array;  (** Reply bytes (payload + header), per shard. *)
   items : int array;
       (** Result items decoded per shard: index hits, probe verdicts,
-          node attribute records. *)
+          node attribute records, pushed-operation result ids/pairs. *)
+  server_ns : int array;
+      (** Worker-reported evaluation time (nanoseconds) spent answering
+          this coordinator's pushed operations, per shard — attributes
+          coordinator-vs-worker time in [--io-stats] and EXPLAIN. *)
   rounds : int;
       (** Batched rounds (supersteps): groups of frames sent together
           before any reply is read.  Round trips per query is this,
@@ -103,3 +147,10 @@ val reset_stats : t -> unit
 val traffic : stats -> int * int
 (** Total [(messages, bytes)] over all shards, bytes in both
     directions. *)
+
+(**/**)
+
+val probe_plan_stamp : t -> int -> unit
+(** Send shard 0 a zero-id filter request claiming the given plan
+    stamp — exercises the worker's stamp validation without a plan.
+    @raise Stale_plan on mismatch.  Exposed for tests. *)

@@ -13,15 +13,15 @@ type mem = {
 type t =
   | In_mem of mem
   | On_disk of Paged.t
-  | Sharded_t of Remote.t
+  | Sharded_t of { r : Remote.t; pushdown : bool }
 
 let of_schema ?selectivity schema =
   In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema }
 
-let of_remote r = Sharded_t r
+let of_remote ?(pushdown = true) r = Sharded_t { r; pushdown }
 
 let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(verify = false)
-    path =
+    ?(pushdown = true) path =
   match backend with
   | Mem ->
     (* Schema.load reads and checksums the whole file already. *)
@@ -34,34 +34,34 @@ let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(veri
     (* [path] names the shard directory (or its MANIFEST). *)
     let m = Shard.load_manifest path in
     if verify then Shard.verify_files m;
-    Sharded_t (Remote.spawn m)
+    Sharded_t { r = Remote.spawn m; pushdown }
 
 let backend = function In_mem _ -> Mem | On_disk _ -> Paged | Sharded_t _ -> Sharded
 
 let source = function
   | In_mem m -> m.src
   | On_disk p -> Paged.source p
-  | Sharded_t r -> Remote.source r
+  | Sharded_t { r; pushdown } -> Remote.source ~pushdown r
 
 let table = function
   | In_mem m -> Digraph.label_table (Schema.graph m.schema)
   | On_disk p -> Paged.table p
-  | Sharded_t r -> (Remote.manifest r).Shard.table
+  | Sharded_t { r; _ } -> (Remote.manifest r).Shard.table
 
 let constraints = function
   | In_mem m -> Schema.constraints m.schema
   | On_disk p -> Paged.constraints p
-  | Sharded_t r -> (Remote.manifest r).Shard.constraints
+  | Sharded_t { r; _ } -> (Remote.manifest r).Shard.constraints
 
 let stamp = function
   | In_mem m -> Schema.stamp m.schema
   | On_disk p -> Paged.stamp p
-  | Sharded_t r -> (Remote.manifest r).Shard.stamp
+  | Sharded_t { r; _ } -> (Remote.manifest r).Shard.stamp
 
 let graph_size = function
   | In_mem m -> Digraph.size (Schema.graph m.schema)
   | On_disk p -> Paged.graph_size p
-  | Sharded_t r ->
+  | Sharded_t { r; _ } ->
     let m = Remote.manifest r in
     m.Shard.n_nodes + m.Shard.n_edges
 
@@ -72,11 +72,16 @@ let selectivity = function
 
 let schema = function In_mem m -> Some m.schema | On_disk _ | Sharded_t _ -> None
 let io_counters = function On_disk p -> Some (Paged.io_counters p) | In_mem _ | Sharded_t _ -> None
-let remote = function Sharded_t r -> Some r | In_mem _ | On_disk _ -> None
-let reset_io = function On_disk p -> Paged.reset_io p | In_mem _ -> () | Sharded_t r -> Remote.reset_stats r
+let remote = function Sharded_t { r; _ } -> Some r | In_mem _ | On_disk _ -> None
+
+let reset_io = function
+  | On_disk p -> Paged.reset_io p
+  | In_mem _ -> ()
+  | Sharded_t { r; _ } -> Remote.reset_stats r
+
 let drop_cache = function On_disk p -> Paged.drop_cache p | In_mem _ | Sharded_t _ -> ()
 
 let close = function
   | In_mem _ -> ()
   | On_disk p -> Paged.close p
-  | Sharded_t r -> Remote.close r
+  | Sharded_t { r; _ } -> Remote.close r

@@ -25,9 +25,11 @@ type t
 val of_schema : ?selectivity:Gstats.selectivity -> Schema.t -> t
 (** Wrap an already-built in-memory schema (no snapshot involved). *)
 
-val of_remote : Remote.t -> t
+val of_remote : ?pushdown:bool -> Remote.t -> t
 (** Wrap an already-connected sharded coordinator (e.g. one attached to
-    externally started workers); {!close} will shut its workers down. *)
+    externally started workers); {!close} will shut its workers down.
+    [pushdown] (default [true]) selects worker-side plan evaluation
+    ({!Remote.source}). *)
 
 val open_snapshot :
   ?backend:backend ->
@@ -35,6 +37,7 @@ val open_snapshot :
   ?cache_pages:int ->
   ?readahead:int ->
   ?verify:bool ->
+  ?pushdown:bool ->
   string ->
   t
 (** Open a {!Bpq_access.Schema.save} snapshot.  [backend] defaults to
@@ -46,8 +49,9 @@ val open_snapshot :
 
     Under [Sharded] the path names a {!Shard.partition} output directory
     (or its [MANIFEST]); one worker process per shard is spawned via
-    {!Remote.spawn}, and [verify] checks every shard file's checksum
-    against the manifest first.
+    {!Remote.spawn}, [verify] checks every shard file's checksum against
+    the manifest first, and [pushdown] (default [true]) selects
+    worker-side plan evaluation over plain batched fetching.
     @raise Binfile.Corrupt on malformed or damaged snapshots. *)
 
 val backend : t -> backend

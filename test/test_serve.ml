@@ -549,6 +549,48 @@ let test_metrics () =
   let j = Server.Client.metrics conn in
   Helpers.check_true "client metrics ok" (Json.member "ok" j = Some (Json.Bool true))
 
+(* The same socket speaks HTTP when the first line is a GET: a plain
+   Prometheus scrape of /metrics works with no bridge, and any other
+   path 404s.  JSON clients are unaffected. *)
+let test_http_metrics () =
+  with_server (fresh_slot ()) @@ fun _server addr ->
+  let scrape path =
+    let fd = Sock.connect addr in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let req = Printf.sprintf "GET %s HTTP/1.0\r\nHost: x\r\nAccept: */*\r\n\r\n" path in
+    Sock.write_all fd req 0 (String.length req);
+    let b = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        drain ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+    in
+    drain ();
+    Buffer.contents b
+  in
+  let contains hay sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  let page = scrape "/metrics" in
+  Helpers.check_true "http 200" (contains page "HTTP/1.0 200 OK");
+  Helpers.check_true "prometheus content type"
+    (contains page "Content-Type: text/plain; version=0.0.4");
+  Helpers.check_true "served counter present" (contains page "bpq_queries_served_total");
+  let missing = scrape "/other" in
+  Helpers.check_true "http 404 elsewhere" (contains missing "HTTP/1.0 404");
+  (* A JSON client on a fresh connection still gets the JSON protocol. *)
+  let conn = Server.Client.connect addr in
+  Fun.protect ~finally:(fun () -> Server.Client.close conn) @@ fun () ->
+  let j = Server.Client.metrics conn in
+  Helpers.check_true "json metrics still ok" (Json.member "ok" j = Some (Json.Bool true))
+
 let suite =
   [ Alcotest.test_case "protocol routing" `Quick test_protocol;
     Alcotest.test_case "admission control" `Quick test_admission;
@@ -562,4 +604,5 @@ let suite =
       test_coalescing_identity;
     Alcotest.test_case "mid-flight reload: followers re-dispatch" `Quick
       test_coalescing_reload;
-    Alcotest.test_case "prometheus metrics page" `Quick test_metrics ]
+    Alcotest.test_case "prometheus metrics page" `Quick test_metrics;
+    Alcotest.test_case "http GET /metrics scrape" `Quick test_http_metrics ]

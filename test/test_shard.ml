@@ -34,9 +34,17 @@ let instance_plan seed =
   let q = Bpq_pattern.Qgen.from_walk r g in
   (schema, Qplan.generate Actualized.Subgraph q constrs)
 
-(* Strict result identity, as in the store suite. *)
+(* Strict result identity, as in the store suite.  The trace's [pushed]
+   flag records where an operation ran, not what it produced, so it is
+   stripped before comparing across backends; everything else —
+   candidate sets, stats counters, estimates, realized sizes, the graph
+   — must match exactly. *)
 let canon (r : Exec.result) =
-  (r.from_gq, r.candidates_g, r.stats, r.trace, Digraph.Repr.of_graph r.gq)
+  ( r.from_gq,
+    r.candidates_g,
+    r.stats,
+    List.map (fun (tr : Exec.op_trace) -> (tr.op, tr.estimate, tr.realized)) r.trace,
+    Digraph.Repr.of_graph r.gq )
 
 (* ---------------- forked worker fixtures ---------------- *)
 
@@ -251,28 +259,55 @@ let test_workers_equal_single_node () =
   let reference = canon (Exec.run schema plan) in
   with_remote schema 4 (fun _m r _workers ->
       let res = Exec.run_with (Remote.source r) plan in
-      Helpers.check_true "byte-identical to single node" (canon res = reference);
+      Helpers.check_true "pushdown byte-identical to single node" (canon res = reference);
+      Helpers.check_true "some operation actually pushed"
+        (List.exists (fun (tr : Exec.op_trace) -> tr.pushed) res.trace);
       let st = Remote.stats r in
-      let messages, bytes = Remote.traffic st in
-      Helpers.check_true "talked to the workers" (messages > 0 && bytes > 0);
+      let messages, pushed_bytes = Remote.traffic st in
+      Helpers.check_true "talked to the workers" (messages > 0 && pushed_bytes > 0);
       (* Round trips are O(plan operations), not O(lookups): each
-         operation costs at most a fetch, a nodes and a probe round. *)
+         operation costs at most two pushed rounds (or a fetch and a
+         probe round), plus one final attribute-warm round. *)
       let ops = List.length res.trace in
       Helpers.check_true
         (Printf.sprintf "rounds %d bounded by 3 x %d ops" st.rounds ops)
         (st.rounds <= (3 * ops) + 1);
       Helpers.check_int "message count matches rounds accounting" messages
-        (Array.fold_left ( + ) 0 st.messages))
+        (Array.fold_left ( + ) 0 st.messages);
+      (* The batched-fetch path answers identically, with no pushed
+         flags. *)
+      let batched = Exec.run_with (Remote.source ~pushdown:false r) plan in
+      Helpers.check_true "batched byte-identical to single node"
+        (canon batched = reference);
+      Helpers.check_true "batched path pushes nothing"
+        (List.for_all (fun (tr : Exec.op_trace) -> not tr.pushed) batched.trace))
+
+(* Wire savings measured honestly: one fresh cluster (cold coordinator
+   caches, cold page caches) per mode. *)
+let test_pushdown_saves_wire_bytes () =
+  let schema, plan = q0_setup () in
+  let bytes_with pushdown =
+    with_remote schema 4 (fun _m r _workers ->
+        ignore (Exec.run_with (Remote.source ~pushdown r) plan);
+        snd (Remote.traffic (Remote.stats r)))
+  in
+  let batched = bytes_with false in
+  let pushed = bytes_with true in
+  Helpers.check_true
+    (Printf.sprintf "pushdown bytes %d below batched bytes %d" pushed batched)
+    (pushed < batched)
 
 let test_unbatched_equals_batched () =
   let schema, plan = q0_setup () in
   let reference = canon (Exec.run schema plan) in
   with_remote schema 2 (fun _m r _workers ->
-      let src = Remote.source r in
-      let batched = Exec.run_with src plan in
+      let pushed = Exec.run_with (Remote.source r) plan in
+      let plain = Remote.source ~pushdown:false r in
+      let batched = Exec.run_with plain plan in
       let unbatched =
-        Exec.run_with { src with Exec.prefetch = None; probe_edges = None } plan
+        Exec.run_with { plain with Exec.prefetch = None; probe_edges = None } plan
       in
+      Helpers.check_true "pushdown identical" (canon pushed = reference);
       Helpers.check_true "batched identical" (canon batched = reference);
       Helpers.check_true "unbatched identical" (canon unbatched = reference))
 
@@ -285,7 +320,8 @@ let workers_equal_single_qcheck =
       | schema, Some plan ->
         let reference = canon (Exec.run schema plan) in
         with_remote schema shards (fun _m r _workers ->
-            canon (Exec.run_with (Remote.source r) plan) = reference))
+            canon (Exec.run_with (Remote.source r) plan) = reference
+            && canon (Exec.run_with (Remote.source ~pushdown:false r) plan) = reference))
 
 let test_matches_remote_sim_and_single_agree () =
   let schema, plan = q0_setup () in
@@ -320,10 +356,31 @@ let test_worker_death_is_clean () =
         (match src.Exec.probe_edge 0 1 with
         | _ -> false
         | exception Remote.Worker_died { shard = 0; _ } -> true);
-      Helpers.check_true "query over dead worker raises Worker_died"
+      (* The default source pushes plan operations, so this exercises a
+         worker dying mid-pushdown round... *)
+      Helpers.check_true "pushed query over dead worker raises Worker_died"
         (match Exec.run_with src plan with
         | _ -> false
+        | exception Remote.Worker_died _ -> true);
+      (* ...and the batched path fails just as cleanly. *)
+      Helpers.check_true "batched query over dead worker raises Worker_died"
+        (match Exec.run_with (Remote.source ~pushdown:false r) plan with
+        | _ -> false
         | exception Remote.Worker_died _ -> true))
+
+let test_stale_plan_rejected () =
+  let _, g, constrs, _ = Helpers.random_instance 11 in
+  let schema = Schema.build g constrs in
+  with_remote schema 2 (fun m r _workers ->
+      (* The stamp the shards were cut from passes validation... *)
+      Remote.probe_plan_stamp r m.Shard.stamp;
+      (* ...any other stamp gets the typed rejection, carrying both
+         sides of the disagreement. *)
+      Helpers.check_true "foreign stamp raises Stale_plan"
+        (match Remote.probe_plan_stamp r (m.Shard.stamp + 1) with
+        | () -> false
+        | exception Remote.Stale_plan { shard = 0; worker_stamp; plan_stamp } ->
+          worker_stamp = m.Shard.stamp && plan_stamp = m.Shard.stamp + 1))
 
 let test_attach_rejects_wrong_worker_set () =
   let _, g, constrs, _ = Helpers.random_instance 7 in
@@ -353,10 +410,12 @@ let suite =
     partition_total;
     Alcotest.test_case "manifest roundtrip" `Quick test_manifest_roundtrip;
     Alcotest.test_case "workers equal single node" `Quick test_workers_equal_single_node;
+    Alcotest.test_case "pushdown saves wire bytes" `Quick test_pushdown_saves_wire_bytes;
     Alcotest.test_case "unbatched equals batched" `Quick test_unbatched_equals_batched;
     workers_equal_single_qcheck;
     Alcotest.test_case "remote, simulation and single agree" `Quick
       test_matches_remote_sim_and_single_agree;
     Alcotest.test_case "worker death is clean" `Quick test_worker_death_is_clean;
+    Alcotest.test_case "stale plan stamp rejected" `Quick test_stale_plan_rejected;
     Alcotest.test_case "attach rejects wrong workers" `Quick
       test_attach_rejects_wrong_worker_set ]
