@@ -664,6 +664,7 @@ let () =
       ("micro", Micro_kernels.run);
       ("intra", Intra_bench.run);
       ("store", Store_bench.run);
+      ("write", Write_bench.run);
       ("distributed", Distributed_bench.run);
       ("serve", Serve_bench.run);
       ("serve_open", Serve_bench.run_open);

@@ -8,7 +8,9 @@
      freeze    build a schema and write a binary snapshot (graph + indexes)
      shard     hash-partition a snapshot into per-worker shard files
      worker    serve one shard over the framed fetch protocol
-     run       evaluate a pattern on a graph through its bounded plan *)
+     run       evaluate a pattern on a graph through its bounded plan
+     apply     append delta operations to a snapshot's write-ahead log
+     compact   fold a delta log into a fresh snapshot generation *)
 
 open Cmdliner
 open Bpq_graph
@@ -19,7 +21,10 @@ module Store = Bpq_store.Store
 module Paged = Bpq_store.Paged
 module Shard = Bpq_store.Shard
 module Remote = Bpq_store.Remote
+module Wal = Bpq_store.Wal
+module Overlay = Bpq_store.Overlay
 module Sock = Bpq_util.Sock
+module Json = Bpq_util.Jsonx
 
 (* Operational failures — unreadable files, parse errors, damaged
    snapshots, dead workers — exit with a one-line diagnostic, never a
@@ -229,7 +234,7 @@ let backend_name = function
 let open_sharded ?workers ?(pushdown = true) graph =
   let m = with_file graph (fun () -> Shard.load_manifest graph) in
   match workers with
-  | None -> Store.of_remote ~pushdown (Remote.spawn m)
+  | None -> Store.of_remote ~path:graph ~pushdown (Remote.spawn m)
   | Some spec ->
     let addrs = List.map String.trim (String.split_on_char ',' spec) in
     if List.exists (fun a -> a = "") addrs then
@@ -246,7 +251,7 @@ let open_sharded ?workers ?(pushdown = true) graph =
           | Error msg -> failwith (Printf.sprintf "--workers %s: %s" a msg))
         addrs
     in
-    Store.of_remote ~pushdown (Remote.attach m (Array.of_list fds))
+    Store.of_remote ~path:graph ~pushdown (Remote.attach m (Array.of_list fds))
 
 let print_shard_traffic r =
   let st : Remote.stats = Remote.stats r in
@@ -268,6 +273,164 @@ let print_shard_traffic r =
   let messages, bytes = Remote.traffic st in
   Printf.printf "# shard traffic: %d rounds, %d messages, %d bytes\n" st.rounds messages
     bytes
+
+(* The write path, shared by run, serve, apply and compact: delta
+   operations arrive as line-JSON ({!Wal.op_of_json} shape), land in a
+   write-ahead log paired with the snapshot, and serve through the
+   read-through overlay. *)
+
+let wal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal" ] ~docv:"FILE"
+           ~doc:"Attach a write-ahead delta log (created if absent; must pair with this \
+                 snapshot generation).  Queries then read through the replayed overlay; \
+                 answers are identical to a from-scratch rebuild.")
+
+let attach_wal_or_fail store wal_path =
+  let dropped = Store.attach_wal store wal_path in
+  if dropped > 0 then
+    Printf.eprintf "bpq: %s: recovered past a torn tail (%d trailing bytes dropped)\n%!"
+      wal_path dropped
+
+let read_ops_channel name ic =
+  let ops = ref [] and lineno = ref 0 in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       incr lineno;
+       if line <> "" then begin
+         let parsed =
+           match Json.parse line with
+           | Ok j -> Wal.op_of_json j
+           | Error e -> Error e
+         in
+         match parsed with
+         | Ok op -> ops := op :: !ops
+         | Error e -> failwith (Printf.sprintf "%s:%d: %s" name !lineno e)
+       end
+     done
+   with End_of_file -> ());
+  List.rev !ops
+
+let read_ops path =
+  if path = "-" then read_ops_channel "<stdin>" stdin
+  else In_channel.with_open_text path (fun ic -> read_ops_channel path ic)
+
+let print_overlay_counters store =
+  match (Store.overlay store, Store.overlay_counters store) with
+  | Some ov, Some c ->
+    let t =
+      Bpq_util.Table.create
+        [ "lookups"; "delegated"; "merged"; "base-hits"; "masked"; "added"; "edge-probes" ]
+    in
+    Bpq_util.Table.add_row t
+      [ string_of_int c.Overlay.c_lookups;
+        string_of_int c.Overlay.c_delegated;
+        string_of_int c.Overlay.c_merged;
+        string_of_int c.Overlay.c_base_hits;
+        string_of_int c.Overlay.c_masked;
+        string_of_int c.Overlay.c_added;
+        string_of_int c.Overlay.c_probes_overlay ];
+    Bpq_util.Table.print t;
+    Printf.printf "# overlay: version %d, %d ops (%+d nodes, %+d edges), %d labels touched\n"
+      (Overlay.version ov) (Overlay.n_ops ov) (Overlay.net_nodes ov) (Overlay.net_edges ov)
+      (List.length (Overlay.touched_labels ov))
+  | _ -> ()
+
+(* apply *)
+
+let apply_cmd =
+  let wal_req =
+    Arg.(required & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE" ~doc:"Delta log path (created if absent).")
+  in
+  let backend_arg =
+    Arg.(value & opt backend_conv Store.Mem
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Backend to validate the batch against: mem, paged or sharded (a \
+                   `bpq shard` directory).")
+  in
+  let page_cache_arg =
+    Arg.(value & opt int 16
+         & info [ "page-cache" ] ~docv:"MB" ~doc:"Page-cache budget for --backend paged.")
+  in
+  let ops_arg =
+    Arg.(value & pos 0 string "-"
+         & info [] ~docv:"OPS"
+             ~doc:"Delta operations, one JSON object per line: \
+                   {\"op\":\"add_node\",\"label\":L,\"value\":V}, \
+                   {\"op\":\"add_edge\",\"src\":U,\"dst\":V}, \
+                   {\"op\":\"remove_edge\",\"src\":U,\"dst\":V}, \
+                   {\"op\":\"set_value\",\"node\":N,\"value\":V}.  '-' (the default) \
+                   reads stdin.")
+  in
+  let run graph wal backend page_cache ops_file =
+    guard @@ fun () ->
+    let store =
+      if backend = Store.Sharded then open_sharded graph
+      else if Graph_io.is_snapshot graph then
+        with_file graph (fun () ->
+            Store.open_snapshot ~backend ~page_cache_mb:page_cache graph)
+      else
+        failwith
+          (Printf.sprintf "%s: delta logs pair with snapshots (build one with `bpq freeze`)"
+             graph)
+    in
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    attach_wal_or_fail store wal;
+    let ops = read_ops ops_file in
+    match Store.apply_ops store ops with
+    | Error msg -> failwith msg
+    | Ok n ->
+      let w = Option.get (Store.wal store) in
+      let ov = Option.get (Store.overlay store) in
+      Printf.printf "applied %d ops to %s: %d records (%d bytes), overlay %+d nodes %+d edges\n"
+        n wal (Wal.records w) (Wal.bytes w) (Overlay.net_nodes ov) (Overlay.net_edges ov);
+      0
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:"Validate a batch of delta operations against a snapshot and append it to the \
+             write-ahead log; `run`/`serve --wal` then read through the combined state.")
+    Term.(const run $ graph_arg $ wal_req $ backend_arg $ page_cache_arg $ ops_arg)
+
+(* compact *)
+
+let compact_cmd =
+  let wal_req =
+    Arg.(required & opt (some string) None
+         & info [ "wal" ] ~docv:"FILE" ~doc:"Delta log to fold (must pair with the snapshot).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the folded snapshot here instead of over the input; the input \
+                   snapshot and the log are then left untouched.")
+  in
+  let run graph wal out =
+    guard @@ fun () ->
+    if Sys.is_directory graph then
+      failwith
+        "sharded stores cannot be compacted through the coordinator; compact the \
+         unsharded snapshot, then re-shard";
+    if not (Graph_io.is_snapshot graph) then
+      failwith (Printf.sprintf "%s: not a snapshot (build one with `bpq freeze`)" graph);
+    let store = with_file graph (fun () -> Store.open_snapshot ~backend:Store.Mem graph) in
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    attach_wal_or_fail store wal;
+    let ov = Option.get (Store.overlay store) in
+    let folded = Overlay.n_ops ov in
+    let path = Store.compact ?out store in
+    Printf.printf "folded %d ops (%+d nodes, %+d edges) into %s%s\n" folded
+      (Overlay.net_nodes ov) (Overlay.net_edges ov) path
+      (if out = None then "; log truncated to the new generation" else "");
+    0
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Fold base snapshot + delta log into one fresh snapshot generation (atomic \
+             temp+rename; the schema stamp is preserved, so plan caches stay warm).")
+    Term.(const run $ graph_arg $ wal_req $ out)
 
 (* freeze *)
 
@@ -499,7 +662,7 @@ let run_cmd =
         string_of_int s.Qcache.result_hits;
         string_of_int s.Qcache.result_misses;
         "-";
-        Printf.sprintf "%d stale" s.Qcache.result_stale ];
+        Printf.sprintf "%d stale, %d gens bumped" s.Qcache.result_stale s.Qcache.gens_bumped ];
     Bpq_util.Table.print t
   in
   let print_matches matches =
@@ -599,7 +762,7 @@ let run_cmd =
     !status
   in
   let run semantics graph patterns constraints limit fallback explain jobs cache_mb cache_stats
-      backend page_cache readahead io_stats workers no_pushdown =
+      backend page_cache readahead io_stats workers no_pushdown wal =
     guard @@ fun () ->
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
@@ -649,6 +812,10 @@ let run_cmd =
       end
     in
     Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    (* The delta log attaches before [source]: queries then read through
+       the replayed overlay (text graphs fail typed — their stores have
+       no snapshot generation to pair a log with). *)
+    Option.iter (attach_wal_or_fail store) wal;
     let tbl = Store.table store in
     let queries = List.map (fun path -> (path, load_pattern tbl path)) patterns in
     let src = Store.source store in
@@ -679,9 +846,13 @@ let run_cmd =
         | _ -> run_batch pool semantics fb_graph src queries limit fallback cache
       in
       if cache_stats then Option.iter print_cache_stats cache;
-      (* Shard traffic rides along with both diagnostics views; the
-         default output stays byte-identical to the other backends. *)
-      if io_stats || explain then Option.iter print_shard_traffic (Store.remote store);
+      (* Shard traffic and overlay read-through counters ride along with
+         both diagnostics views; the default output stays byte-identical
+         to the other backends (and to a writeless run). *)
+      if io_stats || explain then begin
+        Option.iter print_shard_traffic (Store.remote store);
+        print_overlay_counters store
+      end;
       if io_stats && Option.is_none (Store.remote store) then begin
         match Store.io_counters store with
         | Some c ->
@@ -695,9 +866,21 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate pattern queries through their bounded plans.")
     Term.(const run $ semantics_arg $ graph_arg $ patterns_arg $ constraints_opt $ limit
           $ fallback $ explain $ jobs $ cache_mb $ cache_stats $ backend_arg $ page_cache_arg
-          $ readahead_arg $ io_stats_arg $ workers_arg $ no_pushdown_arg)
+          $ readahead_arg $ io_stats_arg $ workers_arg $ no_pushdown_arg $ wal_arg)
 
 (* serve *)
+
+(* One live store may back several serving slots: every accepted write
+   publishes a fresh source over the same store, and in-flight queries
+   keep their pre-write slot until they drain.  Slot closes are
+   therefore refcount releases; the store closes when the last slot
+   over it goes (a compaction swaps in a whole new store, after which
+   the old one's refs drain to zero). *)
+type serving = {
+  sv_store : Store.t;
+  sv_costs : Costs.t option;
+  sv_refs : int Atomic.t;
+}
 
 let serve_cmd =
   let listen_arg =
@@ -821,7 +1004,7 @@ let serve_cmd =
   in
   let run semantics graph constraints listen jobs cache_mb backend page_cache readahead
       no_coalesce max_inflight max_conns read_timeout write_timeout query_timeout
-      no_pushdown =
+      no_pushdown wal =
     guard @@ fun () ->
     let pushdown = not no_pushdown in
     let addr =
@@ -830,27 +1013,99 @@ let serve_cmd =
     let cache = if cache_mb <= 0 then None else Some (Qcache.of_megabytes cache_mb) in
     let pool = Pool.create jobs in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
-    let slot_of store costs =
-      { Server.src = Store.source store;
-        costs;
-        close = (fun () -> Store.close store) }
+    let serving store costs =
+      { sv_store = store; sv_costs = costs; sv_refs = Atomic.make 0 }
+    in
+    let slot_of sv =
+      Atomic.incr sv.sv_refs;
+      { Server.src = Store.source sv.sv_store;
+        costs = sv.sv_costs;
+        close =
+          (fun () ->
+            if Atomic.fetch_and_add sv.sv_refs (-1) = 1 then Store.close sv.sv_store) }
     in
     let store0, costs0 =
       open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints
     in
+    Option.iter (attach_wal_or_fail store0) wal;
     (* The stats hook follows reloads so `stats` always reports the live
        generation's I/O counters. *)
-    let current = ref store0 in
+    let current = ref (serving store0 costs0) in
     let reload () =
       let store, costs =
         open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints
       in
-      current := store;
-      slot_of store costs
+      let sv = serving store costs in
+      current := sv;
+      slot_of sv
+    in
+    (* Write-path hooks (with --wal): serialised on one mutex so the
+       current-serving pointer and the generation counter move together;
+       the store's own write lock additionally serialises against any
+       other writer on the same log. *)
+    let hook_mu = Mutex.create () in
+    let generation = ref 0 in
+    let write req =
+      Mutex.lock hook_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock hook_mu) @@ fun () ->
+      match Json.member "ops" req with
+      | None -> Error ("bad_request", "missing \"ops\" (an array of delta operations)")
+      | Some (Json.Arr l) ->
+        let rec parse acc i = function
+          | [] -> Ok (List.rev acc)
+          | j :: rest -> (
+            match Wal.op_of_json j with
+            | Ok op -> parse (op :: acc) (i + 1) rest
+            | Error e -> Error (Printf.sprintf "ops[%d]: %s" i e))
+        in
+        (match parse [] 0 l with
+         | Error e -> Error ("bad_request", e)
+         | Ok ops -> (
+           let sv = !current in
+           match Store.apply_ops sv.sv_store ops with
+           | Error msg -> Error ("bad_request", msg)
+           | Ok n ->
+             let w = Option.get (Store.wal sv.sv_store) in
+             let ov = Option.get (Store.overlay sv.sv_store) in
+             Ok
+               ( Some (slot_of sv),
+                 [ ("applied", Json.Int n);
+                   ("generation", Json.Int !generation);
+                   ("data_version", Json.Int (Overlay.version ov));
+                   ("wal_bytes", Json.Int (Wal.bytes w));
+                   ("overlay_ops", Json.Int (Overlay.n_ops ov)) ] )))
+      | Some _ -> Error ("bad_request", "\"ops\" must be an array")
+    in
+    let compact () =
+      Mutex.lock hook_mu;
+      Fun.protect ~finally:(fun () -> Mutex.unlock hook_mu) @@ fun () ->
+      let sv = !current in
+      let ov = Option.get (Store.overlay sv.sv_store) in
+      let folded = Overlay.n_ops ov in
+      match Store.compact sv.sv_store with
+      | exception Failure msg -> Error ("bad_request", msg)
+      | path ->
+        (* The old store keeps serving its frozen pre-compaction view
+           until its slots drain; the new generation reopens the folded
+           snapshot and re-attaches the (now empty) log, carrying the
+           per-label write generations so pre-compaction result-cache
+           entries stay valid. *)
+        let store, costs =
+          open_store ~pool ~backend ~page_cache ~readahead ~pushdown graph constraints
+        in
+        Option.iter (fun w -> ignore (Store.attach_wal ~carry:ov store w)) wal;
+        let sv' = serving store costs in
+        incr generation;
+        current := sv';
+        Ok
+          ( Some (slot_of sv'),
+            [ ("generation", Json.Int !generation);
+              ("snapshot", Json.Str path);
+              ("folded_ops", Json.Int folded) ] )
     in
     let extra_stats () =
       let io =
-        match Store.io_counters !current with
+        match Store.io_counters (!current).sv_store with
         | Some c ->
           [ ("io",
              Bpq_util.Jsonx.Obj
@@ -861,7 +1116,7 @@ let serve_cmd =
         | None -> []
       in
       let shards =
-        match Store.remote !current with
+        match Store.remote (!current).sv_store with
         | Some r ->
           let st : Remote.stats = Remote.stats r in
           let ints a = Bpq_util.Jsonx.Arr (List.map (fun v -> Bpq_util.Jsonx.Int v) (Array.to_list a)) in
@@ -876,10 +1131,41 @@ let serve_cmd =
                  ("server_ns", ints st.server_ns) ]) ]
         | None -> []
       in
-      io @ shards
+      let write_path =
+        match Store.wal (!current).sv_store with
+        | None -> []
+        | Some w ->
+          let ov = Option.get (Store.overlay (!current).sv_store) in
+          [ ("write_path",
+             Bpq_util.Jsonx.Obj
+               [ ("generation", Bpq_util.Jsonx.Int !generation);
+                 ("data_version", Bpq_util.Jsonx.Int (Overlay.version ov));
+                 ("wal_bytes", Bpq_util.Jsonx.Int (Wal.bytes w));
+                 ("wal_records", Bpq_util.Jsonx.Int (Wal.records w));
+                 ("overlay_ops", Bpq_util.Jsonx.Int (Overlay.n_ops ov));
+                 ("overlay_nodes", Bpq_util.Jsonx.Int (Overlay.net_nodes ov));
+                 ("overlay_edges", Bpq_util.Jsonx.Int (Overlay.net_edges ov)) ]) ]
+      in
+      io @ shards @ write_path
     in
-    let extra_metrics () =
-      match Store.remote !current with
+    let write_metrics () =
+      match Store.wal (!current).sv_store with
+      | None -> ""
+      | Some w ->
+        let ov = Option.get (Store.overlay (!current).sv_store) in
+        Printf.sprintf
+          "# HELP bpq_generation Snapshot generation (compactions since start).\n\
+           # TYPE bpq_generation gauge\nbpq_generation %d\n\
+           # HELP bpq_wal_bytes Delta log size on disk, header included.\n\
+           # TYPE bpq_wal_bytes gauge\nbpq_wal_bytes %d\n\
+           # HELP bpq_wal_records Replayable records in the delta log.\n\
+           # TYPE bpq_wal_records gauge\nbpq_wal_records %d\n\
+           # HELP bpq_overlay_ops Operations live in the read-through overlay.\n\
+           # TYPE bpq_overlay_ops gauge\nbpq_overlay_ops %d\n"
+          !generation (Wal.bytes w) (Wal.records w) (Overlay.n_ops ov)
+    in
+    let shard_metrics () =
+      match Store.remote (!current).sv_store with
       | None -> ""
       | Some r ->
         let st : Remote.stats = Remote.stats r in
@@ -902,11 +1188,19 @@ let serve_cmd =
            # TYPE bpq_shard_rounds_total counter\nbpq_shard_rounds_total %d\n" st.rounds;
         Buffer.contents b
     in
+    let extra_metrics () = shard_metrics () ^ write_metrics () in
     let opt_pos v = if v > 0.0 then Some v else None in
+    (* With --wal, generations roll through write/compact; an operator
+       [reload] racing live appends would replay a log another handle is
+       writing, so the op is disabled then. *)
+    let reload = if wal = None then Some reload else None in
+    let write_hook = if wal = None then None else Some write in
+    let compact_hook = if wal = None then None else Some compact in
     let server =
       Server.create ?cache ~max_inflight ~max_connections:max_conns
         ?query_timeout:(opt_pos query_timeout) ~semantics ~coalesce:(not no_coalesce)
-        ~reload ~extra_stats ~extra_metrics ~pool (slot_of store0 costs0)
+        ?reload ?write:write_hook ?compact:compact_hook ~extra_stats ~extra_metrics ~pool
+        (slot_of !current)
     in
     let stop_on signal =
       try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Server.request_stop server))
@@ -929,7 +1223,7 @@ let serve_cmd =
     Term.(const run $ semantics_arg $ graph_arg $ constraints_opt $ listen_arg $ jobs
           $ cache_mb $ backend_arg $ page_cache_arg $ readahead_arg $ no_coalesce_arg
           $ max_inflight_arg $ max_conns_arg $ read_timeout_arg $ write_timeout_arg
-          $ query_timeout_arg $ no_pushdown_arg)
+          $ query_timeout_arg $ no_pushdown_arg $ wal_arg)
 
 let () =
   let doc = "bounded evaluation of graph pattern queries (ICDE'15 reproduction)" in
@@ -938,4 +1232,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ gen_cmd; stats_cmd; discover_cmd; check_cmd; plan_cmd; freeze_cmd; shard_cmd;
-            worker_cmd; run_cmd; serve_cmd ]))
+            worker_cmd; run_cmd; serve_cmd; apply_cmd; compact_cmd ]))

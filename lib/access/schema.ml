@@ -73,6 +73,26 @@ let extend ?pool t constrs =
   let fresh = List.filter (fun c -> not (mem t c)) (dedup constrs) in
   make t.graph (t.entries @ Index.build_many ?pool t.graph fresh)
 
+(* In-place value upserts never move a node between index buckets (keys
+   are node records, populations are label sets), so the indexes and the
+   stamp both carry over; only the value blob is rewritten. *)
+let patch_values t updates =
+  match updates with
+  | [] -> t
+  | _ ->
+    let r = Digraph.Repr.of_graph t.graph in
+    let values = Array.copy r.values in
+    List.iter
+      (fun (v, value) ->
+        if v < 0 || v >= Array.length values then
+          invalid_arg "Schema.patch_values: node out of range";
+        values.(v) <- value)
+      updates;
+    let graph =
+      Digraph.Repr.to_graph (Digraph.label_table t.graph) { r with values }
+    in
+    make ~stamp:t.stamp graph t.entries
+
 let apply_delta t delta =
   let new_graph = Digraph.apply_delta t.graph delta in
   let entries =

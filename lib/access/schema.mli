@@ -64,6 +64,13 @@ val extend : ?pool:Bpq_util.Pool.t -> t -> Constr.t list -> t
 (** Builds indexes for the new constraints against the same graph and
     appends them; existing indexes are shared, not copied. *)
 
+val patch_values : t -> (int * Value.t) list -> t
+(** Overwrite node attribute values in place (last write wins).  Values
+    never participate in index keys or bucket membership, so the built
+    indexes and the stamp carry over unchanged — the compaction path
+    uses this to fold [Set_value] log records without a rebuild.
+    @raise Invalid_argument on an out-of-range node id. *)
+
 val apply_delta : t -> Digraph.delta -> t
 (** New schema over the updated graph; every index is copied and repaired
     incrementally via {!Index.apply_delta}. *)

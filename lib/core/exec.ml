@@ -175,6 +175,8 @@ type source = {
   constraints : Constr.t list;
   stamp : int;
   graph_size : int;
+  data_version : int;
+  label_gen : (Bpq_graph.Label.t -> int) option;
 }
 
 let source_of_schema schema =
@@ -193,7 +195,9 @@ let source_of_schema schema =
     table = Digraph.label_table g;
     constraints = Schema.constraints schema;
     stamp = Schema.stamp schema;
-    graph_size = Digraph.size g }
+    graph_size = Digraph.size g;
+    data_version = 0;
+    label_gen = None }
 
 (* Membership in a sorted candidate row — every cmat row is sorted
    distinct, so a binary search replaces the per-row hashtables. *)

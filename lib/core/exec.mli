@@ -176,6 +176,20 @@ type source = {
   graph_size : int;
       (** [|G|] (nodes + edges), for {!Explain}'s accessed-fraction
           report. *)
+  data_version : int;
+      (** Identity of the data state {e behind} the stamp.  [0] for
+          static sources (a frozen snapshot never changes under a
+          reader); write-through overlays mint a fresh process-unique
+          version per applied batch, so caches keyed by it can never
+          confuse two overlay states — including across a compaction
+          swap. *)
+  label_gen : (Bpq_graph.Label.t -> int) option;
+      (** Per-label delta generations {e carried by the data} this source
+          serves, when the backend tracks writes ([None] for static
+          sources).  {!Qcache} validates result-tier entries against the
+          serving source's own generations, so an evaluation against an
+          older slot can never tag its answer with generations it did not
+          observe. *)
 }
 
 val source_of_schema : Schema.t -> source

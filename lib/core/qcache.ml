@@ -41,7 +41,8 @@ type shard = {
   plans_exact : Plan.t option Fifo_map.t;
   plans_canon : Plan.t option Fifo_map.t;  (* plans in canonical numbering *)
   results : result_entry Fifo_map.t;
-  fetch : Fetch_cache.t;
+  fetch : Fetch_cache.t;  (* the static-source tier (data_version 0) *)
+  mutable vfetch : (int * Fetch_cache.t) list;  (* per data_version, newest first *)
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable result_hits : int;
@@ -56,6 +57,7 @@ type t = {
   mutex : Mutex.t;
   mutable shards : (int * shard) list;  (* keyed by Domain.id *)
   mutable label_gens : int array;  (* grown on demand; see note_delta *)
+  mutable gens_bumped : int;  (* total per-label generation bumps *)
 }
 
 let create ?(plan_capacity = 4096) ?(fetch_capacity = 65536) ?(result_capacity = 1024) () =
@@ -66,7 +68,8 @@ let create ?(plan_capacity = 4096) ?(fetch_capacity = 65536) ?(result_capacity =
     result_capacity;
     mutex = Mutex.create ();
     shards = [];
-    label_gens = Array.make 0 0 }
+    label_gens = Array.make 0 0;
+    gens_bumped = 0 }
 
 (* ~384 bytes per fetch bucket (4 slot words + a ~40-entry payload is the
    high end on these schemas); results get a fixed slice of the budget. *)
@@ -83,6 +86,7 @@ let new_shard t =
     plans_canon = Fifo_map.create t.plan_capacity;
     results = Fifo_map.create t.result_capacity;
     fetch = Fetch_cache.create ~capacity:t.fetch_capacity ();
+    vfetch = [];
     plan_hits = 0;
     plan_misses = 0;
     result_hits = 0;
@@ -110,6 +114,31 @@ let shard_for t =
     s
 
 let fetch_tier t = (shard_for t).fetch
+
+(* Fetch buckets mirror the data state, so a write-through source's
+   buckets must never mix with another version's: each data_version gets
+   its own per-domain cache, created lazily on the owner domain (same
+   single-owner discipline as the version-0 tier).  Keeping two live
+   versions lets in-flight evaluations against the previous slot finish
+   warm during a write swap; anything older is recreated cold if an
+   evaluation somehow still references it — correct either way, since a
+   version uniquely names one overlay state for the process lifetime. *)
+let vfetch_keep = 2
+
+let fetch_tier_for t (src : Exec.source) =
+  let v = src.Exec.data_version in
+  let s = shard_for t in
+  if v = 0 then s.fetch
+  else
+    match List.assoc_opt v s.vfetch with
+    | Some c -> c
+    | None ->
+      let c = Fetch_cache.create ~capacity:t.fetch_capacity () in
+      let keep =
+        List.filteri (fun i _ -> i < vfetch_keep - 1) s.vfetch
+      in
+      s.vfetch <- (v, c) :: keep;
+      c
 
 (* ------------------------------------------------------------------ *)
 (* Plan tier                                                           *)
@@ -224,16 +253,27 @@ let flight_key ?limit semantics ~stamp q =
 let eval_plan_with t ?pool ?deadline ?limit (src : Exec.source) (plan : Plan.t) =
   let s = shard_for t in
   let key = result_key src.Exec.stamp plan limit in
+  (* Generations come from the data itself when the source carries them
+     (a write-through overlay): an evaluation against an older serving
+     slot then tags its answer with the generations it actually
+     observed, never with newer ones another thread published meanwhile
+     — so a hit that validates against the *current* slot's generations
+     is guaranteed computed on equivalent data.  Static sources fall
+     back to the cache-global counters fed by [note_delta]. *)
+  let gen =
+    match src.Exec.label_gen with Some f -> f | None -> gen_of t
+  in
   let fresh_gens () =
-    List.map (fun l -> (l, gen_of t l)) (Pattern.labels_used plan.pattern)
+    List.map (fun l -> (l, gen l)) (Pattern.labels_used plan.pattern)
   in
   let evaluate () =
-    let answer = Bounded_eval.run ?pool ?deadline ?limit ~cache:s.fetch src plan in
+    let cache = fetch_tier_for t src in
+    let answer = Bounded_eval.run ?pool ?deadline ?limit ~cache src plan in
     Fifo_map.add s.results key { answer; gens = fresh_gens () };
     answer
   in
   match Fifo_map.find s.results key with
-  | Some entry when List.for_all (fun (l, g) -> gen_of t l = g) entry.gens ->
+  | Some entry when List.for_all (fun (l, g) -> gen l = g) entry.gens ->
     s.result_hits <- s.result_hits + 1;
     entry.answer
   | Some _ ->
@@ -283,6 +323,7 @@ let note_delta t g (delta : Digraph.delta) =
     t.label_gens <- grown
   end;
   Hashtbl.iter (fun l () -> t.label_gens.(l) <- t.label_gens.(l) + 1) affected;
+  t.gens_bumped <- t.gens_bumped + Hashtbl.length affected;
   (* Fetch buckets mirror index contents, which the delta repairs — drop
      them wholesale (per-label surgery on packed keys is not worth it;
      result entries are the tier that stays warm across deltas). *)
@@ -303,16 +344,31 @@ type stats = {
   result_hits : int;
   result_misses : int;
   result_stale : int;
+  gens_bumped : int;
 }
 
 let stats t =
   Mutex.lock t.mutex;
   let shards = List.map snd t.shards in
+  let gens_bumped = t.gens_bumped in
   Mutex.unlock t.mutex;
   List.fold_left
     (fun acc s ->
-      let f = Fetch_cache.stats s.fetch in
-      { plan_hits = acc.plan_hits + s.plan_hits;
+      (* The version-0 tier plus every live versioned tier: overlay reads
+         are cached too, and their traffic must show up in --cache-stats
+         like anything else. *)
+      let f =
+        List.fold_left
+          (fun (acc : Fetch_cache.stats) (_, c) ->
+            let f = Fetch_cache.stats c in
+            { Fetch_cache.hits = acc.hits + f.hits;
+              misses = acc.misses + f.misses;
+              evictions = acc.evictions + f.evictions;
+              bypasses = acc.bypasses + f.bypasses })
+          (Fetch_cache.stats s.fetch) s.vfetch
+      in
+      { acc with
+        plan_hits = acc.plan_hits + s.plan_hits;
         plan_misses = acc.plan_misses + s.plan_misses;
         fetch_hits = acc.fetch_hits + f.hits;
         fetch_misses = acc.fetch_misses + f.misses;
@@ -329,5 +385,6 @@ let stats t =
       fetch_bypasses = 0;
       result_hits = 0;
       result_misses = 0;
-      result_stale = 0 }
+      result_stale = 0;
+      gens_bumped }
     shards

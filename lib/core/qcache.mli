@@ -145,6 +145,17 @@ val fetch_tier : t -> Fetch_cache.t
 (** The calling domain's fetch-cache shard — for passing to
     {!Bounded_eval} / {!Exec} directly. *)
 
+val fetch_tier_for : t -> Exec.source -> Fetch_cache.t
+(** The calling domain's fetch-cache shard {e for the source's data
+    version}: sources with [data_version = 0] (static snapshots) share
+    the domain's main tier; write-through sources get one tier per
+    version, created lazily on the owning domain, so buckets read
+    through two different overlay states can never be confused — the
+    race-free replacement for clearing on writes.  The two most recent
+    versions stay live per shard (in-flight evaluations against the
+    previous serving slot finish warm across a write swap); older ones
+    are recreated cold if referenced again. *)
+
 val flight_key :
   ?limit:int -> Actualized.semantics -> stamp:int -> Pattern.t -> string
 (** Identity of an in-flight evaluation for single-flight coalescing
@@ -174,6 +185,11 @@ type stats = {
   result_hits : int;
   result_misses : int;
   result_stale : int;  (** Entries found but invalidated by a delta. *)
+  gens_bumped : int;
+      (** Total per-label generation bumps recorded by {!note_delta} —
+          how much delta-driven invalidation pressure the result tier has
+          seen.  Write-through sources carry their own generations
+          ({!Exec.source.label_gen}) and do not count here. *)
 }
 
 val stats : t -> stats

@@ -75,6 +75,12 @@ type t = {
   default_semantics : Actualized.semantics;
   coalesce : bool;
   reload_hook : (unit -> slot_data) option;
+  write_hook :
+    (Json.t -> (slot_data option * (string * Json.t) list, string * string) result)
+    option;
+  compact_hook :
+    (unit -> (slot_data option * (string * Json.t) list, string * string) result)
+    option;
   extra_stats : unit -> (string * Json.t) list;
   extra_metrics : unit -> string;
   started : float;
@@ -93,6 +99,8 @@ type t = {
   mutable errors : int;
   mutable timeouts : int;
   mutable reloads : int;
+  mutable writes : int;  (* accepted write batches *)
+  mutable compactions : int;  (* completed generation rolls *)
   mutable sf_leaders : int;  (* flights registered *)
   mutable sf_followers : int;  (* requests that joined an existing flight *)
   mutable sf_redispatches : int;  (* followers re-dispatched after a swap *)
@@ -101,7 +109,7 @@ type t = {
 }
 
 let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
-    ?(semantics = Actualized.Subgraph) ?(coalesce = true) ?reload
+    ?(semantics = Actualized.Subgraph) ?(coalesce = true) ?reload ?write ?compact
     ?(extra_stats = fun () -> []) ?(extra_metrics = fun () -> "") ~pool data =
   if max_inflight < 0 then invalid_arg "Server.create: negative max_inflight";
   if max_connections < 1 then invalid_arg "Server.create: max_connections must be positive";
@@ -113,6 +121,8 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     default_semantics = semantics;
     coalesce;
     reload_hook = reload;
+    write_hook = write;
+    compact_hook = compact;
     extra_stats;
     extra_metrics;
     started = Timer.now ();
@@ -131,6 +141,8 @@ let create ?cache ?(max_inflight = 64) ?(max_connections = 64) ?query_timeout
     errors = 0;
     timeouts = 0;
     reloads = 0;
+    writes = 0;
+    compactions = 0;
     sf_leaders = 0;
     sf_followers = 0;
     sf_redispatches = 0;
@@ -182,20 +194,22 @@ let release t s =
   Mutex.unlock t.mu;
   if close_now then try s.data.close () with _ -> ()
 
-let swap_slot t data =
+let swap_slot_gen t ~count_reload data =
   let fresh = { data; refs = 0; retired = false } in
   Mutex.lock t.mu;
   let old = t.slot in
   t.slot <- fresh;
   old.retired <- true;
   let close_now = old.refs = 0 in
-  t.reloads <- t.reloads + 1;
+  if count_reload then t.reloads <- t.reloads + 1;
   (* Invalidate every open flight: leaders still publish, but since the
      generation no longer matches they publish a retry verdict, and new
      arrivals (keyed by the new generation) never join pre-swap flights. *)
   t.flight_gen <- t.flight_gen + 1;
   Mutex.unlock t.mu;
   if close_now then try old.data.close () with _ -> ()
+
+let swap_slot t data = swap_slot_gen t ~count_reload:true data
 
 (* ------------------------------------------------------------------ *)
 (* Query execution on the pool                                         *)
@@ -523,6 +537,8 @@ let handle_stats t ?id () =
   and errors = t.errors
   and timeouts = t.timeouts
   and reloads = t.reloads
+  and writes = t.writes
+  and compactions = t.compactions
   and conns = t.live_conns
   and stamp = t.slot.data.src.Exec.stamp
   and graph_size = t.slot.data.src.Exec.graph_size in
@@ -538,6 +554,8 @@ let handle_stats t ?id () =
        ("errors", Json.Int errors);
        ("timeouts", Json.Int timeouts);
        ("reloads", Json.Int reloads);
+       ("writes", Json.Int writes);
+       ("compactions", Json.Int compactions);
        ("jobs", Json.Int (Pool.size t.pool));
        ("coalescing", coalescing_json t);
        ("latency", latency_json t) ]
@@ -556,6 +574,8 @@ let metrics_text t =
   and errors = t.errors
   and timeouts = t.timeouts
   and reloads = t.reloads
+  and writes = t.writes
+  and compactions = t.compactions
   and conns = t.live_conns
   and leaders = t.sf_leaders
   and followers = t.sf_followers
@@ -574,6 +594,8 @@ let metrics_text t =
   counter "bpq_errors_total" "Requests that raised an internal error." errors;
   counter "bpq_timeouts_total" "Queries that exceeded the time budget." timeouts;
   counter "bpq_reloads_total" "Live snapshot reloads." reloads;
+  counter "bpq_writes_total" "Accepted write batches." writes;
+  counter "bpq_compactions_total" "Completed generation rolls." compactions;
   counter "bpq_coalesce_leaders_total" "Evaluations that led a single-flight." leaders;
   counter "bpq_coalesce_followers_total" "Requests that joined an existing flight." followers;
   counter "bpq_coalesce_redispatches_total"
@@ -642,6 +664,53 @@ let handle_reload t ?id () =
        Mutex.unlock t.mu;
        error_response ?id "reload_failed" (Printexc.to_string e))
 
+(* Write and compact route through caller-supplied hooks (the CLI wires
+   them to [Bpq_store.Store.apply_ops] / [compact]); the server's part is
+   the slot swap — the hook hands back fresh slot data built over the
+   post-write overlay, in-flight queries keep their frozen pre-write
+   view, and the flight-generation bump keeps coalesced followers from
+   sharing a pre-write answer.  A write swap is not a reload: the
+   [reloads] counter tracks operator-initiated snapshot reloads only. *)
+let handle_write t ?id req =
+  match t.write_hook with
+  | None ->
+    error_response ?id "bad_request"
+      "this server does not accept writes (start it with --wal)"
+  | Some f ->
+    (match f req with
+     | Ok (slot, fields) ->
+       Option.iter (swap_slot_gen t ~count_reload:false) slot;
+       Mutex.lock t.mu;
+       t.writes <- t.writes + 1;
+       Mutex.unlock t.mu;
+       ok_response ?id fields
+     | Error (code, msg) -> error_response ?id code msg
+     | exception e ->
+       Mutex.lock t.mu;
+       t.errors <- t.errors + 1;
+       Mutex.unlock t.mu;
+       error_response ?id "write_failed" (Printexc.to_string e))
+
+let handle_compact t ?id () =
+  match t.compact_hook with
+  | None ->
+    error_response ?id "bad_request"
+      "this server cannot compact (start it with --wal)"
+  | Some f ->
+    (match f () with
+     | Ok (slot, fields) ->
+       Option.iter (swap_slot_gen t ~count_reload:false) slot;
+       Mutex.lock t.mu;
+       t.compactions <- t.compactions + 1;
+       Mutex.unlock t.mu;
+       ok_response ?id fields
+     | Error (code, msg) -> error_response ?id code msg
+     | exception e ->
+       Mutex.lock t.mu;
+       t.errors <- t.errors + 1;
+       Mutex.unlock t.mu;
+       error_response ?id "compact_failed" (Printexc.to_string e))
+
 let handle_json t req =
   let id = Json.member "id" req in
   match Json.member "op" req with
@@ -650,12 +719,15 @@ let handle_json t req =
   | Some (Json.Str "stats") -> handle_stats t ?id ()
   | Some (Json.Str "metrics") -> handle_metrics t ?id ()
   | Some (Json.Str "reload") -> handle_reload t ?id ()
+  | Some (Json.Str "write") -> handle_write t ?id req
+  | Some (Json.Str "compact") -> handle_compact t ?id ()
   | Some (Json.Str "shutdown") ->
     request_stop t;
     ok_response ?id [ ("stopping", Json.Bool true) ]
   | Some (Json.Str op) ->
     error_response ?id "bad_request"
-      (Printf.sprintf "unknown op %S (query|explain|stats|metrics|reload|shutdown)" op)
+      (Printf.sprintf
+         "unknown op %S (query|explain|stats|metrics|reload|write|compact|shutdown)" op)
   | Some _ -> error_response ?id "bad_request" "\"op\" must be a string"
   | None -> error_response ?id "bad_request" "missing \"op\""
 
@@ -723,7 +795,13 @@ let handle_conn t ?read_timeout ?write_timeout fd =
             path = "/metrics"
             || (String.length path >= 9 && String.sub path 0 9 = "/metrics?")
           then ("200 OK", "text/plain; version=0.0.4", metrics_text t)
-          else ("404 Not Found", "text/plain", "only /metrics lives here\n")
+          else if path = "/healthz" then
+            (* Liveness only: the daemon is accepting connections and
+               answering.  Readiness nuance (warm caches, worker health)
+               stays on the richer stats op. *)
+            ("200 OK", "text/plain", "ok\n")
+          else
+            ("404 Not Found", "text/plain", "only /metrics and /healthz live here\n")
         in
         let resp =
           Printf.sprintf
@@ -856,6 +934,8 @@ module Client = struct
   let stats c = rpc c (Json.Obj [ ("op", Json.Str "stats") ])
   let metrics c = rpc c (Json.Obj [ ("op", Json.Str "metrics") ])
   let reload c = rpc c (Json.Obj [ ("op", Json.Str "reload") ])
+  let write c ops = rpc c (Json.Obj [ ("op", Json.Str "write"); ("ops", Json.Arr ops) ])
+  let compact c = rpc c (Json.Obj [ ("op", Json.Str "compact") ])
   let shutdown c = rpc c (Json.Obj [ ("op", Json.Str "shutdown") ])
   let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 end

@@ -6,16 +6,21 @@
 
     One request per line, one response per line, both JSON objects.
     Requests carry an ["op"] of [query], [explain], [stats], [metrics],
-    [reload] or [shutdown]; [query]/[explain] add ["pattern"] (concrete
-    syntax for {!Bpq_pattern.Pattern_parser}), optional ["semantics"]
-    (["subgraph"]|["simulation"]) and optional ["limit"].  An optional
-    ["id"] is echoed back verbatim.  Responses are
-    [{"ok":true, ...}] or
+    [reload], [write], [compact] or [shutdown]; [query]/[explain] add
+    ["pattern"] (concrete syntax for {!Bpq_pattern.Pattern_parser}),
+    optional ["semantics"] (["subgraph"]|["simulation"]) and optional
+    ["limit"]; [write] adds ["ops"], an array of delta operations in
+    {!Bpq_store.Wal.op_of_json} shape.  An optional ["id"] is echoed
+    back verbatim.  Responses are [{"ok":true, ...}] or
     [{"ok":false, "error":CODE, "message":...}] with codes
     [parse], [bad_request], [unbounded], [overloaded], [timeout],
-    [shutting_down], [reload_failed] and [internal].  [metrics] returns
-    the counters as a Prometheus text-format page in its ["text"] field
-    (see {!metrics_text}).
+    [shutting_down], [reload_failed], [write_failed], [compact_failed]
+    and [internal].  [metrics] returns the counters as a Prometheus
+    text-format page in its ["text"] field (see {!metrics_text}).
+
+    A plain [GET /metrics] HTTP request on the same socket is answered
+    with the Prometheus page, and [GET /healthz] with a bare [200 ok] —
+    liveness for scrapers and orchestrators without a JSON client.
 
     {1 Single-flight coalescing}
 
@@ -68,6 +73,8 @@ val create :
   ?semantics:Actualized.semantics ->
   ?coalesce:bool ->
   ?reload:(unit -> slot_data) ->
+  ?write:(Jsonx.t -> (slot_data option * (string * Jsonx.t) list, string * string) result) ->
+  ?compact:(unit -> (slot_data option * (string * Jsonx.t) list, string * string) result) ->
   ?extra_stats:(unit -> (string * Jsonx.t) list) ->
   ?extra_metrics:(unit -> string) ->
   pool:Pool.t ->
@@ -83,6 +90,14 @@ val create :
     [coalesce] (default [true]) enables single-flight coalescing of
     concurrent identical queries.
     [reload] serves the [reload] op; without it the op fails typed.
+    [write] serves the [write] op: it receives the whole request object,
+    applies the batch, and returns either a fresh slot to swap in (or
+    [None] to keep serving the current one) plus response fields, or a
+    typed [(code, message)] error.  A write swap goes through the same
+    refcounted generation machinery as [reload] — in-flight queries
+    finish on their pinned generation — but does not count as a reload
+    in the stats.  [compact] serves the [compact] op the same way.
+    Without the hooks both ops fail typed ([bad_request]).
     [extra_stats] fields are appended to every [stats] response.
     [extra_metrics] returns extra Prometheus exposition text (complete
     lines, or [""]) appended to every [metrics] page — the hook backend
@@ -144,6 +159,12 @@ module Client : sig
   val stats : conn -> Jsonx.t
   val metrics : conn -> Jsonx.t
   val reload : conn -> Jsonx.t
+
+  val write : conn -> Jsonx.t list -> Jsonx.t
+  (** [write c ops] sends a [write] batch; each element of [ops] is one
+      delta operation in {!Bpq_store.Wal.op_of_json} shape. *)
+
+  val compact : conn -> Jsonx.t
   val shutdown : conn -> Jsonx.t
   val close : conn -> unit
 end

@@ -26,6 +26,26 @@ let fnv_string h s lo hi =
   done;
   !h
 
+let fnv64 s = fnv_string fnv_basis s 0 (String.length s)
+
+let file_fnv path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let chunk = Bytes.create 65536 in
+      let sum = ref fnv_basis in
+      let remaining = ref (in_channel_length ic) in
+      while !remaining > 0 do
+        let n = min !remaining (Bytes.length chunk) in
+        really_input ic chunk 0 n;
+        for i = 0 to n - 1 do
+          sum := fnv_byte !sum (Char.code (Bytes.unsafe_get chunk i))
+        done;
+        remaining := !remaining - n
+      done;
+      !sum)
+
 (* ---------------- encoding helpers ---------------- *)
 
 let add_i64 b v =

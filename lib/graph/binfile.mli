@@ -26,6 +26,17 @@ exception Corrupt of string
 val magic : string
 val version : int
 
+val fnv64 : string -> int
+(** FNV-1a of a whole string, folded into the non-negative int range —
+    the same hash the trailing snapshot checksum uses.  The WAL uses it
+    for per-record checksums. *)
+
+val file_fnv : string -> int
+(** FNV-1a over an entire file's bytes (checksum trailer included): a
+    cheap content identity used to pair a delta log with the snapshot
+    generation it was written against.
+    @raise Sys_error if the file cannot be opened. *)
+
 (** Section tags, fixed across the format version. *)
 
 val tag_labels : int  (** Interned label names, in id order. *)

@@ -437,7 +437,9 @@ let source t =
     table = t.table;
     constraints = List.map (fun m -> m.constr) t.metas;
     stamp = t.stamp;
-    graph_size = t.n_nodes + t.n_edges }
+    graph_size = t.n_nodes + t.n_edges;
+    data_version = 0;
+    label_gen = None }
 
 let table t = t.table
 let constraints t = List.map (fun m -> m.constr) t.metas

@@ -933,7 +933,9 @@ let source ?(pushdown = true) t =
     table = t.m.Shard.table;
     constraints = t.m.Shard.constraints;
     stamp = t.m.Shard.stamp;
-    graph_size = t.m.Shard.n_nodes + t.m.Shard.n_edges }
+    graph_size = t.m.Shard.n_nodes + t.m.Shard.n_edges;
+    data_version = 0;
+    label_gen = None }
 
 (* ---------------- lifecycle ---------------- *)
 

@@ -10,78 +10,277 @@ type mem = {
   src : Exec.source;
 }
 
-type t =
+type base =
   | In_mem of mem
   | On_disk of Paged.t
   | Sharded_t of { r : Remote.t; pushdown : bool }
 
-let of_schema ?selectivity schema =
-  In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema }
+(* The mutable write half of a store: a delta log on disk, the replayed
+   overlay in memory, and the ops since the last compaction (kept so a
+   compaction can fold them without re-reading the log).  [ov] is an
+   immutable value — readers capture it once (through [source]) and keep
+   a frozen view; all mutation happens under [wmu]. *)
+type write_state = {
+  wal : Wal.t;
+  counters : Overlay.counters;
+  mutable ov : Overlay.t;
+  mutable ops_rev : Wal.op list;
+  mutable retired : bool;  (* in-place compaction happened; reopen to write *)
+  wmu : Mutex.t;
+}
 
-let of_remote ?(pushdown = true) r = Sharded_t { r; pushdown }
+type t = {
+  b : base;
+  path : string option;  (* the snapshot file / shard dir behind [b] *)
+  mutable ws : write_state option;
+}
+
+let of_schema ?selectivity schema =
+  { b = In_mem { schema; sel = selectivity; src = Exec.source_of_schema schema };
+    path = None;
+    ws = None }
+
+let of_remote ?path ?(pushdown = true) r =
+  { b = Sharded_t { r; pushdown }; path; ws = None }
 
 let open_snapshot ?(backend = Mem) ?page_cache_mb ?cache_pages ?readahead ?(verify = false)
     ?(pushdown = true) path =
-  match backend with
-  | Mem ->
-    (* Schema.load reads and checksums the whole file already. *)
-    let schema, sel = Schema.load (Label.create_table ()) path in
-    In_mem { schema; sel; src = Exec.source_of_schema schema }
-  | Paged ->
-    if verify then Binfile.verify path;
-    On_disk (Paged.open_ ?page_cache_mb ?cache_pages ?readahead path)
-  | Sharded ->
-    (* [path] names the shard directory (or its MANIFEST). *)
-    let m = Shard.load_manifest path in
-    if verify then Shard.verify_files m;
-    Sharded_t { r = Remote.spawn m; pushdown }
+  let b =
+    match backend with
+    | Mem ->
+      (* Schema.load reads and checksums the whole file already. *)
+      let schema, sel = Schema.load (Label.create_table ()) path in
+      In_mem { schema; sel; src = Exec.source_of_schema schema }
+    | Paged ->
+      if verify then Binfile.verify path;
+      On_disk (Paged.open_ ?page_cache_mb ?cache_pages ?readahead path)
+    | Sharded ->
+      (* [path] names the shard directory (or its MANIFEST). *)
+      let m = Shard.load_manifest path in
+      if verify then Shard.verify_files m;
+      Sharded_t { r = Remote.spawn m; pushdown }
+  in
+  { b; path = Some path; ws = None }
 
-let backend = function In_mem _ -> Mem | On_disk _ -> Paged | Sharded_t _ -> Sharded
+let backend t = match t.b with In_mem _ -> Mem | On_disk _ -> Paged | Sharded_t _ -> Sharded
 
-let source = function
+let base_source t =
+  match t.b with
   | In_mem m -> m.src
   | On_disk p -> Paged.source p
   | Sharded_t { r; pushdown } -> Remote.source ~pushdown r
 
-let table = function
+let source t =
+  match t.ws with
+  | None -> base_source t
+  | Some ws -> Overlay.wrap ~counters:ws.counters ws.ov (base_source t)
+
+let table t =
+  match t.b with
   | In_mem m -> Digraph.label_table (Schema.graph m.schema)
   | On_disk p -> Paged.table p
   | Sharded_t { r; _ } -> (Remote.manifest r).Shard.table
 
-let constraints = function
+let constraints t =
+  match t.b with
   | In_mem m -> Schema.constraints m.schema
   | On_disk p -> Paged.constraints p
   | Sharded_t { r; _ } -> (Remote.manifest r).Shard.constraints
 
-let stamp = function
+let stamp t =
+  match t.b with
   | In_mem m -> Schema.stamp m.schema
   | On_disk p -> Paged.stamp p
   | Sharded_t { r; _ } -> (Remote.manifest r).Shard.stamp
 
-let graph_size = function
+let base_nodes t =
+  match t.b with
+  | In_mem m -> Digraph.n_nodes (Schema.graph m.schema)
+  | On_disk p -> Paged.n_nodes p
+  | Sharded_t { r; _ } -> (Remote.manifest r).Shard.n_nodes
+
+let base_graph_size t =
+  match t.b with
   | In_mem m -> Digraph.size (Schema.graph m.schema)
   | On_disk p -> Paged.graph_size p
   | Sharded_t { r; _ } ->
     let m = Remote.manifest r in
     m.Shard.n_nodes + m.Shard.n_edges
 
-let selectivity = function
+let graph_size t =
+  match t.ws with
+  | None -> base_graph_size t
+  | Some ws -> base_graph_size t + Overlay.net_nodes ws.ov + Overlay.net_edges ws.ov
+
+let selectivity t =
+  match t.b with
   | In_mem m -> m.sel
   | On_disk p -> Paged.selectivity p
   | Sharded_t _ -> None
 
-let schema = function In_mem m -> Some m.schema | On_disk _ | Sharded_t _ -> None
-let io_counters = function On_disk p -> Some (Paged.io_counters p) | In_mem _ | Sharded_t _ -> None
-let remote = function Sharded_t { r; _ } -> Some r | In_mem _ | On_disk _ -> None
+let schema t = match t.b with In_mem m -> Some m.schema | On_disk _ | Sharded_t _ -> None
 
-let reset_io = function
+let io_counters t =
+  match t.b with On_disk p -> Some (Paged.io_counters p) | In_mem _ | Sharded_t _ -> None
+
+let remote t = match t.b with Sharded_t { r; _ } -> Some r | In_mem _ | On_disk _ -> None
+
+let reset_io t =
+  match t.b with
   | On_disk p -> Paged.reset_io p
   | In_mem _ -> ()
   | Sharded_t { r; _ } -> Remote.reset_stats r
 
-let drop_cache = function On_disk p -> Paged.drop_cache p | In_mem _ | Sharded_t _ -> ()
+let drop_cache t =
+  match t.b with On_disk p -> Paged.drop_cache p | In_mem _ | Sharded_t _ -> ()
 
-let close = function
+let close t =
+  (match t.ws with
+  | Some ws ->
+    Wal.close ws.wal;
+    t.ws <- None
+  | None -> ());
+  match t.b with
   | In_mem _ -> ()
   | On_disk p -> Paged.close p
   | Sharded_t { r; _ } -> Remote.close r
+
+(* ------------------------------------------------------------------ *)
+(* The write path                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Content identity of the generation behind this store: the snapshot
+   file's FNV, or the shard manifest's (any shard edit rewrites the
+   manifest checksums, so the manifest stands for the whole directory). *)
+let base_checksum t =
+  match t.path with
+  | None -> failwith "delta logs attach to snapshot-backed stores, not in-memory ones"
+  | Some path ->
+    let file =
+      match t.b with
+      | Sharded_t _ ->
+        if Sys.is_directory path then Filename.concat path "MANIFEST" else path
+      | In_mem _ | On_disk _ -> path
+    in
+    Binfile.file_fnv file
+
+let attach_wal ?carry t wal_path =
+  if t.ws <> None then failwith "store already has a delta log attached";
+  let base_sum = base_checksum t in
+  let wal, ops, dropped = Wal.open_ ~base_sum ~base_stamp:(stamp t) wal_path in
+  let base = base_source t in
+  let ov0 =
+    Overlay.empty ?carry ~base_n:(base_nodes t) ~base_size:(base_graph_size t) ()
+  in
+  match Overlay.apply ~base ov0 ops with
+  | Error e ->
+    Wal.close wal;
+    failwith (Printf.sprintf "delta log %s does not replay: %s" wal_path e)
+  | Ok ov ->
+    t.ws <-
+      Some
+        { wal;
+          counters = Overlay.fresh_counters ();
+          ov;
+          ops_rev = List.rev ops;
+          retired = false;
+          wmu = Mutex.create () };
+    dropped
+
+let wal t = Option.map (fun ws -> ws.wal) t.ws
+let overlay t = Option.map (fun ws -> ws.ov) t.ws
+let overlay_counters t = Option.map (fun ws -> Overlay.snapshot ws.counters) t.ws
+
+let with_write_lock ws f =
+  Mutex.lock ws.wmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ws.wmu) f
+
+let apply_ops t ops =
+  match t.ws with
+  | None -> Error "store has no delta log attached (open it with --wal)"
+  | Some ws ->
+    with_write_lock ws (fun () ->
+        if ws.retired then
+          Error "store was compacted in place; reopen it to keep writing"
+        else
+        match Overlay.apply ~base:(base_source t) ws.ov ops with
+        | Error _ as e -> e
+        | Ok ov ->
+          (* Durability first: if the append raises (disk full), the
+             in-memory state is unchanged and the error propagates. *)
+          Wal.append ws.wal ops;
+          ws.ov <- ov;
+          ws.ops_rev <- List.rev_append ops ws.ops_rev;
+          Ok (List.length ops))
+
+(* Fold a batch of log records into an in-memory schema: net edge flips
+   become one [Digraph.delta] (index repair included, stamp preserved),
+   value upserts patch the value blob afterwards ([Schema.patch_values],
+   also stamp-preserving) — so the folded schema's stamp equals the
+   base's and warm plan-tier entries survive the generation roll. *)
+let fold_ops schema ops =
+  let g = Schema.graph schema in
+  let n = Digraph.n_nodes g in
+  let tbl = Digraph.label_table g in
+  let edges = Hashtbl.create 64 in
+  let added_nodes = ref [] in
+  let vals = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Wal.Add_node { label; value } ->
+        added_nodes := (Label.intern tbl label, value) :: !added_nodes
+      | Wal.Add_edge (u, v) -> Hashtbl.replace edges (u, v) true
+      | Wal.Remove_edge (u, v) -> Hashtbl.replace edges (u, v) false
+      | Wal.Set_value (v, value) -> Hashtbl.replace vals v value)
+    ops;
+  let added_edges = ref [] and removed_edges = ref [] in
+  Hashtbl.iter
+    (fun (u, v) present ->
+      let in_base = u < n && v < n && Digraph.has_edge g u v in
+      if present && not in_base then added_edges := (u, v) :: !added_edges
+      else if (not present) && in_base then removed_edges := (u, v) :: !removed_edges)
+    edges;
+  let schema =
+    Schema.apply_delta schema
+      { Digraph.added_nodes = List.rev !added_nodes;
+        added_edges = !added_edges;
+        removed_edges = !removed_edges }
+  in
+  Schema.patch_values schema (Hashtbl.fold (fun v value acc -> (v, value) :: acc) vals [])
+
+let compact ?out t =
+  match t.b with
+  | Sharded_t _ ->
+    failwith
+      "sharded stores cannot be compacted through the coordinator; compact the \
+       unsharded snapshot, then re-shard"
+  | In_mem _ | On_disk _ -> (
+    match (t.path, t.ws) with
+    | None, _ -> failwith "in-memory stores have no snapshot generation to compact into"
+    | _, None -> failwith "store has no delta log attached (open it with --wal)"
+    | Some path, Some ws ->
+      let out = Option.value ~default:path out in
+      with_write_lock ws (fun () ->
+          if ws.retired then
+            failwith "store was compacted in place already; reopen it first";
+          let ops = List.rev ws.ops_rev in
+          let schema =
+            match t.b with
+            | In_mem m -> m.schema
+            | On_disk _ -> fst (Schema.load (Label.create_table ()) path)
+            | Sharded_t _ -> assert false
+          in
+          let folded = fold_ops schema ops in
+          Schema.save ~selectivity:(Gstats.selectivity (Schema.graph folded)) folded out;
+          if out = path then begin
+            (* In-place generation roll: the folded-in records leave the
+               log, and its header now names the new snapshot.  This
+               store keeps serving the old generation consistently (its
+               overlay value is untouched) but refuses further writes;
+               callers that want the new generation reopen the snapshot
+               and [attach_wal ~carry:(overlay t)]. *)
+            Wal.truncate ws.wal ~base_sum:(Binfile.file_fnv out)
+              ~base_stamp:(Schema.stamp folded);
+            ws.retired <- true
+          end);
+      out)

@@ -25,11 +25,13 @@ type t
 val of_schema : ?selectivity:Gstats.selectivity -> Schema.t -> t
 (** Wrap an already-built in-memory schema (no snapshot involved). *)
 
-val of_remote : ?pushdown:bool -> Remote.t -> t
+val of_remote : ?path:string -> ?pushdown:bool -> Remote.t -> t
 (** Wrap an already-connected sharded coordinator (e.g. one attached to
     externally started workers); {!close} will shut its workers down.
-    [pushdown] (default [true]) selects worker-side plan evaluation
-    ({!Remote.source}). *)
+    [path] names the shard directory the coordinator serves — required
+    if a delta log is to be attached, since the log pairs with the
+    MANIFEST checksum.  [pushdown] (default [true]) selects worker-side
+    plan evaluation ({!Remote.source}). *)
 
 val open_snapshot :
   ?backend:backend ->
@@ -87,5 +89,55 @@ val drop_cache : t -> unit
 (** No-ops for in-memory and sharded backends. *)
 
 val close : t -> unit
-(** Release the file handle (paged) or shut the workers down (sharded);
-    no-op for in-memory backends. *)
+(** Release the file handle (paged) or shut the workers down (sharded),
+    closing the attached delta log first if any; no-op for in-memory
+    backends. *)
+
+(** {1 The write path}
+
+    A snapshot-backed store (any backend, sharded included) can attach a
+    write-ahead delta log ({!Wal}): the log's surviving records replay
+    into an in-memory {!Overlay} at attach time, {!source} then serves
+    the read-through view (overlay ∪ base), and {!apply_ops} validates,
+    logs and applies new batches.  {!compact} folds the log into a fresh
+    snapshot generation.
+
+    Thread discipline: {!apply_ops} and {!compact} serialise on an
+    internal mutex and may race concurrent readers safely — each call to
+    {!source} captures the overlay value of that moment, and overlay
+    values are immutable, so an in-flight query keeps a frozen,
+    consistent view across any number of writes behind it. *)
+
+val attach_wal : ?carry:Overlay.t -> t -> string -> int
+(** [attach_wal t path] opens (creating if absent) the delta log at
+    [path], pairing it with this store's snapshot generation (content
+    checksum + schema stamp — a log written against another generation
+    or schema is refused with a one-line [Failure]), replays its records
+    into a fresh overlay, and returns the number of torn-tail bytes that
+    recovery discarded (0 for a clean log).  [?carry] inherits per-label
+    write generations from a pre-compaction overlay
+    ({!Overlay.empty}). *)
+
+val apply_ops : t -> Wal.op list -> (int, string) result
+(** Validate the batch against the current combined state, append it to
+    the log (one fsync'd write), and move the overlay forward.  [Error]
+    is a one-line typed message; nothing is logged or applied then.
+    Never partial: a bad op anywhere in the batch rejects the whole
+    batch. *)
+
+val compact : ?out:string -> t -> string
+(** Fold base + log into one snapshot at [out] (default: over the
+    store's own snapshot path, via the atomic temp+rename discipline)
+    and return the written path.  The folded schema preserves the
+    stamp, so plan caches keyed by it stay warm across the roll.  When
+    compacting in place, the log is truncated to pair with the new
+    generation and this handle stops accepting writes (it keeps serving
+    its frozen pre-compaction view); reopen the snapshot and
+    [attach_wal ~carry:(Option.get (overlay t))] to continue.
+    @raise Failure (one line) for sharded and in-memory stores. *)
+
+val wal : t -> Wal.t option
+val overlay : t -> Overlay.t option
+val overlay_counters : t -> Overlay.counter_snapshot option
+(** Read-through observability: how lookups split between delegation,
+    merges, masking and overlay-born additions. *)

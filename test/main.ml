@@ -15,6 +15,13 @@ let () =
     exit 0
   end
 
+(* Second hidden mode, same reason: the wal suite's SIGKILL test needs a
+   separate appender process to murder, so it re-execs this binary. *)
+let () =
+  match Sys.getenv_opt "BPQ_WAL_CHILD" with
+  | Some path -> Test_wal.child_main path
+  | None -> ()
+
 let () =
   Alcotest.run "bpq"
     [ ("prng", Test_prng.suite);
@@ -47,5 +54,6 @@ let () =
       ("semantics", Test_semantics.suite);
       ("snapshot", Test_snapshot.suite);
       ("store", Test_store.suite);
+      ("wal", Test_wal.suite);
       ("shard", Test_shard.suite);
       ("serve", Test_serve.suite) ]
